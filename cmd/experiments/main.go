@@ -1,0 +1,70 @@
+// Command experiments regenerates the Turbine paper's evaluation artifacts
+// (figures 1 and 5-10, Table I, and the latency/scale claims) on the
+// simulated cluster substrate.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig8            # one experiment, full scale
+//	experiments -run all -short      # everything, reduced scale
+//	experiments -run fig6 -seed 7
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run, or 'all'")
+	short := flag.Bool("short", false, "reduced-scale run (faster)")
+	seed := flag.Int64("seed", 42, "workload seed")
+	list := flag.Bool("list", false, "list experiment ids")
+	csvOut := flag.Bool("csv", false, "emit result rows as CSV (for plotting)")
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Println("  " + id)
+		}
+		if *run == "" {
+			os.Exit(0)
+		}
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	params := experiments.Params{Short: *short, Seed: *seed}
+	for _, id := range ids {
+		fn, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		result := fn(params)
+		if *csvOut {
+			w := csv.NewWriter(os.Stdout)
+			if err := w.Write(result.Header); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := w.WriteAll(result.Rows); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			w.Flush()
+		} else {
+			fmt.Print(result.Format())
+			fmt.Printf("(wall clock: %v)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

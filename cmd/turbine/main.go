@@ -1,0 +1,161 @@
+// Command turbine runs a simulated Turbine cluster: it brings up the full
+// control plane (job/task/resource management) over a simulated host
+// fleet, populates it with a synthetic tailer fleet, and reports cluster
+// health as simulated time advances.
+//
+// Usage:
+//
+//	turbine -hosts 8 -jobs 100 -duration 24h -scaler
+//	turbine -duration 2h -kill-host-at 30m        # failover drill
+//	turbine -snapshot jobs.json                   # dump the job store for turbinectl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+const mb = 1 << 20
+
+func main() {
+	hosts := flag.Int("hosts", 8, "number of simulated hosts")
+	jobs := flag.Int("jobs", 100, "number of tailer jobs")
+	duration := flag.Duration("duration", 6*time.Hour, "simulated runtime")
+	report := flag.Duration("report", time.Hour, "status report interval (simulated)")
+	scaler := flag.Bool("scaler", true, "enable the auto scaler")
+	capacityMgr := flag.Bool("capacity", false, "enable the capacity manager")
+	seed := flag.Int64("seed", 42, "workload seed")
+	killHostAt := flag.Duration("kill-host-at", 0, "inject a host failure at this offset (0 = never)")
+	snapshot := flag.String("snapshot", "", "write a job store snapshot to this file at the end")
+	scenario := flag.String("scenario", "", "JSON scenario file describing the fleet (overrides -jobs)")
+	flag.Parse()
+
+	var sc *Scenario
+	if *scenario != "" {
+		loaded, err := LoadScenario(*scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc = loaded
+		if sc.Hosts > 0 {
+			*hosts = sc.Hosts
+		}
+		*scaler = sc.Scaler
+		*capacityMgr = sc.Capacity
+	}
+
+	platform, err := core.NewPlatform(core.Options{
+		Hosts:          *hosts,
+		EnableScaler:   *scaler,
+		EnableCapacity: *capacityMgr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform.Start()
+
+	if sc != nil {
+		if err := sc.Apply(platform); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("turbine: scenario %s applied (%d jobs, %d pipelines) on %d hosts; running %v\n",
+			*scenario, len(sc.Jobs), len(sc.Pipelines), *hosts, *duration)
+		runLoop(platform, *duration, *report, *killHostAt, *snapshot)
+		return
+	}
+
+	rates := workload.LongTailRates(*jobs, 3*mb, *seed)
+	for i, rate := range rates {
+		tasks := int(math.Ceil(rate / (4 * mb)))
+		if tasks < 1 {
+			tasks = 1
+		}
+		if tasks > 8 {
+			tasks = 8
+		}
+		job := &core.JobConfig{
+			Name:           fmt.Sprintf("scuba/t%04d", i),
+			Package:        core.Package{Name: "scuba_tailer", Version: "v1"},
+			TaskCount:      tasks,
+			ThreadsPerTask: 2,
+			TaskResources:  core.Resources{CPUCores: 2, MemoryBytes: 2 << 30},
+			Operator:       core.OpTailer,
+			Input:          core.Input{Category: fmt.Sprintf("scuba_t%04d", i), Partitions: 32},
+			MaxTaskCount:   32,
+			Priority:       i % 10,
+			SLOSeconds:     90,
+		}
+		pattern := workload.Diurnal(rate, rate*0.3, 14, 0.01)
+		if err := platform.SubmitJob(job, core.WithTraffic(pattern)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("turbine: %d jobs submitted on %d hosts; running %v of simulated time\n", *jobs, *hosts, *duration)
+	runLoop(platform, *duration, *report, *killHostAt, *snapshot)
+}
+
+// runLoop advances simulated time with periodic status reports, optional
+// failure injection, and an optional job store snapshot at the end.
+func runLoop(platform *core.Platform, duration, report, killHostAt time.Duration, snapshot string) {
+	killed := false
+	elapsed := time.Duration(0)
+	for elapsed < duration {
+		step := report
+		if remaining := duration - elapsed; remaining < step {
+			step = remaining
+		}
+		if killHostAt > 0 && !killed && elapsed+step > killHostAt {
+			pre := killHostAt - elapsed
+			if pre > 0 {
+				platform.Advance(pre)
+				elapsed += pre
+			}
+			victim := platform.Hosts()[0]
+			fmt.Printf("[%v] !!! killing host %s\n", elapsed, victim)
+			if err := platform.KillHost(victim); err != nil {
+				log.Fatal(err)
+			}
+			killed = true
+			continue
+		}
+		platform.Advance(step)
+		elapsed += step
+		printStatus(platform, elapsed)
+	}
+
+	if snapshot != "" {
+		if err := platform.Cluster().Store.SaveFile(snapshot); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job store snapshot written to %s\n", snapshot)
+	}
+}
+
+func printStatus(p *core.Platform, elapsed time.Duration) {
+	cs := p.ClusterStatus()
+	var cpu []float64
+	for _, hu := range p.Cluster().HostUtilizations() {
+		cpu = append(cpu, hu.CPUFrac*100)
+	}
+	lagged := 0
+	for _, job := range p.Jobs() {
+		if st, err := p.JobStatus(job); err == nil && st.TimeLaggedSecs > st.SLOSeconds && st.SLOSeconds > 0 {
+			lagged++
+		}
+	}
+	snap := p.Health()
+	fmt.Printf("[%8v] tasks=%-5d jobs=%-4d lagged=%-3d hostCPU%% p50=%.1f p95=%.1f  unhealthy=%.1f%%  dup=%d\n",
+		elapsed, cs.RunningTasks, cs.Jobs, lagged,
+		metrics.Percentile(cpu, 50), metrics.Percentile(cpu, 95),
+		snap.PctUnhealthy, cs.DuplicateEvents)
+	for _, a := range p.HealthAlerts() {
+		fmt.Printf("          ALERT[%s] %s: %s\n", a.Level, a.Key, a.Message)
+	}
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Scenario is the JSON description of a cluster to run: sizing, fleet, and
+// pipelines. It lets the turbine binary replay a deployment description
+// instead of generating a synthetic fleet from flags.
+//
+//	{
+//	  "hosts": 8,
+//	  "scaler": true,
+//	  "jobs": [
+//	    {"name": "scuba/t1", "tasks": 4, "partitions": 32,
+//	     "operator": "tailer", "rateMBps": 6, "diurnal": true,
+//	     "priority": 3, "maxTasks": 32}
+//	  ],
+//	  "pipelines": [
+//	    {"name": "analytics/clicks", "inputPartitions": 64, "rateMBps": 20,
+//	     "stages": [
+//	       {"name": "filter", "operator": "filter", "parallelism": 6},
+//	       {"name": "agg", "operator": "aggregate", "parallelism": 2}
+//	     ],
+//	     "sink": "clicks_agg"}
+//	  ]
+//	}
+type Scenario struct {
+	Hosts     int                `json:"hosts"`
+	Scaler    bool               `json:"scaler"`
+	Capacity  bool               `json:"capacity"`
+	Jobs      []ScenarioJob      `json:"jobs"`
+	Pipelines []ScenarioPipeline `json:"pipelines"`
+}
+
+// ScenarioJob describes one standalone job.
+type ScenarioJob struct {
+	Name       string  `json:"name"`
+	Tasks      int     `json:"tasks"`
+	Threads    int     `json:"threads"`
+	Partitions int     `json:"partitions"`
+	Operator   string  `json:"operator"`
+	RateMBps   float64 `json:"rateMBps"`
+	Diurnal    bool    `json:"diurnal"`
+	Priority   int     `json:"priority"`
+	MaxTasks   int     `json:"maxTasks"`
+	CPUCores   float64 `json:"cpuCores"`
+	MemoryGB   float64 `json:"memoryGB"`
+}
+
+// ScenarioPipeline describes one multi-stage pipeline.
+type ScenarioPipeline struct {
+	Name            string          `json:"name"`
+	InputPartitions int             `json:"inputPartitions"`
+	RateMBps        float64         `json:"rateMBps"`
+	Stages          []ScenarioStage `json:"stages"`
+	Sink            string          `json:"sink"`
+}
+
+// ScenarioStage describes one pipeline stage.
+type ScenarioStage struct {
+	Name        string  `json:"name"`
+	Operator    string  `json:"operator"`
+	Parallelism int     `json:"parallelism"`
+	Threads     int     `json:"threads"`
+	CPUCores    float64 `json:"cpuCores"`
+	MemoryGB    float64 `json:"memoryGB"`
+}
+
+// LoadScenario parses a scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return &sc, nil
+}
+
+// Apply submits every job and pipeline of the scenario to the platform.
+func (sc *Scenario) Apply(platform *core.Platform) error {
+	for _, j := range sc.Jobs {
+		cfg := &core.JobConfig{
+			Name:           j.Name,
+			Package:        core.Package{Name: "scenario", Version: "v1"},
+			TaskCount:      defaultInt(j.Tasks, 1),
+			ThreadsPerTask: defaultInt(j.Threads, 2),
+			TaskResources: core.Resources{
+				CPUCores:    defaultFloat(j.CPUCores, 2),
+				MemoryBytes: int64(defaultFloat(j.MemoryGB, 2) * float64(1<<30)),
+			},
+			Operator:     operatorOf(j.Operator),
+			Input:        core.Input{Category: categoryOf(j.Name), Partitions: defaultInt(j.Partitions, 16)},
+			Priority:     j.Priority,
+			MaxTaskCount: j.MaxTasks,
+			SLOSeconds:   90,
+		}
+		if err := platform.SubmitJob(cfg, core.WithTraffic(patternOf(j.RateMBps, j.Diurnal))); err != nil {
+			return fmt.Errorf("scenario job %q: %w", j.Name, err)
+		}
+	}
+	for _, pl := range sc.Pipelines {
+		stages := make([]core.Stage, len(pl.Stages))
+		for i, st := range pl.Stages {
+			stages[i] = core.Stage{
+				Name:        st.Name,
+				Operator:    operatorOf(st.Operator),
+				Parallelism: defaultInt(st.Parallelism, 1),
+				Threads:     st.Threads,
+				Resources: core.Resources{
+					CPUCores:    defaultFloat(st.CPUCores, 2),
+					MemoryBytes: int64(defaultFloat(st.MemoryGB, 2) * float64(1<<30)),
+				},
+			}
+		}
+		pipeline := &core.Pipeline{
+			Name:            pl.Name,
+			InputCategory:   categoryOf(pl.Name) + "_src",
+			InputPartitions: defaultInt(pl.InputPartitions, 32),
+			Package:         core.Package{Name: "scenario", Version: "v1"},
+			Stages:          stages,
+			SinkCategory:    pl.Sink,
+			SLOSeconds:      90,
+		}
+		if err := platform.SubmitPipeline(pipeline, core.WithTraffic(patternOf(pl.RateMBps, true))); err != nil {
+			return fmt.Errorf("scenario pipeline %q: %w", pl.Name, err)
+		}
+	}
+	return nil
+}
+
+func operatorOf(name string) config.Operator {
+	switch strings.ToLower(name) {
+	case "filter":
+		return core.OpFilter
+	case "project":
+		return core.OpProject
+	case "transform":
+		return core.OpTransform
+	case "aggregate", "agg":
+		return core.OpAggregate
+	case "join":
+		return core.OpJoin
+	default:
+		return core.OpTailer
+	}
+}
+
+func categoryOf(name string) string {
+	return strings.NewReplacer("/", "_", "#", "_").Replace(name)
+}
+
+func patternOf(rateMBps float64, diurnal bool) workload.Pattern {
+	rate := rateMBps * float64(1<<20)
+	if rate <= 0 {
+		rate = 1 << 20
+	}
+	if diurnal {
+		return workload.Diurnal(rate, rate*0.3, 14, 0.01)
+	}
+	return workload.Constant(rate)
+}
+
+func defaultInt(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+func defaultFloat(v, d float64) float64 {
+	if v <= 0 {
+		return d
+	}
+	return v
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestLoadScenarioAndApply(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+	err := os.WriteFile(path, []byte(`{
+	  "hosts": 3,
+	  "scaler": true,
+	  "jobs": [
+	    {"name": "scuba/t1", "tasks": 2, "partitions": 16, "operator": "tailer", "rateMBps": 4, "diurnal": true},
+	    {"name": "rt/agg", "tasks": 1, "partitions": 8, "operator": "aggregate", "rateMBps": 2, "memoryGB": 4}
+	  ],
+	  "pipelines": [
+	    {"name": "p/clicks", "inputPartitions": 16, "rateMBps": 6,
+	     "stages": [
+	       {"name": "filter", "operator": "filter", "parallelism": 2},
+	       {"name": "agg", "operator": "aggregate", "parallelism": 1}
+	     ],
+	     "sink": "clicks_out"}
+	  ]
+	}`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Hosts != 3 || !sc.Scaler || len(sc.Jobs) != 2 || len(sc.Pipelines) != 1 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+
+	platform, err := core.NewPlatform(core.Options{Hosts: sc.Hosts, EnableScaler: sc.Scaler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform.Start()
+	if err := sc.Apply(platform); err != nil {
+		t.Fatal(err)
+	}
+	platform.Advance(5 * time.Minute)
+
+	// 2 jobs + 2 pipeline stages running.
+	if got := len(platform.Jobs()); got != 4 {
+		t.Fatalf("jobs = %v", platform.Jobs())
+	}
+	st, err := platform.JobStatus("rt/agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TaskResources.MemoryBytes != 4<<30 {
+		t.Fatalf("memoryGB not applied: %+v", st.TaskResources)
+	}
+	if got := platform.ClusterStatus().RunningTasks; got != 6 {
+		t.Fatalf("running tasks = %d, want 6", got)
+	}
+}
+
+func TestLoadScenarioErrors(t *testing.T) {
+	if _, err := LoadScenario("/nonexistent/file.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := LoadScenario(bad); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestOperatorOfMapping(t *testing.T) {
+	cases := map[string]string{
+		"filter": "filter", "FILTER": "filter", "project": "project",
+		"transform": "transform", "aggregate": "aggregate", "agg": "aggregate",
+		"join": "join", "tailer": "tailer", "": "tailer", "bogus": "tailer",
+	}
+	for in, want := range cases {
+		if got := string(operatorOf(in)); got != want {
+			t.Errorf("operatorOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Command turbinectl inspects and edits a Turbine job store snapshot —
+// the JSON file written by `turbine -snapshot` (or by any program using
+// jobstore.Snapshot). It demonstrates the Job Service's operational
+// surface: hierarchical configuration layers, validated updates, oncall
+// overrides, and quarantine management, all with read-modify-write
+// consistency.
+//
+// Usage:
+//
+//	turbinectl -store jobs.json list
+//	turbinectl -store jobs.json show scuba/t0001
+//	turbinectl -store jobs.json scale scuba/t0001 16      # oncall override
+//	turbinectl -store jobs.json release scuba/t0001 v7    # package release
+//	turbinectl -store jobs.json maxtasks scuba/t0001 128
+//	turbinectl -store jobs.json clear-oncall scuba/t0001
+//	turbinectl -store jobs.json quarantine                # list quarantined
+//	turbinectl -store jobs.json unquarantine scuba/t0001
+//	turbinectl -store jobs.json plan scuba/t0001          # dry-run the syncer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/jobservice"
+	"repro/internal/jobstore"
+	"repro/internal/simclock"
+	"repro/internal/statesyncer"
+)
+
+func main() {
+	storePath := flag.String("store", "jobs.json", "path to a job store snapshot")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	store := jobstore.New()
+	if err := store.LoadFile(*storePath); err != nil {
+		log.Fatalf("load store %s: %v", *storePath, err)
+	}
+	svc := jobservice.New(store)
+
+	mutated := false
+	switch args[0] {
+	case "list":
+		fmt.Printf("%-28s %-6s %-9s %-10s %s\n", "JOB", "TASKS", "PACKAGE", "QUARANTINE", "STOPPED")
+		for _, name := range store.ExpectedNames() {
+			cfg, _, err := svc.Desired(name)
+			if err != nil {
+				fmt.Printf("%-28s <undecodable: %v>\n", name, err)
+				continue
+			}
+			_, quarantined := store.Quarantined(name)
+			fmt.Printf("%-28s %-6d %-9s %-10v %v\n", name, cfg.TaskCount,
+				cfg.Package.Version, quarantined, cfg.Stopped)
+		}
+	case "show":
+		name := requireArg(args, 1, "job name")
+		e, err := store.GetExpected(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job %s (expected version %d)\n", name, e.Version)
+		for _, l := range config.Layers() {
+			doc := e.Layers[l]
+			if doc == nil || len(doc) == 0 {
+				fmt.Printf("  %-12s (empty)\n", l)
+				continue
+			}
+			fmt.Printf("  %-12s %d keys\n", l, len(doc))
+			for _, ch := range config.Diff(config.Doc{}, doc) {
+				fmt.Printf("    %s = %v\n", ch.Path, ch.To)
+			}
+		}
+		if r, ok := store.GetRunning(name); ok {
+			fmt.Printf("  running realizes expected version %d\n", r.Version)
+		} else {
+			fmt.Println("  not running yet")
+		}
+	case "scale":
+		name := requireArg(args, 1, "job name")
+		n := requireInt(args, 2, "task count")
+		if err := svc.SetTaskCount(name, config.LayerOncall, n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("oncall override: %s -> %d tasks\n", name, n)
+		mutated = true
+	case "release":
+		name := requireArg(args, 1, "job name")
+		version := requireArg(args, 2, "package version")
+		if err := svc.SetPackageVersion(name, version); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("release: %s -> package %s\n", name, version)
+		mutated = true
+	case "maxtasks":
+		name := requireArg(args, 1, "job name")
+		n := requireInt(args, 2, "cap")
+		if err := svc.SetMaxTaskCount(name, n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("oncall override: %s maxTaskCount=%d\n", name, n)
+		mutated = true
+	case "clear-oncall":
+		name := requireArg(args, 1, "job name")
+		if err := svc.ClearLayer(name, config.LayerOncall); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("oncall layer cleared for %s\n", name)
+		mutated = true
+	case "quarantine":
+		for _, name := range store.QuarantinedNames() {
+			q, _ := store.Quarantined(name)
+			fmt.Printf("%s: %s\n", name, q.Reason)
+		}
+	case "unquarantine":
+		name := requireArg(args, 1, "job name")
+		store.ClearQuarantine(name)
+		fmt.Printf("quarantine cleared for %s\n", name)
+		mutated = true
+	case "plan":
+		name := requireArg(args, 1, "job name")
+		merged, version, err := store.MergedExpected(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		syncer := statesyncer.New(store, statesyncer.NopActuator{}, simclock.NewSim(time.Now()), statesyncer.Options{})
+		plan := syncer.BuildPlan(name, merged, version)
+		fmt.Printf("plan for %s: %s\n", name, plan.Kind)
+		for _, ch := range plan.Changes {
+			fmt.Printf("  change %s: %v -> %v\n", ch.Path, ch.From, ch.To)
+		}
+		for i, a := range plan.Actions {
+			fmt.Printf("  step %d: %s\n", i+1, a.Name)
+		}
+	default:
+		usage()
+	}
+
+	if mutated {
+		if err := store.SaveFile(*storePath); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func requireArg(args []string, i int, what string) string {
+	if len(args) <= i {
+		log.Fatalf("missing %s", what)
+	}
+	return args[i]
+}
+
+func requireInt(args []string, i int, what string) int {
+	n, err := strconv.Atoi(requireArg(args, i, what))
+	if err != nil {
+		log.Fatalf("bad %s: %v", what, err)
+	}
+	return n
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: turbinectl -store <file> <command> [args]
+commands:
+  list                       list jobs with desired state
+  show <job>                 dump a job's configuration layers
+  scale <job> <n>            oncall task-count override
+  release <job> <version>    package release (provisioner layer)
+  maxtasks <job> <n>         oncall horizontal-scaling cap
+  clear-oncall <job>         drop all oncall overrides
+  quarantine                 list quarantined jobs
+  unquarantine <job>         clear a job's quarantine
+  plan <job>                 dry-run the State Syncer's execution plan`)
+	os.Exit(2)
+}

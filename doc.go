@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Turbine: Facebook's
+// Service Management Platform for Stream Processing" (Mei et al., ICDE
+// 2020).
+//
+// The user-facing API lives in internal/core (a Platform assembling job
+// management, task management, and resource management over a simulated
+// Tupperware cluster); the evaluation harness lives in
+// internal/experiments and cmd/experiments; bench_test.go in this
+// directory hosts one benchmark per paper table/figure. See README.md for
+// the architecture overview, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

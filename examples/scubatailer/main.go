@@ -1,0 +1,100 @@
+// Scuba Tailer fleet: the paper's flagship workload (§VI). A fleet of
+// tailer jobs with long-tail traffic is placed by the two-level scheduler;
+// the load balancer keeps per-host utilization in a narrow band; a host
+// failure is absorbed by the heartbeat fail-over protocol with no
+// duplicate task instances.
+//
+// Run with:
+//
+//	go run ./examples/scubatailer
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+const mb = 1 << 20
+
+func main() {
+	platform, err := core.NewPlatform(core.Options{Hosts: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform.Start()
+
+	// 120 tailer jobs with long-tailed traffic: most tables are quiet,
+	// a few are hot (figure 5's fleet shape).
+	rates := workload.LongTailRates(120, 2*mb, 7)
+	for i, rate := range rates {
+		tasks := int(math.Ceil(rate / (5 * mb)))
+		if tasks < 1 {
+			tasks = 1
+		}
+		if tasks > 8 {
+			tasks = 8
+		}
+		job := &core.JobConfig{
+			Name:           fmt.Sprintf("scuba/table%03d", i),
+			Package:        core.Package{Name: "scuba_tailer", Version: "v1"},
+			TaskCount:      tasks,
+			ThreadsPerTask: 2,
+			TaskResources:  core.Resources{CPUCores: 2, MemoryBytes: 2 << 30},
+			Operator:       core.OpTailer,
+			Input:          core.Input{Category: fmt.Sprintf("scuba_table%03d", i), Partitions: 16},
+			SLOSeconds:     90,
+		}
+		diurnal := workload.Diurnal(rate, rate*0.3, 14, 0.01)
+		if err := platform.SubmitJob(job, core.WithTraffic(diurnal)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("placing the fleet...")
+	platform.Advance(5 * time.Minute)
+	status := platform.ClusterStatus()
+	fmt.Printf("fleet: %d jobs, %d tasks on %d hosts\n", status.Jobs, status.RunningTasks, status.Hosts)
+
+	// Let load reports and a balancing pass land, then look at the band.
+	platform.Advance(40 * time.Minute)
+	printBand(platform, "after first balancing pass")
+
+	// Kill a host: fail-over moves its shards within ~60-70 seconds and
+	// survivors pick the tasks up.
+	victim := platform.Hosts()[0]
+	fmt.Printf("\nkilling host %s...\n", victim)
+	if err := platform.KillHost(victim); err != nil {
+		log.Fatal(err)
+	}
+	platform.Advance(3 * time.Minute)
+	status = platform.ClusterStatus()
+	fmt.Printf("after fail-over: %d tasks running, duplicate events: %d\n",
+		status.RunningTasks, status.DuplicateEvents)
+
+	// The host returns; balancing gradually refills it.
+	if err := platform.RestoreHost(victim); err != nil {
+		log.Fatal(err)
+	}
+	platform.Advance(time.Hour)
+	printBand(platform, "an hour after the host returned")
+}
+
+func printBand(p *core.Platform, phase string) {
+	var cpu []float64
+	var tasks []float64
+	for _, hu := range p.Cluster().HostUtilizations() {
+		cpu = append(cpu, hu.CPUFrac*100)
+		tasks = append(tasks, float64(hu.Tasks))
+	}
+	fmt.Printf("[%s] %s:\n", p.Now().Format("15:04"), phase)
+	fmt.Printf("  host CPU %%: p5=%.1f p50=%.1f p95=%.1f\n",
+		metrics.Percentile(cpu, 5), metrics.Percentile(cpu, 50), metrics.Percentile(cpu, 95))
+	fmt.Printf("  tasks/host: min=%.0f max=%.0f\n",
+		metrics.Percentile(tasks, 0), metrics.Percentile(tasks, 100))
+}

@@ -1,0 +1,105 @@
+// Storm drill: Facebook periodically disconnects an entire datacenter and
+// redirects its traffic (§VI-B2). This example runs a day of diurnal
+// traffic to build history, then starts a storm that raises traffic ~16%;
+// the Auto Scaler absorbs it — vertical first, then horizontal — while the
+// Capacity Manager watches cluster pressure, and the fleet stays in SLO.
+//
+// Run with:
+//
+//	go run ./examples/storm
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/autoscaler"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+const mb = 1 << 20
+
+func main() {
+	opts := core.Options{
+		Hosts:          10,
+		EnableScaler:   true,
+		EnableCapacity: true,
+	}
+	opts.Scaler = autoscaler.Options{
+		ScanInterval:   5 * time.Minute,
+		DownscaleAfter: 3 * time.Hour,
+	}
+	platform, err := core.NewPlatform(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform.Start()
+	start := platform.Now()
+	stormStart := start.Add(56 * time.Hour) // day 2, 08:00
+	stormEnd := stormStart.Add(12 * time.Hour)
+
+	rates := workload.LongTailRates(40, 4*mb, 11)
+	for i, rate := range rates {
+		job := &core.JobConfig{
+			Name:           fmt.Sprintf("rt/pipeline%02d", i),
+			Package:        core.Package{Name: "stream", Version: "v1"},
+			TaskCount:      2,
+			ThreadsPerTask: 4, // headroom for vertical scaling first
+			TaskResources:  core.Resources{CPUCores: 2, MemoryBytes: 2 << 30},
+			Operator:       core.OpTailer,
+			Input:          core.Input{Category: fmt.Sprintf("rt_p%02d", i), Partitions: 32},
+			MaxTaskCount:   32,
+			Priority:       i % 10, // a mixed-priority fleet
+			SLOSeconds:     90,
+		}
+		base := workload.Diurnal(rate, rate*0.35, 14, 0.01)
+		pattern := workload.Storm(base, stormStart, 12*time.Hour, 0.16)
+		if err := platform.SubmitJob(job, core.WithTraffic(pattern)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("day 0: building diurnal history for the pattern analyzer...")
+	platform.Advance(24 * time.Hour)
+
+	sample := func(label string) {
+		inSLO, total := 0, 0
+		for _, job := range platform.Jobs() {
+			st, err := platform.JobStatus(job)
+			if err != nil {
+				continue
+			}
+			total++
+			if st.TimeLaggedSecs <= 90 {
+				inSLO++
+			}
+		}
+		cs := platform.ClusterStatus()
+		fmt.Printf("[%s] %-22s tasks=%-4d allocatedCPU=%.0f  SLO: %d/%d jobs\n",
+			platform.Now().Format("Jan 2 15:04"), label,
+			cs.RunningTasks, cs.Allocated.CPUCores, inSLO, total)
+	}
+
+	fmt.Println("day 1: normal diurnal day")
+	for i := 0; i < 4; i++ {
+		platform.Advance(6 * time.Hour)
+		sample("normal")
+	}
+	fmt.Println("day 2: STORM — +16% redirected traffic")
+	for platform.Now().Before(stormEnd.Add(4 * time.Hour)) {
+		platform.Advance(2 * time.Hour)
+		label := "storm"
+		if platform.Now().After(stormEnd) {
+			label = "after storm"
+		}
+		sample(label)
+	}
+
+	if actions, ok := platform.ScalerActions(); ok {
+		fmt.Printf("\nscaler: %d vertical-cpu, %d horizontal-up, %d horizontal-down, %d skipped by history\n",
+			actions.VerticalCPUUps, actions.HorizontalUps, actions.HorizontalDowns, actions.DownscalesSkippedHist)
+	}
+	fmt.Printf("duplicate-instance events: %d\n", platform.ClusterStatus().DuplicateEvents)
+}

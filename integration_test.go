@@ -1,0 +1,112 @@
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestReadmeQuickstart pins the exact flow the README documents: assemble
+// a platform, submit a job with traffic, advance simulated time through
+// the scheduling path, read status. If this breaks, the front-page
+// example is wrong.
+func TestReadmeQuickstart(t *testing.T) {
+	platform, err := core.NewPlatform(core.Options{Hosts: 4, EnableScaler: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform.Start()
+
+	err = platform.SubmitJob(&core.JobConfig{
+		Name:           "myapp/tailer",
+		Package:        core.Package{Name: "tailer", Version: "v1"},
+		TaskCount:      4,
+		ThreadsPerTask: 2,
+		TaskResources:  core.Resources{CPUCores: 2, MemoryBytes: 2 << 30},
+		Operator:       core.OpTailer,
+		Input:          core.Input{Category: "myapp_in", Partitions: 16},
+		SLOSeconds:     90,
+	}, core.WithTraffic(workload.Constant(6<<20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	platform.Advance(3 * time.Minute)
+	status, err := platform.JobStatus("myapp/tailer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.RunningTasks != 4 || status.DesiredTasks != 4 {
+		t.Fatalf("status = %+v", status)
+	}
+	if platform.ClusterStatus().DuplicateEvents != 0 {
+		t.Fatal("duplicate-instance events in the quickstart path")
+	}
+}
+
+// TestFullLifecycleEndToEnd walks one job through its entire life on a
+// production-shaped platform: submit → schedule → release → oncall scale →
+// scaler interplay → host failure → diagnosis → health → removal.
+func TestFullLifecycleEndToEnd(t *testing.T) {
+	p, err := core.NewPlatform(core.Options{Hosts: 4, EnableScaler: true, EnableCapacity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	job := &core.JobConfig{
+		Name:           "life/j1",
+		Package:        core.Package{Name: "bin", Version: "v1"},
+		TaskCount:      2,
+		ThreadsPerTask: 2,
+		TaskResources:  core.Resources{CPUCores: 2, MemoryBytes: 2 << 30},
+		Operator:       core.OpTailer,
+		Input:          core.Input{Category: "life_in", Partitions: 16},
+		MaxTaskCount:   16,
+		SLOSeconds:     90,
+	}
+	if err := p.SubmitJob(job, core.WithTraffic(workload.Constant(4<<20))); err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(3 * time.Minute)
+
+	if err := p.ReleasePackage("life/j1", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OncallScale("life/j1", 8); err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(5 * time.Minute)
+	st, _ := p.JobStatus("life/j1")
+	if st.PackageVersion != "v2" || st.RunningTasks != 8 {
+		t.Fatalf("after release+scale: %+v", st)
+	}
+
+	if err := p.KillHost(p.Hosts()[0]); err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(3 * time.Minute)
+	st, _ = p.JobStatus("life/j1")
+	if st.RunningTasks != 8 {
+		t.Fatalf("after failover: %+v", st)
+	}
+
+	if _, err := p.DiagnoseJob("life/j1"); err != nil {
+		t.Fatal(err)
+	}
+	if snap := p.Health(); snap.Jobs != 1 {
+		t.Fatalf("health = %+v", snap)
+	}
+
+	if err := p.RemoveJob("life/j1"); err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(2 * time.Minute)
+	if n := p.ClusterStatus().RunningTasks; n != 0 {
+		t.Fatalf("tasks after removal = %d", n)
+	}
+	if p.ClusterStatus().DuplicateEvents != 0 {
+		t.Fatal("duplicates during lifecycle")
+	}
+}

@@ -1,0 +1,49 @@
+package autoscaler
+
+import "math"
+
+// TasksForRate implements equation (2): the number of parallel tasks
+// needed to sustain input rate X given per-thread max stable rate P and k
+// effective threads per task — ceil(X / (P·k)).
+func TasksForRate(x, p float64, k float64) int {
+	if p <= 0 || k <= 0 {
+		return 1
+	}
+	n := int(math.Ceil(x / (p * k)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// TasksForRecovery implements equation (3): tasks needed to sustain input
+// rate X while also draining backlog B within t seconds —
+// ceil((X + B/t) / (P·k)).
+func TasksForRecovery(x float64, backlog int64, tSeconds, p, k float64) int {
+	if tSeconds <= 0 {
+		tSeconds = 1
+	}
+	return TasksForRate(x+float64(backlog)/tSeconds, p, k)
+}
+
+// CoresForPerTaskRate returns the CPU cores one task needs to process
+// `rate` bytes/second given per-thread rate P (the linear CPU model: one
+// saturated thread ≈ one core).
+func CoresForPerTaskRate(rate, p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	return rate / p
+}
+
+// MemoryEstimate returns the per-task memory to reserve given the observed
+// peak, with a safety margin. The paper's stateful estimators (key
+// cardinality for aggregations, window x match degree for joins) reduce to
+// this at the control-plane boundary: the scaler observes usage peaks, not
+// operator internals; margin encodes the class-specific headroom.
+func MemoryEstimate(peakBytes int64, margin float64) int64 {
+	if margin < 1 {
+		margin = 1
+	}
+	return int64(float64(peakBytes) * margin)
+}

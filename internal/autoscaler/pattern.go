@@ -1,0 +1,116 @@
+package autoscaler
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// InputRateSeries names the per-minute input-rate series for a job in the
+// metric store. The cluster's job monitor records it; the Pattern Analyzer
+// reads it (§V-C: "Turbine records per minute workload metrics during the
+// last 14 days, such as input rate").
+func InputRateSeries(job string) string { return "job/" + job + "/inputRate" }
+
+// PatternAnalyzer consults historical workload patterns before the scaler
+// commits to a plan (§V-C). Facebook's streaming workloads are strongly
+// diurnal — within 1% day-over-day on aggregate — so history is a reliable
+// veto for downscales that today's quiet moment would otherwise suggest.
+type PatternAnalyzer struct {
+	store *metrics.Store
+	clock simclock.Clock
+
+	// HistoryDays of lookback (default 14).
+	HistoryDays int
+	// HorizonHours is x: a downscale must have sustained traffic for the
+	// next x hours on each past day (default 2).
+	HorizonHours float64
+	// OutlierFactor: if the last-30-minutes average differs from the
+	// same-time-of-day historical average by more than this factor,
+	// history-based decisions are disabled for this round (default 1.5).
+	OutlierFactor float64
+	// Safety multiplier applied to historical peaks (default 1.1).
+	Safety float64
+}
+
+// NewPatternAnalyzer returns an analyzer over the given metric store.
+func NewPatternAnalyzer(store *metrics.Store, clock simclock.Clock) *PatternAnalyzer {
+	return &PatternAnalyzer{
+		store:         store,
+		clock:         clock,
+		HistoryDays:   14,
+		HorizonHours:  2,
+		OutlierFactor: 1.5,
+		Safety:        1.1,
+	}
+}
+
+// DownscaleSafe reports whether a capacity of `capacity` bytes/second
+// would have sustained the job's input during the next HorizonHours at
+// this time of day on every recorded past day. Days without data are
+// skipped; with no history at all the answer is true (the plan generator's
+// own veto still protects against breaking the job's current traffic).
+func (pa *PatternAnalyzer) DownscaleSafe(job string, capacity float64) bool {
+	now := pa.clock.Now()
+	horizon := time.Duration(pa.HorizonHours * float64(time.Hour))
+	series := InputRateSeries(job)
+	for d := 1; d <= pa.HistoryDays; d++ {
+		from := now.Add(-time.Duration(d) * 24 * time.Hour)
+		pts := pa.store.Range(series, from, from.Add(horizon))
+		for _, p := range pts {
+			if p.Value*pa.Safety > capacity {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Outlier reports whether current traffic deviates from the diurnal
+// pattern: the average input rate over the last 30 minutes differs from
+// the average over the same window on past days by more than
+// OutlierFactor. During an outlier (e.g. a disaster-recovery storm),
+// history-based decision making is disabled (§V-C) and the scaler acts on
+// live signals only.
+func (pa *PatternAnalyzer) Outlier(job string) bool {
+	now := pa.clock.Now()
+	const window = 30 * time.Minute
+	series := InputRateSeries(job)
+
+	cur := pa.store.Range(series, now.Add(-window), now)
+	if len(cur) == 0 {
+		return false
+	}
+	curVals := values(cur)
+	curAvg := metrics.Mean(curVals)
+
+	var histVals []float64
+	for d := 1; d <= pa.HistoryDays; d++ {
+		to := now.Add(-time.Duration(d) * 24 * time.Hour)
+		histVals = append(histVals, values(pa.store.Range(series, to.Add(-window), to))...)
+	}
+	if len(histVals) == 0 {
+		return false
+	}
+	histAvg := metrics.Mean(histVals)
+	if histAvg <= 0 {
+		return curAvg > 0
+	}
+	ratio := curAvg / histAvg
+	return ratio > pa.OutlierFactor || ratio < 1/pa.OutlierFactor
+}
+
+// RecentPeak returns the maximum input rate over the trailing window, used
+// as the sizing basis for downscales (never the instantaneous rate).
+func (pa *PatternAnalyzer) RecentPeak(job string, window time.Duration) (float64, bool) {
+	return pa.store.WindowMax(InputRateSeries(job), window)
+}
+
+func values(pts []metrics.Point) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Value
+	}
+	return out
+}

@@ -1,0 +1,825 @@
+// Package cluster wires every Turbine component onto one simulated
+// timeline: Tupperware hosts and containers, Task Managers, the Shard
+// Manager, the Job Store/Service, the State Syncer, the Auto Scaler, the
+// Capacity Manager, the Scribe bus, workload generators, and a job monitor
+// that turns task-level observations into the job-level signals the Auto
+// Scaler consumes.
+//
+// This is the substrate every experiment in EXPERIMENTS.md runs on. All
+// periodic work — traffic ticks, task processing, 30 s sync rounds, 60 s
+// snapshot fetches, 10 min load reports, 30 min rebalances — is scheduled
+// on a single deterministic simclock.Sim, so a "week" of cluster time
+// replays identically for a given configuration.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/autoscaler"
+	"repro/internal/capacity"
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/health"
+	"repro/internal/jobservice"
+	"repro/internal/jobstore"
+	"repro/internal/metrics"
+	"repro/internal/rootcause"
+	"repro/internal/scribe"
+	"repro/internal/shardmanager"
+	"repro/internal/simclock"
+	"repro/internal/statesyncer"
+	"repro/internal/taskmanager"
+	"repro/internal/taskservice"
+	"repro/internal/tupperware"
+	"repro/internal/workload"
+)
+
+// Config sizes and tunes a simulated cluster. Zero values take defaults.
+type Config struct {
+	Name              string
+	Hosts             int
+	HostCapacity      config.Resources
+	ContainersPerHost int
+	ContainerCapacity config.Resources
+	NumShards         int
+	// TickInterval drives workload emission and task processing
+	// (default 1 minute — coarse enough for week-long experiments).
+	TickInterval time.Duration
+	// MonitorInterval drives job-signal computation and per-minute
+	// metric recording (default 1 minute).
+	MonitorInterval  time.Duration
+	MetricsRetention time.Duration
+	StartTime        time.Time
+
+	EnableScaler   bool
+	EnableCapacity bool
+
+	Syncer   statesyncer.Options
+	Scaler   autoscaler.Options
+	ShardMgr shardmanager.Options
+	TaskMgr  taskmanager.Options
+	Capacity capacity.Options
+
+	// Regions, when set, tags hosts round-robin with these region names;
+	// each host's containers register in its region, enabling §IV-B
+	// regional placement constraints (the Scuba Tailer service ran in
+	// three replicated regions, §VI).
+	Regions []string
+	// CapacityPool, when set, lets this cluster's effective capacity be
+	// adjusted by cross-cluster transfers (§V-F: the Capacity Manager may
+	// temporarily transfer resources between clusters during
+	// datacenter-wide events). The cluster's Name keys its adjustment.
+	CapacityPool *capacity.Pool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Name == "" {
+		c.Name = "cluster1"
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 8
+	}
+	if c.HostCapacity.IsZero() {
+		// §VI: 256 GB hosts with 48-56 cores.
+		c.HostCapacity = config.Resources{CPUCores: 48, MemoryBytes: 256 << 30}
+	}
+	if c.ContainersPerHost <= 0 {
+		c.ContainersPerHost = 1
+	}
+	if c.ContainerCapacity.IsZero() {
+		per := 1.0 / float64(c.ContainersPerHost)
+		c.ContainerCapacity = config.Resources{
+			CPUCores:    c.HostCapacity.CPUCores * per * 0.9,
+			MemoryBytes: int64(float64(c.HostCapacity.MemoryBytes) * per * 0.9),
+		}
+	}
+	if c.NumShards <= 0 {
+		c.NumShards = 256
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = time.Minute
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = time.Minute
+	}
+	if c.MetricsRetention <= 0 {
+		c.MetricsRetention = 15 * 24 * time.Hour
+	}
+	if c.StartTime.IsZero() {
+		c.StartTime = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Scaler.ContainerCapacity.IsZero() {
+		c.Scaler.ContainerCapacity = c.ContainerCapacity
+	}
+}
+
+// JobSpec is everything needed to run one job on the cluster: its Turbine
+// configuration, the true behaviour of its binary, and its traffic.
+type JobSpec struct {
+	Config *config.JobConfig
+	// Profile defaults to engine.DefaultProfile(Config.Operator).
+	Profile *engine.Profile
+	// Pattern drives the job's input traffic; nil means no generated
+	// traffic (the test writes to the bus directly).
+	Pattern workload.Pattern
+	// AvgMsgSize for message accounting (0 = bytes only).
+	AvgMsgSize int64
+	// InputWeights skews traffic across partitions (imbalanced input).
+	InputWeights []float64
+}
+
+type tmEntry struct {
+	tm        *taskmanager.Manager
+	container *tupperware.Container
+	host      string
+}
+
+// Cluster is a fully wired simulated Turbine deployment.
+type Cluster struct {
+	Cfg     Config
+	Clk     *simclock.Sim
+	Bus     *scribe.Bus
+	Ckpt    *engine.CheckpointStore
+	Store   *jobstore.Store
+	Jobs    *jobservice.Service
+	TaskSvc *taskservice.Service
+	SM      *shardmanager.Manager
+	TW      *tupperware.Cluster
+	Syncer  *statesyncer.Syncer
+	Scaler  *autoscaler.Scaler
+	CapMgr  *capacity.Manager
+	Metrics *metrics.Store
+	Health  *health.Reporter
+
+	tms []tmEntry
+
+	mu          sync.Mutex
+	profiles    map[string]*engine.Profile
+	generators  map[string]*workload.Generator // by job name
+	signals     map[string]autoscaler.Signals
+	lastWritten map[string]int64 // input category -> bytes at last monitor
+	lastOOMs    map[string]int   // job -> cumulative OOMs at last monitor
+	decoded     map[string]decodedCfg
+	started     bool
+	alerts      []string
+}
+
+// decodedCfg caches the typed decode of a running configuration, keyed by
+// the version it was decoded from; the monitor reads every job every
+// minute and configs change rarely.
+type decodedCfg struct {
+	version   int64
+	cfg       *config.JobConfig
+	changedAt time.Time // when this running version was first observed
+}
+
+// runningConfig returns the decoded running configuration of a job,
+// served from cache while the running version is unchanged. The returned
+// value is shared: callers must not mutate it.
+func (c *Cluster) runningConfig(job string) (*config.JobConfig, bool) {
+	version, ok := c.Store.RunningVersion(job)
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	if d, hit := c.decoded[job]; hit && d.version == version {
+		c.mu.Unlock()
+		return d.cfg, true
+	}
+	c.mu.Unlock()
+	r, ok := c.Store.GetRunning(job)
+	if !ok {
+		return nil, false
+	}
+	cfg, err := config.JobConfigFromDoc(r.Config)
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.decoded[job] = decodedCfg{version: version, cfg: cfg, changedAt: c.Clk.Now()}
+	c.mu.Unlock()
+	return cfg, true
+}
+
+// SecondsSinceConfigChange reports how long ago the job's running
+// configuration last changed (as observed by the monitor); negative when
+// unknown.
+func (c *Cluster) SecondsSinceConfigChange(job string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.decoded[job]
+	if !ok {
+		return -1
+	}
+	return c.Clk.Now().Sub(d.changedAt).Seconds()
+}
+
+// New builds (but does not start) a cluster.
+func New(cfg Config) (*Cluster, error) {
+	cfg.fillDefaults()
+	c := &Cluster{
+		Cfg:         cfg,
+		Clk:         simclock.NewSim(cfg.StartTime),
+		Bus:         scribe.NewBus(),
+		Ckpt:        engine.NewCheckpointStore(),
+		Store:       jobstore.New(),
+		TW:          tupperware.NewCluster(),
+		profiles:    make(map[string]*engine.Profile),
+		generators:  make(map[string]*workload.Generator),
+		signals:     make(map[string]autoscaler.Signals),
+		lastWritten: make(map[string]int64),
+		lastOOMs:    make(map[string]int),
+		decoded:     make(map[string]decodedCfg),
+	}
+	c.Jobs = jobservice.New(c.Store)
+	c.Metrics = metrics.NewStore(c.Clk, cfg.MetricsRetention)
+	c.TaskSvc = taskservice.New(c.Store, c.Clk, 90*time.Second)
+	smOpts := cfg.ShardMgr
+	smOpts.NumShards = cfg.NumShards
+	c.SM = shardmanager.New(c.Clk, smOpts)
+	c.Syncer = statesyncer.New(c.Store, &actuator{c}, c.Clk, cfg.Syncer)
+
+	profileFn := func(spec engine.TaskSpec) *engine.Profile {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if p, ok := c.profiles[spec.Job]; ok {
+			return p
+		}
+		return engine.DefaultProfile(spec.Operator)
+	}
+
+	for h := 0; h < cfg.Hosts; h++ {
+		host := fmt.Sprintf("%s-h%04d", cfg.Name, h)
+		if err := c.TW.AddHost(host, cfg.HostCapacity); err != nil {
+			return nil, err
+		}
+		for k := 0; k < cfg.ContainersPerHost; k++ {
+			id := fmt.Sprintf("%s-tc%04d-%d", cfg.Name, h, k)
+			ct, err := c.TW.AllocateOn(host, id, cfg.ContainerCapacity)
+			if err != nil {
+				return nil, err
+			}
+			tmOpts := cfg.TaskMgr
+			if len(cfg.Regions) > 0 {
+				tmOpts.Region = cfg.Regions[h%len(cfg.Regions)]
+			}
+			tm := taskmanager.New(ct, c.Clk, c.TaskSvc, c.SM, c.Bus, c.Ckpt, profileFn, tmOpts)
+			c.tms = append(c.tms, tmEntry{tm: tm, container: ct, host: host})
+		}
+	}
+
+	// Health evaluations pace with the monitor: they read the signals it
+	// computes, and coarse long-horizon simulations stretch both.
+	c.Health = health.New(c, c.Metrics, c.Clk, health.Options{Interval: cfg.MonitorInterval})
+	if cfg.EnableCapacity {
+		c.CapMgr = capacity.New(c.Clk, c.Jobs, c, c, cfg.Capacity)
+	}
+	var auth autoscaler.Authorizer
+	if c.CapMgr != nil {
+		auth = c.CapMgr
+	}
+	if cfg.EnableScaler {
+		scOpts := cfg.Scaler
+		if scOpts.OnAlert == nil {
+			scOpts.OnAlert = func(a autoscaler.Alert) {
+				c.mu.Lock()
+				c.alerts = append(c.alerts, fmt.Sprintf("%s: %s", a.Job, a.Reason))
+				c.mu.Unlock()
+			}
+		}
+		c.Scaler = autoscaler.New(c.Jobs, c, c.Metrics, c.Clk, c, auth, scOpts)
+	}
+	return c, nil
+}
+
+// Start registers every component's periodic work on the clock and places
+// the initial shard assignment.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+
+	for _, e := range c.tms {
+		e.tm.Start()
+	}
+	c.SM.AssignUnassigned()
+	c.SM.Start()
+	c.Syncer.Start()
+	if c.Scaler != nil {
+		c.Scaler.Start()
+	}
+	if c.CapMgr != nil {
+		c.CapMgr.Start()
+	}
+	c.Health.Start()
+	// Task processing tick.
+	c.Clk.TickEvery(c.Cfg.TickInterval, func() {
+		for _, e := range c.tms {
+			e.tm.Advance(c.Cfg.TickInterval)
+		}
+	})
+	// Job monitor tick.
+	c.Clk.TickEvery(c.Cfg.MonitorInterval, func() { c.monitorTick() })
+}
+
+// Run advances the simulation by d.
+func (c *Cluster) Run(d time.Duration) { c.Clk.RunFor(d) }
+
+// AddJob provisions a job, creates its input category, registers its
+// profile and traffic generator, and (if Pattern is set) starts emitting.
+// The job's tasks start once the State Syncer commits the running config
+// and Task Managers pick up the specs — the paper's 1–2 minute end-to-end
+// path.
+func (c *Cluster) AddJob(spec JobSpec) error {
+	cfg := spec.Config
+	if strings.Contains(cfg.Name, "#") {
+		return fmt.Errorf("cluster: job name %q must not contain '#'", cfg.Name)
+	}
+	if err := c.Bus.CreateCategory(cfg.Input.Category, cfg.Input.Partitions); err != nil {
+		return err
+	}
+	if cfg.Output.Category != "" && c.Bus.Partitions(cfg.Output.Category) == 0 {
+		// Default sizing; a pipeline planner may have already created the
+		// category with an explicit fan-in for the downstream stage.
+		if err := c.Bus.CreateCategory(cfg.Output.Category, cfg.Input.Partitions); err != nil {
+			return err
+		}
+	}
+	if err := c.Jobs.Provision(cfg); err != nil {
+		return err
+	}
+	profile := spec.Profile
+	if profile == nil {
+		profile = engine.DefaultProfile(cfg.Operator)
+	}
+	c.mu.Lock()
+	c.profiles[cfg.Name] = profile
+	c.mu.Unlock()
+
+	if spec.Pattern != nil {
+		g := workload.NewGenerator(c.Bus, c.Clk, cfg.Input.Category, spec.Pattern, spec.AvgMsgSize)
+		if len(spec.InputWeights) > 0 {
+			g.SetWeights(spec.InputWeights)
+		}
+		g.Start(c.Cfg.TickInterval)
+		c.mu.Lock()
+		c.generators[cfg.Name] = g
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// RemoveJob deletes a job; the syncer tears it down on its next round.
+func (c *Cluster) RemoveJob(name string) error {
+	c.mu.Lock()
+	if g, ok := c.generators[name]; ok {
+		g.Stop()
+		delete(c.generators, name)
+	}
+	delete(c.profiles, name)
+	c.mu.Unlock()
+	return c.Jobs.Delete(name)
+}
+
+// Generator returns the traffic generator of a job, for experiments that
+// reshape traffic mid-run.
+func (c *Cluster) Generator(job string) (*workload.Generator, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.generators[job]
+	return g, ok
+}
+
+// KillHost marks a host dead: its containers stop heartbeating and their
+// task processes die (leases force-released).
+func (c *Cluster) KillHost(host string) error {
+	if err := c.TW.SetHostHealthy(host, false); err != nil {
+		return err
+	}
+	for _, e := range c.tms {
+		if e.host == host {
+			e.tm.OnContainerDead()
+		}
+	}
+	return nil
+}
+
+// RestoreHost brings a host back; its containers re-register with the
+// Shard Manager as fresh capacity on their next heartbeat.
+func (c *Cluster) RestoreHost(host string) error {
+	return c.TW.SetHostHealthy(host, true)
+}
+
+// actuator implements statesyncer.Actuator over the Task Manager fleet.
+type actuator struct{ c *Cluster }
+
+func (a *actuator) StopJobTasks(job string) error {
+	// Quiesce first: from this instant no Task Manager can start (or
+	// restart) the job's tasks from any snapshot, so the stop below is
+	// not raced by stale-cache resurrections (§III-B ordering).
+	a.c.TaskSvc.Quiesce(job)
+	for _, e := range a.c.tms {
+		e.tm.StopJob(job)
+	}
+	if n := a.c.Ckpt.LiveOwners(job); n > 0 {
+		return fmt.Errorf("cluster: %d partitions of %s still owned after stop", n, job)
+	}
+	return nil
+}
+
+func (a *actuator) ResumeJob(job string) error {
+	a.c.TaskSvc.Unquiesce(job)
+	return nil
+}
+
+func (a *actuator) RedistributeCheckpoints(job string, partitions, oldCount, newCount int) error {
+	// Checkpoints are per-partition (§II), so redistribution is a pure
+	// re-mapping — but it is only safe once no task owns a partition,
+	// which is exactly the ordering the State Syncer guarantees.
+	if n := a.c.Ckpt.LiveOwners(job); n > 0 {
+		return fmt.Errorf("cluster: cannot redistribute %s: %d live owners", job, n)
+	}
+	return nil
+}
+
+// monitorTick assembles per-job signals from task-level stats, records
+// per-minute metrics, and refreshes the scaler's view.
+func (c *Cluster) monitorTick() {
+	type agg struct {
+		processing float64
+		taskRates  []float64
+		memPeak    int64
+		diskPeak   int64
+		running    int
+	}
+	aggs := make(map[string]*agg)
+	oomTotals := make(map[string]int)
+	for _, e := range c.tms {
+		for id, st := range e.tm.TaskStats() {
+			job := jobOfTaskID(id)
+			a := aggs[job]
+			if a == nil {
+				a = &agg{}
+				aggs[job] = a
+			}
+			a.processing += st.Rate
+			a.taskRates = append(a.taskRates, st.Rate)
+			if st.MemoryBytes > a.memPeak {
+				a.memPeak = st.MemoryBytes
+			}
+			if st.DiskBytes > a.diskPeak {
+				a.diskPeak = st.DiskBytes
+			}
+			a.running++
+		}
+		for job, n := range e.tm.OOMsByJob() {
+			oomTotals[job] += n
+		}
+	}
+
+	dt := c.Cfg.MonitorInterval.Seconds()
+	totalTasks := 0
+	var totalInput float64
+
+	newSignals := make(map[string]autoscaler.Signals)
+	for _, job := range c.Store.RunningNames() {
+		cfg, ok := c.runningConfig(job)
+		if !ok {
+			continue
+		}
+		cat := cfg.Input.Category
+		written := c.Bus.TotalWritten(cat)
+		c.mu.Lock()
+		last := c.lastWritten[cat]
+		c.lastWritten[cat] = written
+		lastOOM := c.lastOOMs[job]
+		c.lastOOMs[job] = oomTotals[job]
+		c.mu.Unlock()
+		inputRate := float64(written-last) / dt
+		if last == 0 && written > 0 {
+			// First observation: avoid counting the entire history as one
+			// interval's rate.
+			inputRate = float64(written) / dt
+			if g, ok := c.Generator(job); ok {
+				inputRate = g.Rate()
+			}
+		}
+
+		var consumed int64
+		for p := 0; p < cfg.Input.Partitions; p++ {
+			consumed += c.Ckpt.Offset(job, p)
+		}
+		backlog := written - consumed
+		if backlog < 0 {
+			backlog = 0
+		}
+
+		a := aggs[job]
+		if a == nil {
+			a = &agg{}
+		}
+		sig := autoscaler.Signals{
+			InputRate:      inputRate,
+			ProcessingRate: a.processing,
+			BacklogBytes:   backlog,
+			TaskRates:      a.taskRates,
+			OOMs:           oomTotals[job] - lastOOM,
+			MemPeakBytes:   a.memPeak,
+			DiskPeakBytes:  a.diskPeak,
+			TaskCount:      cfg.TaskCount,
+			Threads:        cfg.ThreadsPerTask,
+			TaskResources:  cfg.TaskResources,
+			Stateful:       cfg.Operator.Stateful(),
+			Enforcement:    cfg.Enforcement,
+			Priority:       cfg.Priority,
+			MaxTaskCount:   cfg.MaxTaskCount,
+			Partitions:     cfg.Input.Partitions,
+			SLOSeconds:     cfg.SLOSeconds,
+		}
+		newSignals[job] = sig
+		totalTasks += a.running
+		totalInput += inputRate
+
+		c.Metrics.Record(autoscaler.InputRateSeries(job), inputRate)
+		c.Metrics.Record("job/"+job+"/backlog", float64(backlog))
+		c.Metrics.Record("job/"+job+"/taskCount", float64(a.running))
+		c.Metrics.Record("job/"+job+"/configuredTasks", float64(cfg.TaskCount))
+	}
+
+	c.mu.Lock()
+	c.signals = newSignals
+	c.mu.Unlock()
+
+	c.Metrics.Record("cluster/taskCount", float64(totalTasks))
+	c.Metrics.Record("cluster/inputRate", totalInput)
+}
+
+// jobOfTaskID recovers the job name from a task ID "job#index".
+func jobOfTaskID(id string) string {
+	if i := strings.LastIndex(id, "#"); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// JobHealth implements health.Source: assemble the §VII health inputs for
+// every running job.
+func (c *Cluster) JobHealth() []health.JobHealth {
+	var out []health.JobHealth
+	for _, job := range c.Store.RunningNames() {
+		cfg, ok := c.runningConfig(job)
+		if !ok {
+			continue
+		}
+		h := health.JobHealth{
+			Name:         job,
+			DesiredTasks: cfg.TaskCount,
+			SLOSeconds:   cfg.SLOSeconds,
+			Stopped:      cfg.Stopped,
+		}
+		// Running count from the monitor's last observation — O(1) per
+		// job instead of scanning the Task Manager fleet.
+		if v, ok := c.Metrics.Latest("job/" + job + "/taskCount"); ok {
+			h.RunningTasks = int(v)
+		} else {
+			h.RunningTasks = c.JobRunningTasks(job)
+		}
+		if sig, ok := c.JobSignals(job); ok {
+			h.TimeLagged = sig.TimeLagged(0)
+			h.OOMs = sig.OOMs
+		}
+		_, h.Quarantined = c.Store.Quarantined(job)
+		out = append(out, h)
+	}
+	return out
+}
+
+// DiagnoseJob assembles a root-cause observation for one job and runs the
+// auto root-causer's rule chain over it (§III's extension service).
+func (c *Cluster) DiagnoseJob(job string) (rootcause.Diagnosis, error) {
+	sig, ok := c.JobSignals(job)
+	if !ok {
+		return rootcause.Diagnosis{}, fmt.Errorf("cluster: no signals for job %q", job)
+	}
+	obs := rootcause.Observation{
+		Signals:            sig,
+		SecondsSinceUpdate: c.SecondsSinceConfigChange(job),
+	}
+	if c.Scaler != nil {
+		if p, ok := c.Scaler.PEstimate(job); ok {
+			obs.PEstimate = p
+		}
+	}
+	// Single-task signature: exactly one task processing far below the
+	// rest while the job overall is busy (§V-D hardware issues).
+	if len(sig.TaskRates) > 2 {
+		med := metrics.Percentile(sig.TaskRates, 50)
+		if med > 0 {
+			low := 0
+			for _, r := range sig.TaskRates {
+				if r < 0.1*med {
+					low++
+				}
+			}
+			obs.SingleTaskAffected = low == 1
+		}
+	}
+	return rootcause.Diagnose(job, obs), nil
+}
+
+// JobNames implements autoscaler.SignalSource.
+func (c *Cluster) JobNames() []string {
+	return c.Store.RunningNames()
+}
+
+// JobSignals implements autoscaler.SignalSource.
+func (c *Cluster) JobSignals(job string) (autoscaler.Signals, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.signals[job]
+	return s, ok
+}
+
+// RebalanceInput implements autoscaler.InputRebalancer: even out the
+// job's partition weights (the control plane's lever over input skew).
+func (c *Cluster) RebalanceInput(job string) error {
+	g, ok := c.Generator(job)
+	if !ok {
+		return fmt.Errorf("cluster: no generator for job %s", job)
+	}
+	g.SetWeights(nil)
+	return nil
+}
+
+// TotalCapacity implements capacity.UsageSource: the sum of healthy
+// container capacities plus any cross-cluster transfer currently lent to
+// (or borrowed from) this cluster.
+func (c *Cluster) TotalCapacity() config.Resources {
+	var total config.Resources
+	for _, e := range c.tms {
+		if e.container.Alive() {
+			total = total.Add(e.container.Capacity())
+		}
+	}
+	if c.Cfg.CapacityPool != nil {
+		total = total.Add(c.Cfg.CapacityPool.Adjustment(c.Cfg.Name))
+	}
+	return total
+}
+
+// Allocated implements capacity.UsageSource: the sum of running jobs'
+// reservations.
+func (c *Cluster) Allocated() config.Resources {
+	var total config.Resources
+	for _, info := range c.ListJobs() {
+		if !info.Stopped {
+			total = total.Add(info.Footprint)
+		}
+	}
+	return total
+}
+
+// ListJobs implements capacity.JobLister.
+func (c *Cluster) ListJobs() []capacity.JobInfo {
+	var out []capacity.JobInfo
+	for _, job := range c.Store.RunningNames() {
+		cfg, ok := c.runningConfig(job)
+		if !ok {
+			continue
+		}
+		out = append(out, capacity.JobInfo{
+			Name:      job,
+			Priority:  cfg.Priority,
+			Footprint: cfg.TaskResources.Scale(float64(cfg.TaskCount)),
+			Stopped:   cfg.Stopped,
+		})
+	}
+	return out
+}
+
+// --- Observability for experiments -----------------------------------
+
+// HostUtil is one host's live utilization snapshot.
+type HostUtil struct {
+	Host    string
+	CPUFrac float64
+	MemFrac float64
+	Tasks   int
+}
+
+// HostUtilizations reports per-host CPU/memory utilization and task
+// counts across healthy hosts (figures 6 and 7).
+func (c *Cluster) HostUtilizations() []HostUtil {
+	byHost := make(map[string]*HostUtil)
+	for _, h := range c.TW.Hosts() {
+		if h.Healthy {
+			byHost[h.Name] = &HostUtil{Host: h.Name}
+		}
+	}
+	for _, e := range c.tms {
+		hu, ok := byHost[e.host]
+		if !ok || !e.container.Alive() {
+			continue
+		}
+		u := e.tm.Usage()
+		hu.CPUFrac += u.CPUCores / c.Cfg.HostCapacity.CPUCores
+		hu.MemFrac += float64(u.MemoryBytes) / float64(c.Cfg.HostCapacity.MemoryBytes)
+		hu.Tasks += e.tm.TaskCount()
+	}
+	out := make([]HostUtil, 0, len(byHost))
+	for _, h := range c.TW.Hosts() {
+		if hu, ok := byHost[h.Name]; ok {
+			out = append(out, *hu)
+		}
+	}
+	return out
+}
+
+// TotalRunningTasks counts live tasks across the fleet.
+func (c *Cluster) TotalRunningTasks() int {
+	n := 0
+	for _, e := range c.tms {
+		n += e.tm.TaskCount()
+	}
+	return n
+}
+
+// JobRunningTasks counts live tasks of one job.
+func (c *Cluster) JobRunningTasks(job string) int {
+	n := 0
+	prefix := job + "#"
+	for _, e := range c.tms {
+		for _, id := range e.tm.RunningTaskIDs() {
+			if strings.HasPrefix(id, prefix) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// JobBacklog returns the job's unread input bytes.
+func (c *Cluster) JobBacklog(job string) int64 {
+	cfg, ok := c.runningConfig(job)
+	if !ok {
+		return 0
+	}
+	written := c.Bus.TotalWritten(cfg.Input.Category)
+	var consumed int64
+	for p := 0; p < cfg.Input.Partitions; p++ {
+		consumed += c.Ckpt.Offset(job, p)
+	}
+	if lag := written - consumed; lag > 0 {
+		return lag
+	}
+	return 0
+}
+
+// TaskFootprints returns the last-observed stats of every running task,
+// for fleet-level distributions (figure 5).
+func (c *Cluster) TaskFootprints() []engine.Stats {
+	var out []engine.Stats
+	for _, e := range c.tms {
+		for _, st := range e.tm.TaskStats() {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Violations reports duplicate-instance lease violations observed so far
+// (must stay zero in every healthy experiment).
+func (c *Cluster) Violations() int { return c.Ckpt.Violations() }
+
+// Alerts returns operator alerts raised by the scaler.
+func (c *Cluster) Alerts() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.alerts...)
+}
+
+// TaskManagers exposes the fleet for protocol-level experiments.
+func (c *Cluster) TaskManagers() []*taskmanager.Manager {
+	out := make([]*taskmanager.Manager, len(c.tms))
+	for i, e := range c.tms {
+		out[i] = e.tm
+	}
+	return out
+}
+
+// Hosts returns the host names, sorted.
+func (c *Cluster) Hosts() []string {
+	hosts := c.TW.Hosts()
+	out := make([]string, len(hosts))
+	for i, h := range hosts {
+		out[i] = h.Name
+	}
+	return out
+}

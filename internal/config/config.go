@@ -1,0 +1,304 @@
+// Package config implements Turbine's hierarchical job configuration
+// (paper §III-A, Table I).
+//
+// A job's expected configuration is not one document but a stack of four
+// partial documents in increasing precedence: Base < Provisioner < Scaler <
+// Oncall. Each layer is written by a different actor (defaults, the
+// Provision Service, the Auto Scaler, a human oncall) that needs to know
+// nothing about the others. The effective expected configuration is
+// obtained by recursively merging the layers (paper Algorithm 1): values in
+// a higher layer override the lower layer, and nested JSON maps are merged
+// key-by-key rather than replaced wholesale.
+//
+// The paper uses Thrift structs for compile-time typing, serialized to JSON
+// for the layering step. Here JobConfig plays the Thrift role and Doc (a
+// JSON object as map[string]any) plays the serialized role; the same
+// recursive merge applies.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Layer identifies one level of the expected-job configuration stack.
+// Higher values take precedence (Table I).
+type Layer int
+
+// The four configuration layers, in increasing precedence.
+const (
+	LayerBase Layer = iota
+	LayerProvisioner
+	LayerScaler
+	LayerOncall
+	numLayers
+)
+
+// Layers lists all layers in merge (increasing precedence) order.
+func Layers() []Layer {
+	return []Layer{LayerBase, LayerProvisioner, LayerScaler, LayerOncall}
+}
+
+// String returns the layer's name as used in the job store schema.
+func (l Layer) String() string {
+	switch l {
+	case LayerBase:
+		return "base"
+	case LayerProvisioner:
+		return "provisioner"
+	case LayerScaler:
+		return "scaler"
+	case LayerOncall:
+		return "oncall"
+	default:
+		return fmt.Sprintf("layer(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is one of the four defined layers.
+func (l Layer) Valid() bool { return l >= LayerBase && l < numLayers }
+
+// Doc is a JSON object: the unit of configuration layering.
+type Doc map[string]any
+
+// Merge implements paper Algorithm 1 (layerConfigs): it returns a new Doc
+// in which every key of top overrides bottom, except that when both sides
+// hold JSON objects the merge recurses. Neither input is modified.
+func Merge(bottom, top Doc) Doc {
+	out := make(Doc, len(bottom)+len(top))
+	for k, v := range bottom {
+		out[k] = deepCopyValue(v)
+	}
+	for k, topValue := range top {
+		topMap, topIsMap := asDoc(topValue)
+		bottomValue, inBottom := out[k]
+		if topIsMap && inBottom {
+			if bottomMap, ok := asDoc(bottomValue); ok {
+				out[k] = Merge(bottomMap, topMap)
+				continue
+			}
+		}
+		out[k] = deepCopyValue(topValue)
+	}
+	return out
+}
+
+// MergeLayers folds docs in order: docs[0] is the bottom layer, the last
+// doc has the highest precedence. Nil docs are skipped.
+func MergeLayers(docs ...Doc) Doc {
+	out := Doc{}
+	for _, d := range docs {
+		if d != nil {
+			out = Merge(out, d)
+		}
+	}
+	return out
+}
+
+// asDoc reports whether v is a JSON object, converting map types produced
+// both by literals (Doc) and by json.Unmarshal (map[string]any).
+func asDoc(v any) (Doc, bool) {
+	switch m := v.(type) {
+	case Doc:
+		return m, true
+	case map[string]any:
+		return Doc(m), true
+	default:
+		return nil, false
+	}
+}
+
+func deepCopyValue(v any) any {
+	switch x := v.(type) {
+	case Doc:
+		return Doc(deepCopyMap(x))
+	case map[string]any:
+		return deepCopyMap(x)
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = deepCopyValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func deepCopyMap(m map[string]any) map[string]any {
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		out[k] = deepCopyValue(v)
+	}
+	return out
+}
+
+// Clone returns a deep copy of d.
+func (d Doc) Clone() Doc {
+	if d == nil {
+		return nil
+	}
+	return Doc(deepCopyMap(d))
+}
+
+// GetPath returns the value at a dotted path such as "package.version".
+func (d Doc) GetPath(path string) (any, bool) {
+	cur := any(d)
+	for _, part := range strings.Split(path, ".") {
+		m, ok := asDoc(cur)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[part]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// SetPath sets the value at a dotted path, creating intermediate objects.
+// It returns d for chaining. Setting through a non-object value replaces it.
+func (d Doc) SetPath(path string, value any) Doc {
+	parts := strings.Split(path, ".")
+	cur := d
+	for _, part := range parts[:len(parts)-1] {
+		next, ok := asDoc(cur[part])
+		if !ok {
+			next = Doc{}
+			cur[part] = next
+		}
+		cur[part] = next
+		cur = next
+	}
+	cur[parts[len(parts)-1]] = value
+	return d
+}
+
+// Equal reports whether two docs are structurally equal as JSON values.
+// Numeric values compare by their canonical JSON encoding, so int(5) and
+// float64(5) are equal, matching the layering semantics.
+func Equal(a, b Doc) bool {
+	ja, err := canonicalJSON(a)
+	if err != nil {
+		return false
+	}
+	jb, err := canonicalJSON(b)
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(ja, jb)
+}
+
+// canonicalJSON round-trips through encoding/json so that all numbers are
+// float64 and map keys are sorted (encoding/json sorts map keys).
+func canonicalJSON(d Doc) ([]byte, error) {
+	raw, err := json.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	return json.Marshal(v)
+}
+
+// Change is one leaf-level difference between two documents.
+type Change struct {
+	Path string // dotted path, e.g. "package.version"
+	From any    // nil if the path was absent
+	To   any    // nil if the path was removed
+}
+
+// Diff returns the leaf-level changes that transform a into b, sorted by
+// path. Nested objects are compared recursively; everything else (scalars,
+// arrays) is compared by canonical JSON encoding.
+func Diff(a, b Doc) []Change {
+	var out []Change
+	diffInto("", a, b, &out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+func diffInto(prefix string, a, b Doc, out *[]Change) {
+	keys := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		keys[k] = struct{}{}
+	}
+	for k := range b {
+		keys[k] = struct{}{}
+	}
+	for k := range keys {
+		path := k
+		if prefix != "" {
+			path = prefix + "." + k
+		}
+		av, inA := a[k]
+		bv, inB := b[k]
+		switch {
+		case !inA:
+			*out = append(*out, Change{Path: path, From: nil, To: bv})
+		case !inB:
+			*out = append(*out, Change{Path: path, From: av, To: nil})
+		default:
+			am, aIsMap := asDoc(av)
+			bm, bIsMap := asDoc(bv)
+			if aIsMap && bIsMap {
+				diffInto(path, am, bm, out)
+				continue
+			}
+			if !leafEqual(av, bv) {
+				*out = append(*out, Change{Path: path, From: av, To: bv})
+			}
+		}
+	}
+}
+
+func leafEqual(a, b any) bool {
+	// Fast paths for the common scalar kinds, avoiding JSON round trips
+	// on the State Syncer's hot diff path.
+	switch av := a.(type) {
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	case float64:
+		switch bv := b.(type) {
+		case float64:
+			return av == bv
+		case int:
+			return av == float64(bv)
+		}
+	case int:
+		switch bv := b.(type) {
+		case int:
+			return av == bv
+		case float64:
+			return float64(av) == bv
+		}
+	case nil:
+		return b == nil
+	}
+	ja, errA := json.Marshal(a)
+	jb, errB := json.Marshal(b)
+	if errA != nil || errB != nil {
+		return false
+	}
+	if bytes.Equal(ja, jb) {
+		return true
+	}
+	// Normalize numeric representations (int vs float64).
+	var va, vb any
+	if json.Unmarshal(ja, &va) != nil || json.Unmarshal(jb, &vb) != nil {
+		return false
+	}
+	na, err1 := json.Marshal(va)
+	nb, err2 := json.Marshal(vb)
+	return err1 == nil && err2 == nil && bytes.Equal(na, nb)
+}

@@ -1,0 +1,85 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzMerge feeds arbitrary JSON documents through Algorithm 1 and checks
+// the structural invariants that the State Syncer depends on: the merge
+// never panics, is idempotent, and top-level scalar keys of the top layer
+// always win.
+func FuzzMerge(f *testing.F) {
+	f.Add(`{"taskCount":10}`, `{"taskCount":15}`)
+	f.Add(`{"pkg":{"name":"t","v":1}}`, `{"pkg":{"v":2}}`)
+	f.Add(`{"a":[1,2,3]}`, `{"a":{"b":1}}`)
+	f.Add(`{}`, `{}`)
+	f.Add(`{"x":null}`, `{"x":{"y":"z"}}`)
+	f.Fuzz(func(t *testing.T, bottomJSON, topJSON string) {
+		var bottom, top Doc
+		if json.Unmarshal([]byte(bottomJSON), &bottom) != nil ||
+			json.Unmarshal([]byte(topJSON), &top) != nil {
+			t.Skip()
+		}
+		merged := Merge(bottom, top)
+		if !Equal(Merge(merged, merged), merged) {
+			t.Fatalf("merge not idempotent for %q + %q", bottomJSON, topJSON)
+		}
+		for k, tv := range top {
+			if _, isMap := asDoc(tv); isMap {
+				continue
+			}
+			if !leafEqual(merged[k], tv) {
+				t.Fatalf("top scalar %q lost: %v vs %v", k, merged[k], tv)
+			}
+		}
+		// Diff of a doc against itself is always empty.
+		if d := Diff(merged, merged.Clone()); len(d) != 0 {
+			t.Fatalf("self-diff nonempty: %v", d)
+		}
+	})
+}
+
+// FuzzJobConfigFromDoc ensures arbitrary documents never panic the typed
+// decoder and that valid configs round-trip.
+func FuzzJobConfigFromDoc(f *testing.F) {
+	f.Add(`{"name":"j","taskCount":4}`)
+	f.Add(`{"taskCount":"not-a-number"}`)
+	f.Add(`{"taskResources":{"cpuCores":1.5}}`)
+	f.Add(`{"input":{"category":"c","partitions":8}}`)
+	f.Fuzz(func(t *testing.T, docJSON string) {
+		var d Doc
+		if json.Unmarshal([]byte(docJSON), &d) != nil {
+			t.Skip()
+		}
+		cfg, err := JobConfigFromDoc(d)
+		if err != nil {
+			return // undecodable is fine; panicking is not
+		}
+		// Decoded configs re-encode without error.
+		if _, err := cfg.ToDoc(); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		_ = cfg.Validate()
+	})
+}
+
+// FuzzSetGetPath checks path traversal never panics and set-then-get
+// round-trips on fresh paths.
+func FuzzSetGetPath(f *testing.F) {
+	f.Add("a.b.c", 5)
+	f.Add("taskCount", 10)
+	f.Add("", 0)
+	f.Add("...", 1)
+	f.Fuzz(func(t *testing.T, path string, value int) {
+		d := Doc{}
+		d.SetPath(path, value)
+		got, ok := d.GetPath(path)
+		if !ok {
+			t.Fatalf("SetPath(%q) then GetPath lost the value", path)
+		}
+		if got != value {
+			t.Fatalf("round trip: got %v want %v", got, value)
+		}
+	})
+}

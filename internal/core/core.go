@@ -1,0 +1,314 @@
+// Package core is the public face of the Turbine reproduction: a Platform
+// that assembles the full service-management stack — job management, task
+// management, and resource management (paper §II) — over a simulated
+// Tupperware cluster, plus the high-level operations a user of the
+// platform performs: submit and update jobs, release packages, scale,
+// observe.
+//
+// The examples/ programs and the cmd/ binaries are written exclusively
+// against this package; everything below it (internal/cluster and the
+// component packages) is reachable for tests and experiments but is not
+// part of the user-facing surface.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/autoscaler"
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/health"
+	"repro/internal/provision"
+	"repro/internal/rootcause"
+	"repro/internal/workload"
+)
+
+// Options configures a Platform; it is the cluster configuration plus
+// nothing else. Zero values take production-shaped defaults (30 s sync
+// rounds, 60 s spec fetches, 60 s fail-over, ±10% balancing band).
+type Options = cluster.Config
+
+// JobConfig re-exports the typed job configuration.
+type JobConfig = config.JobConfig
+
+// Resources re-exports the multi-dimensional resource vector.
+type Resources = config.Resources
+
+// Package, Input, and Output re-export the job configuration leaf types so
+// applications can build a JobConfig without importing internal/config.
+type (
+	Package = config.Package
+	Input   = config.Input
+	Output  = config.Output
+)
+
+// Pipeline and Stage re-export the declarative pipeline types consumed by
+// SubmitPipeline.
+type (
+	Pipeline = provision.Pipeline
+	Stage    = provision.Stage
+)
+
+// Operator constants for JobConfig.Operator.
+const (
+	OpFilter    = config.OpFilter
+	OpProject   = config.OpProject
+	OpTransform = config.OpTransform
+	OpAggregate = config.OpAggregate
+	OpJoin      = config.OpJoin
+	OpTailer    = config.OpTailer
+)
+
+// Platform is one Turbine deployment: a control plane managing stream
+// processing tasks across a (simulated) container fleet.
+type Platform struct {
+	c *cluster.Cluster
+}
+
+// NewPlatform assembles a platform. Call Start before submitting jobs.
+func NewPlatform(opts Options) (*Platform, error) {
+	c, err := cluster.New(opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Platform{c: c}, nil
+}
+
+// Start brings every control loop online.
+func (p *Platform) Start() { p.c.Start() }
+
+// Advance moves simulated time forward by d, running every scheduled
+// control loop and all task processing deterministically.
+func (p *Platform) Advance(d time.Duration) { p.c.Run(d) }
+
+// Now returns the platform's current (simulated) time.
+func (p *Platform) Now() time.Time { return p.c.Clk.Now() }
+
+// JobOption customizes a submission.
+type JobOption func(*cluster.JobSpec)
+
+// WithTraffic attaches a synthetic traffic pattern to the job's input.
+func WithTraffic(pattern workload.Pattern) JobOption {
+	return func(s *cluster.JobSpec) { s.Pattern = pattern }
+}
+
+// WithProfile overrides the simulated binary behaviour (per-thread rate,
+// memory model). Defaults follow the job's operator type.
+func WithProfile(profile *engine.Profile) JobOption {
+	return func(s *cluster.JobSpec) { s.Profile = profile }
+}
+
+// WithMessageSize enables message-level accounting at the given average
+// message size.
+func WithMessageSize(bytes int64) JobOption {
+	return func(s *cluster.JobSpec) { s.AvgMsgSize = bytes }
+}
+
+// WithInputWeights skews traffic across the input partitions, simulating
+// imbalanced input.
+func WithInputWeights(weights []float64) JobOption {
+	return func(s *cluster.JobSpec) { s.InputWeights = weights }
+}
+
+// SubmitJob validates and provisions a job. Its tasks are scheduled by the
+// two-level placement within the next couple of control rounds (the
+// paper's 1–2 minute end-to-end path).
+func (p *Platform) SubmitJob(cfg *JobConfig, opts ...JobOption) error {
+	spec := cluster.JobSpec{Config: cfg}
+	for _, o := range opts {
+		o(&spec)
+	}
+	return p.c.AddJob(spec)
+}
+
+// RemoveJob deletes a job; the State Syncer tears its tasks down.
+func (p *Platform) RemoveJob(name string) error { return p.c.RemoveJob(name) }
+
+// SubmitPipeline compiles a declarative pipeline (the Provision Service's
+// role, §II) and admits every generated job, creating the intermediate
+// Scribe categories the stages communicate through. opts apply to the
+// FIRST stage only (source traffic, source profile); later stages consume
+// upstream output.
+func (p *Platform) SubmitPipeline(pl *provision.Pipeline, opts ...JobOption) error {
+	compiled, err := pl.Compile()
+	if err != nil {
+		return err
+	}
+	for _, cat := range compiled.Categories {
+		if err := p.c.Bus.CreateCategory(cat.Name, cat.Partitions); err != nil {
+			return fmt.Errorf("core: pipeline %q: %w", pl.Name, err)
+		}
+	}
+	for i, job := range compiled.Jobs {
+		spec := cluster.JobSpec{Config: job}
+		if i == 0 {
+			for _, o := range opts {
+				o(&spec)
+			}
+		}
+		if err := p.c.AddJob(spec); err != nil {
+			// Roll back already-admitted stages so a partial pipeline
+			// doesn't linger (cleanup on failed provisioning).
+			for _, prev := range compiled.Jobs[:i] {
+				_ = p.c.RemoveJob(prev.Name)
+			}
+			return fmt.Errorf("core: pipeline %q stage %q: %w", pl.Name, job.Name, err)
+		}
+	}
+	return nil
+}
+
+// PipelineJobs returns the names of the jobs a pipeline compiles to, in
+// stage order, without submitting anything.
+func PipelineJobs(pl *provision.Pipeline) ([]string, error) {
+	compiled, err := pl.Compile()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(compiled.Jobs))
+	for i, j := range compiled.Jobs {
+		names[i] = j.Name
+	}
+	return names, nil
+}
+
+// ReleasePackage rolls a new binary version out to a job (a simple
+// synchronization: no task-count change, tasks restart with the new
+// version as specs propagate).
+func (p *Platform) ReleasePackage(job, version string) error {
+	return p.c.Jobs.SetPackageVersion(job, version)
+}
+
+// OncallScale writes a task-count override at oncall precedence — the
+// human override that outranks the Auto Scaler (§III-A).
+func (p *Platform) OncallScale(job string, tasks int) error {
+	return p.c.Jobs.SetTaskCount(job, config.LayerOncall, tasks)
+}
+
+// OncallSetMaxTasks adjusts the job's horizontal-scaling cap (operators
+// lift it during recoveries, §VI-B1).
+func (p *Platform) OncallSetMaxTasks(job string, max int) error {
+	return p.c.Jobs.SetMaxTaskCount(job, max)
+}
+
+// OncallClear removes all oncall overrides, returning control to the
+// automation layers.
+func (p *Platform) OncallClear(job string) error {
+	return p.c.Jobs.ClearLayer(job, config.LayerOncall)
+}
+
+// SetJobStopped administratively stops or resumes a job.
+func (p *Platform) SetJobStopped(job string, stopped bool) error {
+	return p.c.Jobs.SetStopped(job, stopped)
+}
+
+// JobStatus is a point-in-time view of one job.
+type JobStatus struct {
+	Name           string
+	DesiredTasks   int
+	RunningTasks   int
+	BacklogBytes   int64
+	TimeLaggedSecs float64
+	InputRate      float64 // bytes/sec
+	ProcessingRate float64 // bytes/sec
+	TaskResources  Resources
+	PackageVersion string
+	SLOSeconds     float64
+	Quarantined    bool
+	Stopped        bool
+}
+
+// JobStatus reports a job's desired vs actual state and its lag.
+func (p *Platform) JobStatus(name string) (JobStatus, error) {
+	cfg, _, err := p.c.Jobs.Desired(name)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	st := JobStatus{
+		Name:           name,
+		DesiredTasks:   cfg.TaskCount,
+		RunningTasks:   p.c.JobRunningTasks(name),
+		BacklogBytes:   p.c.JobBacklog(name),
+		TaskResources:  cfg.TaskResources,
+		PackageVersion: cfg.Package.Version,
+		SLOSeconds:     cfg.SLOSeconds,
+		Stopped:        cfg.Stopped,
+	}
+	if sig, ok := p.c.JobSignals(name); ok {
+		st.InputRate = sig.InputRate
+		st.ProcessingRate = sig.ProcessingRate
+		st.TimeLaggedSecs = sig.TimeLagged(0)
+	}
+	_, st.Quarantined = p.c.Store.Quarantined(name)
+	return st, nil
+}
+
+// ClusterStatus is a point-in-time view of the whole platform.
+type ClusterStatus struct {
+	Hosts           int
+	RunningTasks    int
+	Jobs            int
+	TotalCapacity   Resources
+	Allocated       Resources
+	DuplicateEvents int // duplicate-instance violations (must be 0)
+}
+
+// ClusterStatus summarizes fleet health.
+func (p *Platform) ClusterStatus() ClusterStatus {
+	return ClusterStatus{
+		Hosts:           len(p.c.Hosts()),
+		RunningTasks:    p.c.TotalRunningTasks(),
+		Jobs:            len(p.c.Store.RunningNames()),
+		TotalCapacity:   p.c.TotalCapacity(),
+		Allocated:       p.c.Allocated(),
+		DuplicateEvents: p.c.Violations(),
+	}
+}
+
+// KillHost injects a host failure (fail-over drills).
+func (p *Platform) KillHost(host string) error { return p.c.KillHost(host) }
+
+// RestoreHost heals a previously killed host.
+func (p *Platform) RestoreHost(host string) error { return p.c.RestoreHost(host) }
+
+// Hosts lists host names.
+func (p *Platform) Hosts() []string { return p.c.Hosts() }
+
+// Jobs lists running job names.
+func (p *Platform) Jobs() []string { return p.c.Store.RunningNames() }
+
+// Alerts returns operator alerts raised so far (untriaged problems,
+// quarantines, caps).
+func (p *Platform) Alerts() []string { return p.c.Alerts() }
+
+// Health returns the latest fleet-health snapshot (§VII's percentages of
+// tasks not running, jobs lagging, jobs unhealthy), forcing a fresh
+// evaluation.
+func (p *Platform) Health() health.Snapshot {
+	return p.c.Health.Evaluate()
+}
+
+// HealthAlerts returns currently firing fleet-health alerts.
+func (p *Platform) HealthAlerts() []health.Alert {
+	return p.c.Health.ActiveAlerts()
+}
+
+// DiagnoseJob runs the auto root-causer over a job's current signals,
+// classifying why it is unhealthy and what the runbook action is.
+func (p *Platform) DiagnoseJob(job string) (rootcause.Diagnosis, error) {
+	return p.c.DiagnoseJob(job)
+}
+
+// ScalerActions returns the cumulative Auto Scaler decision counters.
+func (p *Platform) ScalerActions() (autoscaler.Stats, bool) {
+	if p.c.Scaler == nil {
+		return autoscaler.Stats{}, false
+	}
+	return p.c.Scaler.Stats(), true
+}
+
+// Cluster exposes the underlying wiring for experiments and tests that
+// need component-level access; application code should not need it.
+func (p *Platform) Cluster() *cluster.Cluster { return p.c }

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+const mb = 1 << 20
+
+func tailer(name string, tasks int) *JobConfig {
+	return &JobConfig{
+		Name:           name,
+		Package:        Package{Name: "tailer", Version: "v1"},
+		TaskCount:      tasks,
+		ThreadsPerTask: 2,
+		TaskResources:  Resources{CPUCores: 2, MemoryBytes: 2 << 30},
+		Operator:       OpTailer,
+		Input:          Input{Category: strings.ReplaceAll(name, "/", "_") + "_in", Partitions: 16},
+		MaxTaskCount:   16,
+		SLOSeconds:     90,
+	}
+}
+
+func newPlatform(t *testing.T, opts Options) *Platform {
+	t.Helper()
+	p, err := NewPlatform(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	return p
+}
+
+func TestSubmitAndStatus(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 2})
+	if err := p.SubmitJob(tailer("app/j1", 4), WithTraffic(workload.Constant(4*mb))); err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(3 * time.Minute)
+
+	st, err := p.JobStatus("app/j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RunningTasks != 4 || st.DesiredTasks != 4 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.PackageVersion != "v1" || st.SLOSeconds != 90 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.InputRate < 3*mb || st.InputRate > 5*mb {
+		t.Fatalf("InputRate = %v", st.InputRate)
+	}
+	cs := p.ClusterStatus()
+	if cs.Jobs != 1 || cs.RunningTasks != 4 || cs.Hosts != 2 || cs.DuplicateEvents != 0 {
+		t.Fatalf("cluster = %+v", cs)
+	}
+	if cs.Allocated.CPUCores != 8 {
+		t.Fatalf("Allocated = %+v", cs.Allocated)
+	}
+}
+
+func TestSubmitInvalidRejected(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 1})
+	bad := tailer("app/bad", 0)
+	if err := p.SubmitJob(bad); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+	if _, err := p.JobStatus("app/bad"); err == nil {
+		t.Fatal("phantom job visible")
+	}
+}
+
+func TestReleaseAndOncallOverrides(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 2})
+	p.SubmitJob(tailer("app/j1", 2), WithTraffic(workload.Constant(mb)))
+	p.Advance(3 * time.Minute)
+
+	if err := p.ReleasePackage("app/j1", "v9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.OncallScale("app/j1", 8); err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(5 * time.Minute)
+	st, _ := p.JobStatus("app/j1")
+	if st.PackageVersion != "v9" || st.DesiredTasks != 8 || st.RunningTasks != 8 {
+		t.Fatalf("status = %+v", st)
+	}
+	// Clearing the oncall layer returns control to base config.
+	if err := p.OncallClear("app/j1"); err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(5 * time.Minute)
+	st, _ = p.JobStatus("app/j1")
+	if st.DesiredTasks != 2 {
+		t.Fatalf("after clear, DesiredTasks = %d", st.DesiredTasks)
+	}
+}
+
+func TestStopResume(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 2})
+	p.SubmitJob(tailer("app/j1", 2), WithTraffic(workload.Constant(mb)))
+	p.Advance(3 * time.Minute)
+	if err := p.SetJobStopped("app/j1", true); err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(3 * time.Minute)
+	st, _ := p.JobStatus("app/j1")
+	if st.RunningTasks != 0 || !st.Stopped {
+		t.Fatalf("stopped job status = %+v", st)
+	}
+	p.SetJobStopped("app/j1", false)
+	p.Advance(5 * time.Minute)
+	st, _ = p.JobStatus("app/j1")
+	if st.RunningTasks != 2 {
+		t.Fatalf("resumed job status = %+v", st)
+	}
+}
+
+func TestRemoveJob(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 1})
+	p.SubmitJob(tailer("app/j1", 2), WithTraffic(workload.Constant(mb)))
+	p.Advance(3 * time.Minute)
+	if err := p.RemoveJob("app/j1"); err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(2 * time.Minute)
+	if len(p.Jobs()) != 0 {
+		t.Fatalf("Jobs = %v", p.Jobs())
+	}
+	if p.ClusterStatus().RunningTasks != 0 {
+		t.Fatal("tasks survived removal")
+	}
+}
+
+func TestKillAndRestoreHost(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 3})
+	p.SubmitJob(tailer("app/j1", 6), WithTraffic(workload.Constant(2*mb)))
+	p.Advance(3 * time.Minute)
+	victim := p.Hosts()[0]
+	if err := p.KillHost(victim); err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(3 * time.Minute)
+	st, _ := p.JobStatus("app/j1")
+	if st.RunningTasks != 6 {
+		t.Fatalf("tasks = %d after failover", st.RunningTasks)
+	}
+	if err := p.RestoreHost(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.KillHost("no-such-host"); err == nil {
+		t.Fatal("killing unknown host succeeded")
+	}
+	if p.ClusterStatus().DuplicateEvents != 0 {
+		t.Fatal("duplicates during failover")
+	}
+}
+
+func TestScalerActionsExposed(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 2, EnableScaler: true})
+	job := tailer("app/j1", 1)
+	p.SubmitJob(job, WithTraffic(workload.Constant(20*mb))) // 1 task can't keep up
+	p.Advance(20 * time.Minute)
+	stats, ok := p.ScalerActions()
+	if !ok {
+		t.Fatal("scaler stats unavailable despite EnableScaler")
+	}
+	if stats.Scans == 0 {
+		t.Fatal("scaler never scanned")
+	}
+	st, _ := p.JobStatus("app/j1")
+	if st.DesiredTasks <= 1 {
+		t.Fatalf("scaler did not scale: %+v", st)
+	}
+
+	p2 := newPlatform(t, Options{Hosts: 1})
+	if _, ok := p2.ScalerActions(); ok {
+		t.Fatal("scaler stats available without scaler")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int, int64) {
+		p := newPlatform(t, Options{Hosts: 3, EnableScaler: true})
+		p.SubmitJob(tailer("app/j1", 2), WithTraffic(workload.Diurnal(8*mb, 2*mb, 14, 0.01)))
+		p.SubmitJob(tailer("app/j2", 1), WithTraffic(workload.Constant(12*mb)))
+		p.Advance(2 * time.Hour)
+		st, _ := p.JobStatus("app/j2")
+		return p.ClusterStatus().RunningTasks, st.BacklogBytes
+	}
+	t1, b1 := run()
+	t2, b2 := run()
+	if t1 != t2 || b1 != b2 {
+		t.Fatalf("replay diverged: (%d,%d) vs (%d,%d)", t1, b1, t2, b2)
+	}
+}
+
+func TestWithInputWeightsAndMessageSize(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 1})
+	err := p.SubmitJob(tailer("app/skew", 2),
+		WithTraffic(workload.Constant(4*mb)),
+		WithInputWeights([]float64{10, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}),
+		WithMessageSize(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Advance(5 * time.Minute)
+	// The hot partition got ~40% of the traffic.
+	b0, _, _ := p.Cluster().Bus.Written("app_skew_in", 0)
+	b1, _, _ := p.Cluster().Bus.Written("app_skew_in", 1)
+	if b0 <= 5*b1 {
+		t.Fatalf("weights not applied: %d vs %d", b0, b1)
+	}
+}
+
+func TestSubmitPipelineEndToEnd(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 4})
+	pl := &Pipeline{
+		Name:            "app/pipe",
+		InputCategory:   "pipe_raw",
+		InputPartitions: 16,
+		Package:         Package{Name: "pipe", Version: "v1"},
+		SLOSeconds:      90,
+		Stages: []Stage{
+			{Name: "filter", Operator: OpFilter, Parallelism: 4},
+			{Name: "agg", Operator: OpAggregate, Parallelism: 2},
+		},
+		SinkCategory: "pipe_out",
+	}
+	if err := p.SubmitPipeline(pl, WithTraffic(workload.Constant(8*mb))); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := PipelineJobs(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %v", jobs)
+	}
+	p.Advance(10 * time.Minute)
+	for _, j := range jobs {
+		st, err := p.JobStatus(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.RunningTasks != st.DesiredTasks || st.RunningTasks == 0 {
+			t.Fatalf("%s: %+v", j, st)
+		}
+	}
+	// Data flowed through both stages into the sink.
+	if got := p.Cluster().Bus.TotalWritten("pipe_out"); got == 0 {
+		t.Fatal("no data reached the sink")
+	}
+	if p.ClusterStatus().DuplicateEvents != 0 {
+		t.Fatal("duplicates in pipeline")
+	}
+}
+
+func TestSubmitPipelineInvalidRejected(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 1})
+	pl := &Pipeline{Name: "bad"}
+	if err := p.SubmitPipeline(pl); err == nil {
+		t.Fatal("invalid pipeline accepted")
+	}
+	if len(p.Jobs()) != 0 {
+		t.Fatal("partial pipeline leaked")
+	}
+}
+
+func TestSubmitPipelineRollbackOnConflict(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 2})
+	pl := &Pipeline{
+		Name:            "app/pipe",
+		InputCategory:   "pipe_raw",
+		InputPartitions: 8,
+		Package:         Package{Name: "pipe", Version: "v1"},
+		Stages: []Stage{
+			{Name: "a", Operator: OpFilter},
+			{Name: "b", Operator: OpFilter},
+		},
+	}
+	// Pre-claim the second stage's job name to force a mid-pipeline
+	// failure; the first stage must be rolled back.
+	if err := p.SubmitJob(tailer("app/pipe/b", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SubmitPipeline(pl); err == nil {
+		t.Fatal("conflicting pipeline accepted")
+	}
+	p.Advance(2 * time.Minute)
+	for _, j := range p.Jobs() {
+		if j == "app/pipe/a" {
+			t.Fatal("failed pipeline leaked stage a")
+		}
+	}
+}
+
+func TestHealthReporting(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 2})
+	p.SubmitJob(tailer("app/j1", 4), WithTraffic(workload.Constant(4*mb)))
+	p.Advance(5 * time.Minute)
+
+	snap := p.Health()
+	if snap.Jobs != 1 || snap.TasksRunning != 4 || snap.PctNotRunning != 0 {
+		t.Fatalf("healthy snapshot = %+v", snap)
+	}
+	if len(p.HealthAlerts()) != 0 {
+		t.Fatalf("alerts on healthy fleet: %+v", p.HealthAlerts())
+	}
+
+	// Kill a host: tasks go missing for ~a minute; health notices once
+	// the monitor observes the dead tasks (next minute tick).
+	p.KillHost(p.Hosts()[0])
+	p.Advance(70 * time.Second)
+	snap = p.Health()
+	if snap.TasksRunning == 4 && snap.PctNotRunning == 0 {
+		t.Skip("all tasks landed on the surviving host; layout changed")
+	}
+	if snap.PctNotRunning <= 0 {
+		t.Fatalf("host death not reflected: %+v", snap)
+	}
+	// After failover everything recovers and alerts resolve.
+	p.Advance(5 * time.Minute)
+	snap = p.Health()
+	if snap.PctNotRunning != 0 {
+		t.Fatalf("post-failover snapshot = %+v", snap)
+	}
+	if len(p.HealthAlerts()) != 0 {
+		t.Fatalf("stale alerts: %+v", p.HealthAlerts())
+	}
+}
+
+func TestDiagnoseJob(t *testing.T) {
+	p := newPlatform(t, Options{Hosts: 2, EnableScaler: true})
+	// A job that cannot keep up: genuinely under-provisioned.
+	job := tailer("app/slow", 1)
+	job.MaxTaskCount = 1 // prevent the scaler from fixing it
+	p.SubmitJob(job, WithTraffic(workload.Constant(40*mb)))
+	p.Advance(15 * time.Minute)
+	d, err := p.DiagnoseJob("app/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cause == "" || d.Evidence == "" || d.Recommendation == "" {
+		t.Fatalf("diagnosis incomplete: %+v", d)
+	}
+	if d.Cause != "under-provisioned" {
+		t.Fatalf("cause = %s, want under-provisioned (%+v)", d.Cause, d)
+	}
+	if _, err := p.DiagnoseJob("ghost"); err == nil {
+		t.Fatal("diagnosed a nonexistent job")
+	}
+}

@@ -1,0 +1,519 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/scribe"
+)
+
+func testSpec(job string, index, of, partitions int) TaskSpec {
+	return TaskSpec{
+		Job:            job,
+		Index:          index,
+		TaskCount:      of,
+		PackageName:    "tailer",
+		PackageVersion: "v1",
+		Threads:        2,
+		Operator:       config.OpTailer,
+		InputCategory:  job + "_in",
+		Partitions:     AssignPartitions(partitions, of, index),
+		Resources:      config.Resources{CPUCores: 2, MemoryBytes: 2 << 30},
+		Enforcement:    config.EnforceCgroup,
+	}
+}
+
+func newWorld(t *testing.T, category string, parts int) (*scribe.Bus, *CheckpointStore) {
+	t.Helper()
+	bus := scribe.NewBus()
+	if err := bus.CreateCategory(category, parts); err != nil {
+		t.Fatal(err)
+	}
+	return bus, NewCheckpointStore()
+}
+
+func TestTaskIDAndHash(t *testing.T) {
+	s := testSpec("j1", 0, 2, 8)
+	if s.ID() != "j1#0" {
+		t.Fatalf("ID = %q", s.ID())
+	}
+	if TaskID("j1", 3) != "j1#3" {
+		t.Fatal("TaskID format changed")
+	}
+	h1 := s.Hash()
+	s2 := s
+	s2.PackageVersion = "v2"
+	if h1 == s2.Hash() {
+		t.Fatal("hash identical across different specs")
+	}
+	s3 := testSpec("j1", 0, 2, 8)
+	if h1 != s3.Hash() {
+		t.Fatal("hash differs for identical specs")
+	}
+}
+
+func TestAssignPartitionsEvenSplit(t *testing.T) {
+	// 16 partitions, 4 tasks -> 4 each, contiguous.
+	for i := 0; i < 4; i++ {
+		got := AssignPartitions(16, 4, i)
+		if len(got) != 4 || got[0] != i*4 {
+			t.Fatalf("task %d got %v", i, got)
+		}
+	}
+}
+
+func TestAssignPartitionsRemainder(t *testing.T) {
+	// 10 partitions, 3 tasks -> sizes 4,3,3.
+	sizes := []int{4, 3, 3}
+	var all [][]int
+	for i := 0; i < 3; i++ {
+		got := AssignPartitions(10, 3, i)
+		if len(got) != sizes[i] {
+			t.Fatalf("task %d got %d partitions, want %d", i, len(got), sizes[i])
+		}
+		all = append(all, got)
+	}
+	if err := ValidatePartitionAssignment(10, all); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignPartitionsInvalidArgs(t *testing.T) {
+	if AssignPartitions(0, 3, 0) != nil ||
+		AssignPartitions(10, 0, 0) != nil ||
+		AssignPartitions(10, 3, -1) != nil ||
+		AssignPartitions(10, 3, 3) != nil {
+		t.Fatal("invalid args returned partitions")
+	}
+}
+
+// Property: for any (total, taskCount) the assignment is disjoint,
+// exhaustive, and balanced within one partition.
+func TestAssignPartitionsProperty(t *testing.T) {
+	f := func(total16, count8 uint8) bool {
+		total := int(total16%200) + 1
+		count := int(count8%32) + 1
+		if count > total {
+			count = total
+		}
+		perTask := make([][]int, count)
+		minSize, maxSize := total, 0
+		for i := 0; i < count; i++ {
+			perTask[i] = AssignPartitions(total, count, i)
+			if n := len(perTask[i]); n < minSize {
+				minSize = n
+			} else if n > maxSize {
+				maxSize = n
+			}
+		}
+		if err := ValidatePartitionAssignment(total, perTask); err != nil {
+			return false
+		}
+		return maxSize-minSize <= 1 || maxSize == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidatePartitionAssignmentErrors(t *testing.T) {
+	if err := ValidatePartitionAssignment(4, [][]int{{0, 1}, {1, 2, 3}}); err == nil || !strings.Contains(err.Error(), "owned by both") {
+		t.Fatalf("duplicate not detected: %v", err)
+	}
+	if err := ValidatePartitionAssignment(4, [][]int{{0, 1}, {2}}); err == nil || !strings.Contains(err.Error(), "unowned") {
+		t.Fatalf("gap not detected: %v", err)
+	}
+	if err := ValidatePartitionAssignment(4, [][]int{{0, 9}}); err == nil || !strings.Contains(err.Error(), "out-of-range") {
+		t.Fatalf("range not checked: %v", err)
+	}
+}
+
+func TestCheckpointLeasePreventsDuplicates(t *testing.T) {
+	ckpt := NewCheckpointStore()
+	if err := ckpt.Acquire("j", 0, "j#0"); err != nil {
+		t.Fatal(err)
+	}
+	// Same owner re-acquires fine.
+	if err := ckpt.Acquire("j", 0, "j#0"); err != nil {
+		t.Fatal(err)
+	}
+	// Different owner fails and is recorded.
+	if err := ckpt.Acquire("j", 0, "j#0-dup"); err == nil {
+		t.Fatal("duplicate acquisition allowed")
+	}
+	if ckpt.Violations() != 1 {
+		t.Fatalf("Violations = %d, want 1", ckpt.Violations())
+	}
+	// Release by non-owner is a no-op.
+	ckpt.Release("j", 0, "j#0-dup")
+	if owner, ok := ckpt.Owner("j", 0); !ok || owner != "j#0" {
+		t.Fatalf("owner = %q,%v", owner, ok)
+	}
+	ckpt.Release("j", 0, "j#0")
+	if _, ok := ckpt.Owner("j", 0); ok {
+		t.Fatal("lease survived release")
+	}
+}
+
+func TestCheckpointOffsetsAndState(t *testing.T) {
+	ckpt := NewCheckpointStore()
+	if ckpt.Offset("j", 0) != 0 {
+		t.Fatal("fresh offset not zero")
+	}
+	ckpt.SetOffset("j", 0, 500)
+	ckpt.SetOffset("j", 1, 300)
+	if ckpt.Offset("j", 0) != 500 {
+		t.Fatal("offset not persisted")
+	}
+	ckpt.SetStateSize("j", 0, 1000)
+	ckpt.SetStateSize("j", 1, 2000)
+	if ckpt.JobState("j") != 3000 {
+		t.Fatalf("JobState = %d", ckpt.JobState("j"))
+	}
+	if ckpt.StateSize("j", 1) != 2000 {
+		t.Fatal("StateSize wrong")
+	}
+	ckpt.DeleteJob("j")
+	if ckpt.Offset("j", 0) != 0 || ckpt.JobState("j") != 0 {
+		t.Fatal("DeleteJob incomplete")
+	}
+}
+
+func TestForceReleaseTask(t *testing.T) {
+	ckpt := NewCheckpointStore()
+	ckpt.Acquire("j", 0, "j#0")
+	ckpt.Acquire("j", 1, "j#0")
+	ckpt.Acquire("j", 2, "j#1")
+	ckpt.ForceReleaseTask("j", "j#0")
+	if ckpt.LiveOwners("j") != 1 {
+		t.Fatalf("LiveOwners = %d, want 1", ckpt.LiveOwners("j"))
+	}
+	if owner, _ := ckpt.Owner("j", 2); owner != "j#1" {
+		t.Fatal("wrong lease dropped")
+	}
+}
+
+func TestTaskStartStopLifecycle(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 4)
+	task := NewTask(testSpec("j", 0, 1, 4), DefaultProfile(config.OpTailer), bus, ckpt)
+	if task.Running() {
+		t.Fatal("fresh task running")
+	}
+	if err := task.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !task.Running() {
+		t.Fatal("started task not running")
+	}
+	if err := task.Start(); err != nil {
+		t.Fatalf("idempotent start failed: %v", err)
+	}
+	task.Stop()
+	task.Stop() // idempotent
+	if task.Running() {
+		t.Fatal("stopped task running")
+	}
+	if ckpt.LiveOwners("j") != 0 {
+		t.Fatal("leases leaked after stop")
+	}
+}
+
+func TestSecondInstanceCannotStart(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 4)
+	prof := DefaultProfile(config.OpTailer)
+	t1 := NewTask(testSpec("j", 0, 1, 4), prof, bus, ckpt)
+	if err := t1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A second instance with the same identity (e.g., after a botched
+	// shard move) must not start.
+	spec2 := testSpec("j", 0, 1, 4)
+	spec2.Job = "j"
+	t2dup := NewTask(TaskSpec{
+		Job: "j", Index: 99, TaskCount: 1, Threads: 1,
+		Operator: config.OpTailer, InputCategory: "j_in",
+		Partitions: []int{0}, // overlaps t1's ownership
+	}, prof, bus, ckpt)
+	if err := t2dup.Start(); err == nil {
+		t.Fatal("overlapping task started")
+	}
+	if ckpt.Violations() == 0 {
+		t.Fatal("violation not recorded")
+	}
+	// And the failed starter must not have leaked partial leases.
+	if got := ckpt.LiveOwners("j"); got != 4 {
+		t.Fatalf("LiveOwners = %d, want 4 (only t1's)", got)
+	}
+}
+
+func TestAdvanceDrainsBacklogAndReportsStats(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 4)
+	prof := DefaultProfile(config.OpTailer) // P = 3 MB/s, 2 threads -> 6 MB/s
+	task := NewTask(testSpec("j", 0, 1, 4), prof, bus, ckpt)
+	if err := task.Start(); err != nil {
+		t.Fatal(err)
+	}
+	bus.AppendEven("j_in", 100<<20, 1000) // 100 MB backlog
+
+	st := task.Advance(10 * time.Second)
+	wantCap := int64(6 << 20 * 10) // 60 MB capacity
+	if st.ProcessedBytes != wantCap {
+		t.Fatalf("ProcessedBytes = %d, want %d", st.ProcessedBytes, wantCap)
+	}
+	if st.BacklogBytes != 100<<20-wantCap {
+		t.Fatalf("BacklogBytes = %d", st.BacklogBytes)
+	}
+	// CPU at full throttle = min(threads, alloc) = 2 cores.
+	if st.CPUCores < 1.9 || st.CPUCores > 2.1 {
+		t.Fatalf("CPUCores = %v, want ~2", st.CPUCores)
+	}
+	if st.MemoryBytes <= prof.BaseMemoryBytes {
+		t.Fatal("memory did not grow with throughput")
+	}
+
+	// Next interval drains the rest and goes idle.
+	st = task.Advance(10 * time.Second)
+	if st.BacklogBytes != 0 {
+		t.Fatalf("BacklogBytes = %d, want 0", st.BacklogBytes)
+	}
+	st = task.Advance(10 * time.Second)
+	if st.ProcessedBytes != 0 || st.CPUCores != 0 {
+		t.Fatalf("idle task consumed: %+v", st)
+	}
+}
+
+func TestAdvanceRespectsCPUAllocationCap(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 1)
+	spec := testSpec("j", 0, 1, 1)
+	spec.Threads = 4
+	spec.Resources.CPUCores = 1 // cgroup caps at 1 core
+	prof := DefaultProfile(config.OpTailer)
+	task := NewTask(spec, prof, bus, ckpt)
+	task.Start()
+	bus.Append("j_in", 0, 100<<20, 0)
+	st := task.Advance(time.Second)
+	if want := int64(3 << 20); st.ProcessedBytes != want {
+		t.Fatalf("ProcessedBytes = %d, want %d (1 core x 3MB/s)", st.ProcessedBytes, want)
+	}
+}
+
+func TestAdvanceCheckpointsContinuously(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 2)
+	task := NewTask(testSpec("j", 0, 1, 2), DefaultProfile(config.OpTailer), bus, ckpt)
+	task.Start()
+	bus.AppendEven("j_in", 10<<20, 0)
+	task.Advance(10 * time.Second)
+	if ckpt.Offset("j", 0) == 0 && ckpt.Offset("j", 1) == 0 {
+		t.Fatal("no offsets checkpointed during Advance")
+	}
+}
+
+func TestRecoveryResumesFromCheckpoint(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 2)
+	prof := DefaultProfile(config.OpTailer)
+	t1 := NewTask(testSpec("j", 0, 1, 2), prof, bus, ckpt)
+	t1.Start()
+	bus.AppendEven("j_in", 12<<20, 0) // 12 MB
+	t1.Advance(1 * time.Second)       // consumes 6 MB
+	t1.Kill()                         // container died
+
+	// Replacement instance starts and resumes from the checkpoint.
+	t2 := NewTask(testSpec("j", 0, 1, 2), prof, bus, ckpt)
+	if err := t2.Start(); err != nil {
+		t.Fatalf("replacement could not start: %v", err)
+	}
+	st := t2.Advance(10 * time.Second)
+	total := int64(12 << 20)
+	if got := st.ProcessedBytes; got != total-6<<20 {
+		t.Fatalf("replacement consumed %d, want %d (no loss, no duplication)", got, total-6<<20)
+	}
+}
+
+func TestAdvanceOOMKillAndRecovery(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 1)
+	spec := testSpec("j", 0, 1, 1)
+	spec.Resources.MemoryBytes = 401 << 20 // barely above the 400 MB base
+	prof := DefaultProfile(config.OpTailer)
+	task := NewTask(spec, prof, bus, ckpt)
+	task.Start()
+	bus.Append("j_in", 0, 1<<30, 0)
+
+	st := task.Advance(10 * time.Second)
+	if !st.OOMKilled {
+		t.Fatalf("no OOM at mem=%d limit=%d", st.MemoryBytes, spec.Resources.MemoryBytes)
+	}
+	if task.OOMCount() != 1 {
+		t.Fatalf("OOMCount = %d", task.OOMCount())
+	}
+	// Restart interval: no processing.
+	st = task.Advance(10 * time.Second)
+	if st.ProcessedBytes != 0 {
+		t.Fatal("processed during restart backoff")
+	}
+	if task.Restarts() != 1 {
+		t.Fatalf("Restarts = %d", task.Restarts())
+	}
+	// Then it processes (and will OOM again until the scaler adds memory).
+	st = task.Advance(10 * time.Second)
+	if st.ProcessedBytes == 0 {
+		t.Fatal("no processing after restart")
+	}
+}
+
+func TestNoEnforcementNeverKills(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 1)
+	spec := testSpec("j", 0, 1, 1)
+	spec.Resources.MemoryBytes = 1 // absurdly low
+	spec.Enforcement = config.EnforceNone
+	task := NewTask(spec, DefaultProfile(config.OpTailer), bus, ckpt)
+	task.Start()
+	bus.Append("j_in", 0, 1<<30, 0)
+	st := task.Advance(10 * time.Second)
+	if st.OOMKilled {
+		t.Fatal("unenforced task was killed")
+	}
+	if st.MemoryBytes <= 1 {
+		t.Fatal("memory metric not reported")
+	}
+}
+
+func TestOutputWrittenToOutputCategory(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 1)
+	bus.CreateCategory("j_out", 2)
+	spec := testSpec("j", 0, 1, 1)
+	spec.Operator = config.OpTransform
+	spec.OutputCategory = "j_out"
+	prof := DefaultProfile(config.OpTransform) // ratio 1.0
+	task := NewTask(spec, prof, bus, ckpt)
+	task.Start()
+	bus.Append("j_in", 0, 1<<20, 0)
+	task.Advance(10 * time.Second)
+	if got := bus.TotalWritten("j_out"); got != 1<<20 {
+		t.Fatalf("output written = %d, want %d", got, 1<<20)
+	}
+}
+
+func TestStatefulTaskPersistsState(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 2)
+	spec := testSpec("j", 0, 1, 2)
+	spec.Operator = config.OpAggregate
+	task := NewTask(spec, DefaultProfile(config.OpAggregate), bus, ckpt)
+	task.Start()
+	bus.AppendEven("j_in", 100<<20, 0)
+	task.Advance(10 * time.Second)
+	if ckpt.JobState("j") == 0 {
+		t.Fatal("stateful job persisted no state")
+	}
+}
+
+func TestStoppedTaskDoesNotAdvance(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 1)
+	task := NewTask(testSpec("j", 0, 1, 1), DefaultProfile(config.OpTailer), bus, ckpt)
+	bus.Append("j_in", 0, 1<<20, 0)
+	st := task.Advance(time.Second)
+	if st.ProcessedBytes != 0 {
+		t.Fatal("unstarted task processed data")
+	}
+	if st.BacklogBytes != 1<<20 {
+		t.Fatalf("stopped task backlog = %d, want %d", st.BacklogBytes, 1<<20)
+	}
+}
+
+func TestMaxRateUncappedCPU(t *testing.T) {
+	spec := testSpec("j", 0, 1, 1)
+	spec.Threads = 3
+	spec.Resources.CPUCores = 0 // no cap
+	task := NewTask(spec, DefaultProfile(config.OpTailer), nil, nil)
+	if got, want := task.MaxRate(), float64(3*3<<20); got != want {
+		t.Fatalf("MaxRate = %v, want %v", got, want)
+	}
+}
+
+// Property: conservation through a full drain — what the workload wrote is
+// exactly what tasks consumed, regardless of task count and split.
+func TestDrainConservationProperty(t *testing.T) {
+	f := func(totalKB uint16, parts8, tasks8 uint8) bool {
+		parts := int(parts8%8) + 1
+		tasks := int(tasks8%4) + 1
+		if tasks > parts {
+			tasks = parts
+		}
+		bus := scribe.NewBus()
+		bus.CreateCategory("c", parts)
+		ckpt := NewCheckpointStore()
+		total := int64(totalKB) << 10
+		bus.AppendEven("c", total, 0)
+		prof := DefaultProfile(config.OpTailer)
+		var consumed int64
+		for i := 0; i < tasks; i++ {
+			spec := TaskSpec{
+				Job: "j", Index: i, TaskCount: tasks, Threads: 8,
+				Operator: config.OpTailer, InputCategory: "c",
+				Partitions: AssignPartitions(parts, tasks, i),
+				Resources:  config.Resources{CPUCores: 8, MemoryBytes: 64 << 30},
+			}
+			task := NewTask(spec, prof, bus, ckpt)
+			if err := task.Start(); err != nil {
+				return false
+			}
+			for k := 0; k < 100; k++ {
+				st := task.Advance(time.Second)
+				consumed += st.ProcessedBytes
+				if st.BacklogBytes == 0 {
+					break
+				}
+			}
+			task.Stop()
+		}
+		return consumed == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultProfilesSane(t *testing.T) {
+	ops := []config.Operator{
+		config.OpTailer, config.OpFilter, config.OpProject,
+		config.OpTransform, config.OpAggregate, config.OpJoin,
+		config.Operator("custom"),
+	}
+	for _, op := range ops {
+		p := DefaultProfile(op)
+		if p.PerThreadRate <= 0 || p.BaseMemoryBytes <= 0 {
+			t.Errorf("%s: degenerate profile %+v", op, p)
+		}
+		if m := p.MemoryAt(1 << 20); m < p.BaseMemoryBytes {
+			t.Errorf("%s: memory below base at load", op)
+		}
+	}
+	if DefaultProfile(config.OpJoin).DiskAt(1<<20) == 0 {
+		t.Error("join uses no disk")
+	}
+	if DefaultProfile(config.OpTailer).DiskAt(1<<20) != 0 {
+		t.Error("tailer uses disk")
+	}
+}
+
+func TestAdvanceReportsDiskAndNetwork(t *testing.T) {
+	bus, ckpt := newWorld(t, "j_in", 1)
+	bus.CreateCategory("j_out", 1)
+	spec := testSpec("j", 0, 1, 1)
+	spec.Operator = config.OpJoin
+	spec.OutputCategory = "j_out"
+	spec.Resources = config.Resources{CPUCores: 8, MemoryBytes: 64 << 30, DiskBytes: 1 << 40}
+	prof := DefaultProfile(config.OpJoin)
+	task := NewTask(spec, prof, bus, ckpt)
+	task.Start()
+	bus.Append("j_in", 0, 100<<20, 0)
+	st := task.Advance(10 * time.Second)
+	if st.DiskBytes == 0 {
+		t.Fatal("join reported no disk usage")
+	}
+	if st.NetworkBps <= int64(st.Rate) {
+		t.Fatalf("network %d must include output traffic beyond input rate %.0f", st.NetworkBps, st.Rate)
+	}
+}

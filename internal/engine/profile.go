@@ -1,0 +1,124 @@
+package engine
+
+import "repro/internal/config"
+
+// Profile holds the true performance characteristics of a job's binary:
+// what the paper calls "task footprints like maximal parsing rate", which
+// are "often stable as long as application logic and settings are
+// unchanged" (§V-A). The simulation uses the profile to compute what a
+// task actually does; Turbine's Auto Scaler must *estimate* these values
+// from observed metrics (bootstrapping P in staging, adjusting it at
+// runtime, §V-C) — it never reads the profile directly.
+type Profile struct {
+	// PerThreadRate is the true P: the maximum stable processing rate of
+	// a single thread, in bytes/second.
+	PerThreadRate float64
+	// BaseMemoryBytes is consumed regardless of traffic (the Scribe
+	// tailer subprocess plus metric collection gives every Scuba tailer
+	// task ~400 MB, §VI).
+	BaseMemoryBytes int64
+	// BufferSeconds of input held in memory before flushing (tailers
+	// hold a few seconds worth of data, §VI).
+	BufferSeconds float64
+	// MemoryPerKeyBytes and KeysPerBps model aggregations: memory is
+	// proportional to the key cardinality of the input kept in memory
+	// (§V-B); cardinality scales with input rate.
+	MemoryPerKeyBytes int64
+	KeysPerBps        float64
+	// JoinWindowSeconds and JoinMatchFactor model joins: memory/disk is
+	// proportional to the join window size and degree of matching (§V-B).
+	JoinWindowSeconds float64
+	JoinMatchFactor   float64
+	// OutputRatio is output bytes produced per input byte processed.
+	OutputRatio float64
+	// StatePerByte is persistent-state bytes accumulated per input byte,
+	// for costing checkpoint/state redistribution of stateful jobs.
+	StatePerByte float64
+}
+
+// DefaultProfile returns a representative profile for an operator,
+// calibrated so the fleet-level distributions match Figure 5: at typical
+// traffic most tasks use < 1 CPU core, every task has a memory floor of a
+// few hundred MB, and 99% stay under 2 GB.
+func DefaultProfile(op config.Operator) *Profile {
+	switch op {
+	case config.OpTailer:
+		return &Profile{
+			PerThreadRate:   3 << 20, // 3 MB/s/thread
+			BaseMemoryBytes: 400 << 20,
+			BufferSeconds:   5,
+			OutputRatio:     0, // tailers write to the Scuba backend, not Scribe
+		}
+	case config.OpFilter:
+		return &Profile{
+			PerThreadRate:   8 << 20,
+			BaseMemoryBytes: 200 << 20,
+			BufferSeconds:   2,
+			OutputRatio:     0.3,
+		}
+	case config.OpProject:
+		return &Profile{
+			PerThreadRate:   8 << 20,
+			BaseMemoryBytes: 200 << 20,
+			BufferSeconds:   2,
+			OutputRatio:     0.4,
+		}
+	case config.OpTransform:
+		return &Profile{
+			PerThreadRate:   5 << 20,
+			BaseMemoryBytes: 250 << 20,
+			BufferSeconds:   2,
+			OutputRatio:     1.0,
+		}
+	case config.OpAggregate:
+		return &Profile{
+			PerThreadRate:     4 << 20,
+			BaseMemoryBytes:   500 << 20,
+			BufferSeconds:     2,
+			MemoryPerKeyBytes: 256,
+			KeysPerBps:        0.05,
+			OutputRatio:       0.05,
+			StatePerByte:      0.01,
+		}
+	case config.OpJoin:
+		return &Profile{
+			PerThreadRate:     3 << 20,
+			BaseMemoryBytes:   600 << 20,
+			BufferSeconds:     2,
+			JoinWindowSeconds: 60,
+			JoinMatchFactor:   0.5,
+			OutputRatio:       0.8,
+			StatePerByte:      0.02,
+		}
+	default:
+		return &Profile{
+			PerThreadRate:   4 << 20,
+			BaseMemoryBytes: 300 << 20,
+			BufferSeconds:   2,
+			OutputRatio:     0.5,
+		}
+	}
+}
+
+// MemoryAt returns the memory a task with this profile uses while
+// processing at rate bytes/second.
+func (p *Profile) MemoryAt(rate float64) int64 {
+	mem := float64(p.BaseMemoryBytes)
+	mem += rate * p.BufferSeconds
+	if p.KeysPerBps > 0 {
+		mem += rate * p.KeysPerBps * float64(p.MemoryPerKeyBytes)
+	}
+	if p.JoinWindowSeconds > 0 {
+		mem += rate * p.JoinWindowSeconds * p.JoinMatchFactor
+	}
+	return int64(mem)
+}
+
+// DiskAt returns the disk a task uses at the given processing rate
+// (joins spill their window; others only keep small logs).
+func (p *Profile) DiskAt(rate float64) int64 {
+	if p.JoinWindowSeconds > 0 {
+		return int64(rate * p.JoinWindowSeconds)
+	}
+	return 0
+}

@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/scribe"
+)
+
+// Stats is one task's observable behaviour over an Advance interval. Task
+// Managers post these to the metric system; the Auto Scaler and load
+// balancer see nothing else.
+type Stats struct {
+	// ProcessedBytes consumed from input this interval.
+	ProcessedBytes int64
+	// Rate is ProcessedBytes normalized to bytes/second.
+	Rate float64
+	// CPUCores actually used (≈ rate / P per the linear CPU model, §VI).
+	CPUCores float64
+	// MemoryBytes in use at the end of the interval.
+	MemoryBytes int64
+	// DiskBytes in use (joins spill their window; others negligible).
+	DiskBytes int64
+	// NetworkBps consumed: input read rate plus output write rate.
+	NetworkBps int64
+	// BacklogBytes still unread across the task's partitions.
+	BacklogBytes int64
+	// OOMKilled reports the task was killed for exceeding its memory
+	// limit during this interval (and restarted).
+	OOMKilled bool
+}
+
+// instanceSeq distinguishes instances of the same task identity: the
+// duplicate-instance invariant (§IV) is about two live *processes* for one
+// task, so ownership leases are per-instance, not per-identity.
+var instanceSeq atomic.Uint64
+
+// Task is one simulated stream processing task: the unit Turbine
+// schedules, moves, restarts, and scales. Drive it with Advance.
+type Task struct {
+	spec     TaskSpec
+	instance string // unique per Task object: "<job>#<index>@<seq>"
+	profile  *Profile
+	bus      *scribe.Bus
+	ckpt     *CheckpointStore
+
+	mu       sync.Mutex
+	running  bool
+	offsets  map[int]int64
+	last     Stats
+	oomCount int
+	restarts int
+	// oomBackoff skips processing for one interval after an OOM kill,
+	// modelling the restart cost.
+	oomBackoff bool
+}
+
+// NewTask builds a task from its spec. The profile is the true behaviour
+// of the binary (shared by all tasks of a job); bus and ckpt are the
+// Scribe bus and checkpoint store it reads, writes, and recovers through.
+func NewTask(spec TaskSpec, profile *Profile, bus *scribe.Bus, ckpt *CheckpointStore) *Task {
+	return &Task{
+		spec:     spec,
+		instance: fmt.Sprintf("%s@%d", spec.ID(), instanceSeq.Add(1)),
+		profile:  profile,
+		bus:      bus,
+		ckpt:     ckpt,
+	}
+}
+
+// Instance returns the unique identity of this task instance.
+func (t *Task) Instance() string { return t.instance }
+
+// Spec returns the spec the task was started from.
+func (t *Task) Spec() TaskSpec { return t.spec }
+
+// Start acquires the ownership lease for every owned partition, restores
+// checkpointed offsets, and begins processing. If any lease is held by
+// another live task, Start releases what it took and fails — this is the
+// mechanism that prevents two active instances of the same task (§IV).
+func (t *Task) Start() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.running {
+		return nil
+	}
+	acquired := make([]int, 0, len(t.spec.Partitions))
+	for _, p := range t.spec.Partitions {
+		if err := t.ckpt.Acquire(t.spec.Job, p, t.instance); err != nil {
+			for _, q := range acquired {
+				t.ckpt.Release(t.spec.Job, q, t.instance)
+			}
+			return fmt.Errorf("start %s: %w", t.spec.ID(), err)
+		}
+		acquired = append(acquired, p)
+	}
+	t.offsets = make(map[int]int64, len(t.spec.Partitions))
+	for _, p := range t.spec.Partitions {
+		t.offsets[p] = t.ckpt.Offset(t.spec.Job, p)
+	}
+	t.running = true
+	return nil
+}
+
+// Stop checkpoints final offsets, releases all leases, and halts
+// processing. Stop is idempotent.
+func (t *Task) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.running {
+		return
+	}
+	for p, off := range t.offsets {
+		t.ckpt.SetOffset(t.spec.Job, p, off)
+		t.ckpt.Release(t.spec.Job, p, t.instance)
+	}
+	t.running = false
+}
+
+// Kill releases leases without a clean checkpoint of in-flight work; used
+// when a container dies or a DROP_SHARD times out and Turbine forcefully
+// kills the task (§IV-A2). Offsets persisted by earlier Advances remain,
+// so recovery loses no data — it re-reads from the last checkpoint.
+func (t *Task) Kill() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.running {
+		return
+	}
+	t.ckpt.ForceReleaseTask(t.spec.Job, t.instance)
+	t.running = false
+}
+
+// Running reports whether the task is processing.
+func (t *Task) Running() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.running
+}
+
+// OOMCount returns how many times the task was OOM-killed since creation.
+func (t *Task) OOMCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.oomCount
+}
+
+// Restarts returns how many OOM restarts the task performed.
+func (t *Task) Restarts() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.restarts
+}
+
+// LastStats returns the stats from the most recent Advance.
+func (t *Task) LastStats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.last
+}
+
+// Backlog returns unread bytes across the task's partitions at its current
+// offsets (checkpointed offsets when stopped).
+func (t *Task) Backlog() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.backlogLocked()
+}
+
+func (t *Task) backlogLocked() int64 {
+	var total int64
+	for _, p := range t.spec.Partitions {
+		off, ok := t.offsets[p]
+		if !ok {
+			off = t.ckpt.Offset(t.spec.Job, p)
+		}
+		total += t.bus.Backlog(t.spec.InputCategory, p, off)
+	}
+	return total
+}
+
+// MaxRate returns the task's maximum stable processing rate in
+// bytes/second: P · min(threads, allocated cores). A zero CPU allocation
+// means no cgroup CPU cap.
+func (t *Task) MaxRate() float64 {
+	eff := float64(t.spec.Threads)
+	if t.spec.Resources.CPUCores > 0 && t.spec.Resources.CPUCores < eff {
+		eff = t.spec.Resources.CPUCores
+	}
+	return t.profile.PerThreadRate * eff
+}
+
+// Advance processes up to dt of simulated time: it drains owned partitions
+// at up to MaxRate, writes output, checkpoints offsets, updates memory
+// usage, and OOM-kills itself if the memory limit is exceeded under
+// enforcement. It returns the interval's stats.
+func (t *Task) Advance(dt time.Duration) Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	secs := dt.Seconds()
+	if !t.running || secs <= 0 {
+		t.last = Stats{BacklogBytes: t.backlogLocked()}
+		return t.last
+	}
+	if t.oomBackoff {
+		// Restart interval after an OOM kill: no processing.
+		t.oomBackoff = false
+		t.restarts++
+		t.last = Stats{BacklogBytes: t.backlogLocked(), MemoryBytes: t.profile.BaseMemoryBytes}
+		return t.last
+	}
+
+	capacity := int64(t.MaxRate() * secs)
+	// Proportional drain: budget each partition by its share of backlog so
+	// a hot partition doesn't starve the others.
+	backlogs := make(map[int]int64, len(t.spec.Partitions))
+	var totalBacklog int64
+	for _, p := range t.spec.Partitions {
+		b := t.bus.Backlog(t.spec.InputCategory, p, t.offsets[p])
+		backlogs[p] = b
+		totalBacklog += b
+	}
+	var consumed int64
+	if totalBacklog > 0 && capacity > 0 {
+		toConsume := min(capacity, totalBacklog)
+		remaining := toConsume
+		for i, p := range t.spec.Partitions {
+			var quota int64
+			if i == len(t.spec.Partitions)-1 {
+				quota = remaining // last partition absorbs rounding
+			} else {
+				quota = int64(float64(toConsume) * float64(backlogs[p]) / float64(totalBacklog))
+			}
+			if quota > remaining {
+				quota = remaining
+			}
+			newOff, n := t.bus.Read(t.spec.InputCategory, p, t.offsets[p], quota)
+			t.offsets[p] = newOff
+			consumed += n
+			remaining -= n
+			t.ckpt.SetOffset(t.spec.Job, p, newOff)
+		}
+	}
+
+	rate := float64(consumed) / secs
+	cpu := rate / t.profile.PerThreadRate
+	mem := t.profile.MemoryAt(rate)
+	disk := t.profile.DiskAt(rate)
+	network := int64(rate * (1 + t.profile.OutputRatio))
+
+	if t.spec.OutputCategory != "" && t.profile.OutputRatio > 0 && consumed > 0 {
+		out := int64(float64(consumed) * t.profile.OutputRatio)
+		nOut := t.bus.Partitions(t.spec.OutputCategory)
+		if nOut > 0 {
+			// Deterministic spread: write to the partition matching the
+			// task index.
+			_ = t.bus.Append(t.spec.OutputCategory, t.spec.Index%nOut, out, 0)
+		}
+	}
+
+	if t.spec.Operator.Stateful() && len(t.spec.Partitions) > 0 {
+		// Stateful tasks persist their working set (key tables, join
+		// windows) alongside checkpoints, split across owned partitions;
+		// the State Syncer costs redistribution from these sizes.
+		working := mem - t.profile.BaseMemoryBytes
+		if working > 0 {
+			perPart := working / int64(len(t.spec.Partitions))
+			for _, p := range t.spec.Partitions {
+				t.ckpt.SetStateSize(t.spec.Job, p, perPart)
+			}
+		}
+	}
+
+	st := Stats{
+		ProcessedBytes: consumed,
+		Rate:           rate,
+		CPUCores:       cpu,
+		MemoryBytes:    mem,
+		DiskBytes:      disk,
+		NetworkBps:     network,
+		BacklogBytes:   t.backlogLocked(),
+	}
+
+	limit := t.spec.Resources.MemoryBytes
+	if limit > 0 && mem > limit && t.spec.Enforcement != config.EnforceNone && t.spec.Enforcement != "" {
+		// cgroup/JVM enforcement kills the task; stats are preserved and
+		// posted so the Auto Scaler sees the OOM (§V-A).
+		st.OOMKilled = true
+		t.oomCount++
+		t.oomBackoff = true
+	}
+
+	t.last = st
+	return st
+}

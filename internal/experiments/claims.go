@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/jobstore"
+	"repro/internal/shardmanager"
+	"repro/internal/simclock"
+	"repro/internal/statesyncer"
+	"repro/internal/workload"
+)
+
+// ClaimGlobalPush reproduces the §I claim that a global stream-processing
+// engine upgrade — restarting every task in the cluster — completes within
+// 5 minutes of simulated time: the release is a batched simple sync, and
+// Task Managers restart tasks as the new specs propagate.
+func ClaimGlobalPush(p Params) *Result {
+	jobs := pick(p, 20, 60)
+	hosts := pick(p, 6, 16)
+
+	cfg := cluster.Config{Name: "push", Hosts: hosts}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	c.Start()
+	for i := 0; i < jobs; i++ {
+		job := tailerConfig(fmt.Sprintf("j%03d", i), 8, 16, 0, 0)
+		if err := c.AddJob(cluster.JobSpec{Config: job, Pattern: workload.Constant(2 * MB)}); err != nil {
+			panic(err)
+		}
+	}
+	c.Run(4 * time.Minute)
+	want := jobs * 8
+	if got := c.TotalRunningTasks(); got != want {
+		panic(fmt.Sprintf("fleet not settled: %d/%d tasks", got, want))
+	}
+
+	// The push: bump every job's package version.
+	for i := 0; i < jobs; i++ {
+		if err := c.Jobs.SetPackageVersion(fmt.Sprintf("j%03d", i), "v2"); err != nil {
+			panic(err)
+		}
+	}
+	restarted := func() int {
+		n := 0
+		for _, tm := range c.TaskManagers() {
+			n += tm.Stats().Restarted
+		}
+		return n
+	}
+	minutes := 0.0
+	for restarted() < want && minutes < 30 {
+		c.Run(30 * time.Second)
+		minutes += 0.5
+	}
+
+	res := &Result{
+		ID:     "claim-push",
+		Title:  "Cluster-wide engine upgrade latency (restart every task)",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"tasks restarted", fmt.Sprintf("%d", restarted())},
+			{"push latency (min, simulated)", fmt.Sprintf("%.1f", minutes)},
+		},
+		Summary: map[string]float64{
+			"push_minutes": minutes,
+			"tasks":        float64(want),
+			"violations":   float64(c.Violations()),
+		},
+	}
+	res.Notes = append(res.Notes, "paper §I: a global upgrade restarting tens of thousands of tasks completes within 5 minutes")
+	return res
+}
+
+// ClaimE2ESchedule reproduces the §IV-D claims: end-to-end scheduling of a
+// job update is 1–2 minutes on average (State Syncer 30 s + Task Service
+// cache 90 s + Task Manager fetch 60 s), and after a host failure the
+// tasks' downtime is under 2 minutes beyond the 60 s fail-over interval.
+func ClaimE2ESchedule(p Params) *Result {
+	cfg := cluster.Config{Name: "e2e", Hosts: 4}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	c.Start()
+
+	// Measure: submit → all tasks running.
+	job := tailerConfig("j1", 8, 16, 0, 0)
+	if err := c.AddJob(cluster.JobSpec{Config: job, Pattern: workload.Constant(4 * MB)}); err != nil {
+		panic(err)
+	}
+	scheduleSecs := 0.0
+	for c.JobRunningTasks("j1") < 8 && scheduleSecs < 600 {
+		c.Run(10 * time.Second)
+		scheduleSecs += 10
+	}
+
+	c.Run(2 * time.Minute)
+
+	// Measure: host failure → tasks running again.
+	host := c.Hosts()[0]
+	if err := c.KillHost(host); err != nil {
+		panic(err)
+	}
+	downSecs := 0.0
+	for c.JobRunningTasks("j1") < 8 && downSecs < 900 {
+		c.Run(10 * time.Second)
+		downSecs += 10
+	}
+
+	res := &Result{
+		ID:     "claim-e2e",
+		Title:  "End-to-end scheduling and fail-over recovery latency",
+		Header: []string{"metric", "seconds (simulated)"},
+		Rows: [][]string{
+			{"submit -> all tasks running", fmt.Sprintf("%.0f", scheduleSecs)},
+			{"host death -> tasks running elsewhere", fmt.Sprintf("%.0f", downSecs)},
+		},
+		Summary: map[string]float64{
+			"schedule_seconds": scheduleSecs,
+			"failover_seconds": downSecs,
+			"violations":       float64(c.Violations()),
+		},
+	}
+	res.Notes = append(res.Notes,
+		"paper §IV-D: end-to-end scheduling 1-2 min on average; fail-over starts after 60 s and task downtime averages < 2 min")
+	return res
+}
+
+// ClaimSimpleSync reproduces the §III-B claim: simple synchronizations of
+// tens of thousands of jobs complete within seconds through batching.
+// This is a wall-clock claim about the State Syncer itself, so it runs the
+// syncer directly over a large job store.
+func ClaimSimpleSync(p Params) *Result {
+	jobs := pick(p, 5_000, 50_000)
+	store := jobstore.New()
+	clk := simclock.NewSim(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	syncer := statesyncer.New(store, statesyncer.NopActuator{}, clk, statesyncer.Options{})
+
+	base, err := tailerConfig("template", 4, 16, 0, 0).ToDoc()
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < jobs; i++ {
+		name := fmt.Sprintf("j%05d", i)
+		doc := base.Clone()
+		doc.SetPath("name", name)
+		doc.SetPath("input.category", name+"_in")
+		if err := store.Create(name, doc); err != nil {
+			panic(err)
+		}
+	}
+	// Round 1: initial convergence (all simple).
+	first := syncer.RunRound()
+	// Global package release: every job differs again.
+	for i := 0; i < jobs; i++ {
+		if _, err := store.SetLayer(fmt.Sprintf("j%05d", i), config.LayerProvisioner,
+			config.Doc{}.SetPath("package.version", "v2"), jobstore.AnyVersion); err != nil {
+			panic(err)
+		}
+	}
+	release := syncer.RunRound()
+
+	res := &Result{
+		ID:     "claim-sync",
+		Title:  "Batched simple synchronization of a large job store (wall clock)",
+		Header: []string{"round", "jobs synced", "wall seconds"},
+		Rows: [][]string{
+			{"initial convergence", fmt.Sprintf("%d", first.Simple), fmt.Sprintf("%.2f", first.Duration.Seconds())},
+			{"global package release", fmt.Sprintf("%d", release.Simple), fmt.Sprintf("%.2f", release.Duration.Seconds())},
+		},
+		Summary: map[string]float64{
+			"jobs":              float64(jobs),
+			"release_wall_secs": release.Duration.Seconds(),
+		},
+	}
+	res.Notes = append(res.Notes, "paper §III-B: simple synchronizations of tens of thousands of jobs within seconds")
+	return res
+}
+
+// ClaimPlacement reproduces the §VI-A claim: each execution of the
+// placement algorithm mapping 100K shards onto thousands of containers
+// takes less than two seconds of wall clock.
+func ClaimPlacement(p Params) *Result {
+	shards := pick(p, 20_000, 100_000)
+	containers := pick(p, 500, 2_000)
+
+	clk := simclock.NewSim(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	m := shardmanager.New(clk, shardmanager.Options{NumShards: shards})
+	capacity := config.Resources{CPUCores: 40, MemoryBytes: 200 << 30}
+	for i := 0; i < containers; i++ {
+		m.Register(fmt.Sprintf("c%05d", i), capacity, nil)
+	}
+	assignStart := time.Now()
+	m.AssignUnassigned()
+	assignWall := time.Since(assignStart)
+	for s := shardmanager.ShardID(0); s < shardmanager.ShardID(shards); s++ {
+		m.ReportShardLoad(s, config.Resources{
+			CPUCores:    float64(s%13) * 0.15,
+			MemoryBytes: int64(s%7) << 28,
+		})
+	}
+	balanceStart := time.Now()
+	result := m.Rebalance()
+	balanceWall := time.Since(balanceStart)
+
+	res := &Result{
+		ID:     "claim-sched",
+		Title:  "Shard placement at scale (wall clock)",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"shards", fmt.Sprintf("%d", shards)},
+			{"containers", fmt.Sprintf("%d", containers)},
+			{"initial assignment (ms)", fmt.Sprintf("%.0f", assignWall.Seconds()*1000)},
+			{"balancing pass (ms)", fmt.Sprintf("%.0f", balanceWall.Seconds()*1000)},
+			{"moves in pass", fmt.Sprintf("%d", result.Moves)},
+		},
+		Summary: map[string]float64{
+			"placement_seconds": balanceWall.Seconds(),
+			"shards":            float64(shards),
+		},
+	}
+	res.Notes = append(res.Notes, "paper §VI-A: placing 100K shards onto thousands of containers takes < 2 s")
+	return res
+}
+
+// Claim33PctFootprint reproduces the §VI-A claim: migrating Scuba tailers
+// from one-task-per-Tupperware-container into packed Turbine containers
+// reduced the fleet footprint by ~33%, thanks to better use of fragmented
+// resources. The comparison prices the same measured fleet two ways:
+// dedicated containers must round each task's reservation up to container
+// granularity plus per-container agent overhead; Turbine containers pack
+// reservations tightly with a single agent per big container plus cluster
+// headroom.
+func Claim33PctFootprint(p Params) *Result {
+	jobs := pick(p, 150, 800)
+
+	cfg := cluster.Config{Name: "pack", Hosts: pick(p, 10, 40)}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	c.Start()
+	rates := workload.LongTailRates(jobs, 2*MB, p.seed())
+	for i := 0; i < jobs; i++ {
+		tasks := int(math.Ceil(rates[i] / (5 * MB)))
+		if tasks < 1 {
+			tasks = 1
+		}
+		if tasks > 4 {
+			tasks = 4
+		}
+		job := tailerConfig(fmt.Sprintf("t%04d", i), tasks, 16, 0, 0)
+		job.TaskResources = config.Resources{CPUCores: 0.7, MemoryBytes: 700 << 20}
+		if err := c.AddJob(cluster.JobSpec{Config: job, Pattern: workload.Diurnal(rates[i], rates[i]*0.2, 14, 0.01)}); err != nil {
+			panic(err)
+		}
+	}
+	c.Run(2 * time.Hour)
+
+	// Price the fleet both ways.
+	const (
+		agentCPU      = 0.2       // per-container management agent
+		agentMem      = 300 << 20 // bytes
+		cpuGranule    = 1.0       // dedicated containers allocate whole cores
+		memGranule    = int64(512 << 20)
+		turbineHeadrm = 1.10 // Turbine keeps ~10% headroom (§VI-A)
+	)
+	var dedicatedCPU, turbineCPU float64
+	var dedicatedMem, turbineMem int64
+	nTasks := 0
+	for _, info := range c.ListJobs() {
+		// info.Footprint is taskCount x per-task reservation; recover the
+		// per-task value from the running config via ListJobs' shape.
+		_ = info
+	}
+	for _, job := range c.Store.RunningNames() {
+		r, ok := c.Store.GetRunning(job)
+		if !ok {
+			continue
+		}
+		jc, err := config.JobConfigFromDoc(r.Config)
+		if err != nil {
+			continue
+		}
+		for i := 0; i < jc.TaskCount; i++ {
+			nTasks++
+			cpu := jc.TaskResources.CPUCores
+			mem := jc.TaskResources.MemoryBytes
+			// One task per dedicated container: round up + agent.
+			dedicatedCPU += math.Ceil(cpu+agentCPU) * cpuGranule
+			dm := mem + agentMem
+			dedicatedMem += ((dm + memGranule - 1) / memGranule) * memGranule
+			// Packed into Turbine containers: raw reservation.
+			turbineCPU += cpu
+			turbineMem += mem
+		}
+	}
+	// Turbine adds one agent per (large) container and cluster headroom.
+	containers := len(c.TaskManagers())
+	turbineCPU = (turbineCPU + float64(containers)*agentCPU) * turbineHeadrm
+	turbineMem = int64(float64(turbineMem+int64(containers)*agentMem) * turbineHeadrm)
+
+	cpuSave := 100 * (1 - turbineCPU/dedicatedCPU)
+	memSave := 100 * (1 - float64(turbineMem)/float64(dedicatedMem))
+	res := &Result{
+		ID:     "claim-33pct",
+		Title:  "Fleet footprint: dedicated per-task containers vs packed Turbine containers",
+		Header: []string{"metric", "dedicated", "turbine", "saving_pct"},
+		Rows: [][]string{
+			{"CPU cores", fmt.Sprintf("%.0f", dedicatedCPU), fmt.Sprintf("%.0f", turbineCPU), fmt.Sprintf("%.1f", cpuSave)},
+			{"memory GB", gb(dedicatedMem), gb(turbineMem), fmt.Sprintf("%.1f", memSave)},
+		},
+		Summary: map[string]float64{
+			"tasks":           float64(nTasks),
+			"cpu_saving_pct":  cpuSave,
+			"mem_saving_pct":  memSave,
+			"mean_saving_pct": (cpuSave + memSave) / 2,
+		},
+	}
+	res.Notes = append(res.Notes, "paper §VI-A: migration to Turbine produced a ~33% footprint reduction")
+	return res
+}

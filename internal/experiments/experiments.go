@@ -1,0 +1,173 @@
+// Package experiments regenerates every table and figure of the Turbine
+// paper's evaluation (§VI) plus its headline latency/scale claims, on the
+// simulated cluster substrate. Each experiment returns a Result holding
+// the same rows/series the paper reports; cmd/experiments prints them and
+// bench_test.go wraps them in testing.B benchmarks.
+//
+// Absolute numbers will differ from the paper — the substrate is a
+// simulator, not Facebook's fleet — but each experiment's README note
+// states the shape that must hold (who wins, direction, rough factor),
+// and EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/metrics"
+)
+
+// MB is one mebibyte, the working unit of traffic rates here.
+const MB = 1 << 20
+
+// Result is one experiment's reproduced artifact.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Summary holds the headline numbers (also used by EXPERIMENTS.md and
+	// asserted, loosely, by benchmarks).
+	Summary map[string]float64
+	Notes   []string
+}
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Header) > 0 {
+		widths := make([]int, len(r.Header))
+		for i, h := range r.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range r.Rows {
+			for i, cell := range row {
+				if i < len(widths) && len(cell) > widths[i] {
+					widths[i] = len(cell)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, cell := range cells {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			}
+			b.WriteByte('\n')
+		}
+		writeRow(r.Header)
+		for _, row := range r.Rows {
+			writeRow(row)
+		}
+	}
+	if len(r.Summary) > 0 {
+		b.WriteString("-- summary --\n")
+		for _, k := range sortedKeys(r.Summary) {
+			fmt.Fprintf(&b, "%-40s %.4g\n", k, r.Summary[k])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Params control experiment scale. Short mode shrinks fleets and
+// durations for benchmarks and CI; full mode is the figure-faithful run.
+type Params struct {
+	Short bool
+	// Seed varies synthetic fleets deterministically.
+	Seed int64
+}
+
+func (p Params) seed() int64 {
+	if p.Seed == 0 {
+		return 42
+	}
+	return p.Seed
+}
+
+// pick returns shortVal in Short mode, fullVal otherwise.
+func pick[T any](p Params, shortVal, fullVal T) T {
+	if p.Short {
+		return shortVal
+	}
+	return fullVal
+}
+
+// tailerConfig builds a Scuba-tailer-shaped job config.
+func tailerConfig(name string, tasks, partitions, maxTasks, priority int) *config.JobConfig {
+	return &config.JobConfig{
+		Name:           name,
+		Package:        config.Package{Name: "scuba_tailer", Version: "v1"},
+		TaskCount:      tasks,
+		ThreadsPerTask: 2,
+		TaskResources:  config.Resources{CPUCores: 2, MemoryBytes: 2 << 30},
+		Operator:       config.OpTailer,
+		Input:          config.Input{Category: strings.ReplaceAll(name, "/", "_") + "_in", Partitions: partitions},
+		Enforcement:    config.EnforceCgroup,
+		MaxTaskCount:   maxTasks,
+		Priority:       priority,
+		SLOSeconds:     90,
+	}
+}
+
+// percentiles extracts p5/p50/p95 from a value set.
+func percentiles(vs []float64) (p5, p50, p95 float64) {
+	return metrics.Percentile(vs, 5), metrics.Percentile(vs, 50), metrics.Percentile(vs, 95)
+}
+
+// gb formats bytes as GB with 2 decimals.
+func gb(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<30)) }
+
+// mbs formats a bytes/sec rate as MB/s.
+func mbs(r float64) string { return fmt.Sprintf("%.1f", r/MB) }
+
+// Registry maps experiment IDs to their runners.
+var Registry = map[string]func(Params) *Result{
+	"fig1":              Fig1Growth,
+	"fig5":              Fig5TaskFootprint,
+	"fig6":              Fig6LoadBalance,
+	"fig7":              Fig7LBToggle,
+	"fig8":              Fig8BacklogRecovery,
+	"fig9":              Fig9Storm,
+	"fig10":             Fig10Efficiency,
+	"tableI":            TableIJobStore,
+	"claim-push":        ClaimGlobalPush,
+	"claim-e2e":         ClaimE2ESchedule,
+	"claim-sync":        ClaimSimpleSync,
+	"claim-sched":       ClaimPlacement,
+	"claim-33pct":       Claim33PctFootprint,
+	"ablation-history":  AblationHistory,
+	"ablation-vertical": AblationVertical,
+}
+
+// IDs returns all experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

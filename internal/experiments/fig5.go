@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig5TaskFootprint reproduces Figure 5: the CDFs of per-task CPU and
+// memory usage across the Scuba Tailer fleet.
+//
+// Shape that must hold: (a) over 80% of tasks consume less than one CPU
+// core, with a small percentage needing several; (b) every task has a
+// memory floor of ~400 MB (the tailer subprocess + metric collection) and
+// ~99% stay under 2 GB.
+func Fig5TaskFootprint(p Params) *Result {
+	jobs := pick(p, 150, 1200)
+	hosts := pick(p, 10, 60)
+
+	cfg := cluster.Config{Name: "fig5", Hosts: hosts}
+	cfg.TaskMgr.FetchInterval = 5 * time.Minute
+	c, err := cluster.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	c.Start()
+
+	rates := workload.LongTailRates(jobs, 2*MB, p.seed())
+	bufs := workload.LongTailRates(jobs, 40, p.seed()+1) // buffer seconds per job
+	for i := 0; i < jobs; i++ {
+		name := fmt.Sprintf("scuba/t%04d", i)
+		tasks := int(math.Ceil(rates[i] / (5 * MB)))
+		if tasks < 1 {
+			tasks = 1
+		}
+		if tasks > 8 {
+			tasks = 8
+		}
+		if rates[i] > 12*MB {
+			// Hot tables run few, wide tasks: the >4-core tail of fig 5a.
+			tasks = int(math.Ceil(rates[i] / (15 * MB)))
+			if tasks > 4 {
+				tasks = 4
+			}
+		}
+		job := tailerConfig(name, tasks, 32, 32, 0)
+		profile := engine.DefaultProfile(job.Operator)
+		prof := *profile
+		prof.BufferSeconds = math.Min(bufs[i], 400)
+		if rates[i] > 12*MB {
+			job.ThreadsPerTask = 6
+			job.TaskResources.CPUCores = 6
+			job.TaskResources.MemoryBytes = 8 << 30
+		}
+		pattern := workload.Diurnal(rates[i], rates[i]*0.2, 14, 0.01)
+		if err := c.AddJob(cluster.JobSpec{Config: job, Pattern: pattern, Profile: &prof}); err != nil {
+			panic(err)
+		}
+	}
+
+	// Settle scheduling, then observe a steady hour.
+	c.Run(3 * time.Hour)
+
+	var cpus, mems []float64
+	for _, st := range c.TaskFootprints() {
+		cpus = append(cpus, st.CPUCores)
+		mems = append(mems, float64(st.MemoryBytes))
+	}
+
+	res := &Result{
+		ID:     "fig5",
+		Title:  "CDF of per-task CPU (cores) and memory (GB) across the tailer fleet",
+		Header: []string{"percentile", "cpu_cores", "memory_GB"},
+	}
+	for _, pc := range []float64{10, 25, 50, 75, 80, 90, 95, 99, 99.9} {
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("p%g", pc),
+			fmt.Sprintf("%.2f", metrics.Percentile(cpus, pc)),
+			fmt.Sprintf("%.2f", metrics.Percentile(mems, pc)/(1<<30)),
+		})
+	}
+
+	below1Core := fraction(cpus, func(v float64) bool { return v < 1 })
+	memFloor := metrics.Percentile(mems, 0)
+	below2GB := fraction(mems, func(v float64) bool { return v < 2<<30 })
+	res.Summary = map[string]float64{
+		"tasks":                float64(len(cpus)),
+		"frac_cpu_below_1core": below1Core,
+		"memory_floor_MB":      memFloor / (1 << 20),
+		"frac_mem_below_2GB":   below2GB,
+		"max_cpu_cores":        metrics.Percentile(cpus, 100),
+		"violations":           float64(c.Violations()),
+	}
+	res.Notes = append(res.Notes,
+		"paper fig5a: >80% of tasks below 1 CPU core; a small % needs >4 threads",
+		"paper fig5b: every task >=~400MB; >99% below 2GB")
+	return res
+}
+
+func fraction(vs []float64, pred func(float64) bool) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range vs {
+		if pred(v) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(vs))
+}

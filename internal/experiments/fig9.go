@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/autoscaler"
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// Fig9Storm reproduces Figure 9: during a disaster-recovery drill
+// ("storm") traffic from a disconnected datacenter is redirected into the
+// cluster, raising peak traffic ~16% above the previous day. The Auto
+// Scaler absorbs part of the surge vertically and adds ~8% more tasks;
+// jobs stay within SLO throughout. The normal day-1 diurnal swing causes
+// little task-count movement because the preactive history analysis
+// recognizes it.
+//
+// Shape that must hold: day-2 peak traffic ≈ +16% over day-1 peak; task
+// count rises by a smaller relative amount than traffic (vertical first);
+// ≈99.9% of job-hours stay within SLO; task count returns toward normal
+// after the storm.
+func Fig9Storm(p Params) *Result {
+	jobs := pick(p, 30, 100)
+	hosts := pick(p, 10, 24)
+
+	cfg := cluster.Config{Name: "fig9", Hosts: hosts, EnableScaler: true}
+	cfg.TaskMgr.FetchInterval = 2 * time.Minute
+	cfg.Scaler = autoscaler.Options{
+		ScanInterval:        5 * time.Minute,
+		RecoverySeconds:     1800,
+		DownscaleAfter:      3 * time.Hour,
+		DownscalePeakWindow: time.Hour,
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	c.Start()
+	start := c.Clk.Now()
+
+	// Storm: day 2, 08:00 for 12 hours, +16% redirected traffic.
+	stormStart := start.Add(24*time.Hour + 32*time.Hour) // warmup day + day1 8h
+	rates := workload.LongTailRates(jobs, 4*MB, p.seed())
+	for i := 0; i < jobs; i++ {
+		job := tailerConfig(fmt.Sprintf("scuba/t%04d", i), 2, 32, 32, 0)
+		job.ThreadsPerTask = 4 // headroom for vertical scaling first
+		base := workload.Diurnal(rates[i], rates[i]*0.35, 14, 0.01)
+		pattern := workload.Storm(base, stormStart, 12*time.Hour, 0.16)
+		if err := c.AddJob(cluster.JobSpec{Config: job, Pattern: pattern}); err != nil {
+			panic(err)
+		}
+	}
+
+	// Warmup day: builds the history the pattern analyzer consults.
+	c.Run(24 * time.Hour)
+
+	res := &Result{
+		ID:     "fig9",
+		Title:  "Cluster traffic and task count through a storm drill",
+		Header: []string{"hour", "traffic_MB/s", "configured_tasks", "jobs_in_SLO_pct"},
+	}
+
+	var day1Peak, day2Peak, day1PeakTasks, day2PeakTasks float64
+	sloSamples, sloOK := 0, 0
+	for h := 0; h < 40; h++ {
+		c.Run(time.Hour)
+		traffic, _ := c.Metrics.WindowAvg("cluster/inputRate", time.Hour)
+		tasks := configuredTasks(c)
+
+		inSLO, total := 0, 0
+		for _, job := range c.JobNames() {
+			sig, ok := c.JobSignals(job)
+			if !ok {
+				continue
+			}
+			total++
+			if sig.TimeLagged(0) <= 90 {
+				inSLO++
+			}
+		}
+		pct := 100.0
+		if total > 0 {
+			pct = 100 * float64(inSLO) / float64(total)
+		}
+		sloSamples += total
+		sloOK += inSLO
+
+		if h < 24 && traffic > day1Peak {
+			day1Peak, day1PeakTasks = traffic, tasks
+		}
+		if h >= 24 && traffic > day2Peak {
+			day2Peak, day2PeakTasks = traffic, tasks
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", h+1),
+			mbs(traffic),
+			fmt.Sprintf("%.0f", tasks),
+			fmt.Sprintf("%.1f", pct),
+		})
+	}
+
+	res.Summary = map[string]float64{
+		"day2_over_day1_traffic_pct": 100 * (day2Peak/math.Max(day1Peak, 1) - 1),
+		"day2_over_day1_tasks_pct":   100 * (day2PeakTasks/math.Max(day1PeakTasks, 1) - 1),
+		"jobs_in_SLO_pct":            100 * float64(sloOK) / math.Max(float64(sloSamples), 1),
+		"violations":                 float64(c.Violations()),
+	}
+	res.Notes = append(res.Notes,
+		"paper: storm raised peak traffic ~16% vs the prior day; task count rose ~8% (vertical scaling absorbed the rest); ~99.9% of jobs stayed in SLO",
+		"shape holds if task-count growth is positive but smaller than traffic growth and SLO compliance stays high")
+	return res
+}

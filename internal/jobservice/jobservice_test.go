@@ -1,0 +1,271 @@
+package jobservice
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/jobstore"
+)
+
+func validConfig(name string) *config.JobConfig {
+	return &config.JobConfig{
+		Name:           name,
+		Package:        config.Package{Name: "tailer", Version: "v1"},
+		TaskCount:      10,
+		ThreadsPerTask: 2,
+		TaskResources:  config.Resources{CPUCores: 1, MemoryBytes: 1 << 30},
+		Operator:       config.OpTailer,
+		Input:          config.Input{Category: name + "_in", Partitions: 64},
+		SLOSeconds:     90,
+	}
+}
+
+func newService(t *testing.T) *Service {
+	t.Helper()
+	s := New(jobstore.New())
+	if err := s.Provision(validConfig("j1")); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestProvisionValidates(t *testing.T) {
+	s := New(jobstore.New())
+	bad := validConfig("j1")
+	bad.TaskCount = 0
+	if err := s.Provision(bad); err == nil {
+		t.Fatal("invalid config provisioned")
+	}
+	if err := s.Provision(validConfig("j1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Provision(validConfig("j1")); err == nil {
+		t.Fatal("duplicate provision accepted")
+	}
+}
+
+func TestDesiredDecodesTyped(t *testing.T) {
+	s := newService(t)
+	cfg, version, err := s.Desired("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TaskCount != 10 || cfg.Package.Version != "v1" {
+		t.Fatalf("Desired = %+v", cfg)
+	}
+	if version != 1 {
+		t.Fatalf("version = %d", version)
+	}
+}
+
+func TestHierarchicalUpdateScenario(t *testing.T) {
+	// The paper's §III-A scenario: job at 10 tasks; Auto Scaler says 15,
+	// Oncall1 says 20, Oncall2 says 30. Oncall layer outranks Scaler, and
+	// the two oncalls serialize via CAS; last write wins within the layer.
+	s := newService(t)
+	if err := s.SetTaskCount("j1", config.LayerScaler, 15); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTaskCount("j1", config.LayerOncall, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTaskCount("j1", config.LayerOncall, 30); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := s.Desired("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TaskCount != 30 {
+		t.Fatalf("TaskCount = %d, want 30", cfg.TaskCount)
+	}
+	// A later scaler write cannot override the oncall: a broken automation
+	// service must not overwrite human intervention (§III-A).
+	if err := s.SetTaskCount("j1", config.LayerScaler, 5); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, _ = s.Desired("j1")
+	if cfg.TaskCount != 30 {
+		t.Fatalf("scaler overrode oncall: TaskCount = %d", cfg.TaskCount)
+	}
+	// Once the oncall clears its layer, the scaler value shows through.
+	if err := s.ClearLayer("j1", config.LayerOncall); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, _ = s.Desired("j1")
+	if cfg.TaskCount != 5 {
+		t.Fatalf("after clear, TaskCount = %d, want 5", cfg.TaskCount)
+	}
+}
+
+func TestUpdateRejectedIfMergedInvalid(t *testing.T) {
+	s := newService(t)
+	// 999 tasks > 64 partitions: merged config invalid, write rejected.
+	err := s.SetTaskCount("j1", config.LayerScaler, 999)
+	if err == nil {
+		t.Fatal("invalid merged config accepted")
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	cfg, _, _ := s.Desired("j1")
+	if cfg.TaskCount != 10 {
+		t.Fatalf("failed update leaked: TaskCount = %d", cfg.TaskCount)
+	}
+}
+
+func TestSetTaskResources(t *testing.T) {
+	s := newService(t)
+	err := s.SetTaskResources("j1", config.LayerScaler, config.Resources{
+		CPUCores: 3, MemoryBytes: 4 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, _ := s.Desired("j1")
+	if cfg.TaskResources.CPUCores != 3 || cfg.TaskResources.MemoryBytes != 4<<30 {
+		t.Fatalf("TaskResources = %+v", cfg.TaskResources)
+	}
+	// Dimensions not set keep the base value... CPU/Memory overridden,
+	// base had no disk, still zero.
+	if cfg.TaskResources.DiskBytes != 0 {
+		t.Fatalf("DiskBytes = %d", cfg.TaskResources.DiskBytes)
+	}
+}
+
+func TestSetPackageVersionTouchesOnlyPackage(t *testing.T) {
+	s := newService(t)
+	if err := s.SetPackageVersion("j1", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, _ := s.Desired("j1")
+	if cfg.Package.Version != "v2" {
+		t.Fatalf("Package.Version = %q", cfg.Package.Version)
+	}
+	if cfg.Package.Name != "tailer" {
+		t.Fatalf("Package.Name clobbered: %q", cfg.Package.Name)
+	}
+	if cfg.TaskCount != 10 {
+		t.Fatalf("TaskCount disturbed: %d", cfg.TaskCount)
+	}
+}
+
+func TestSetMaxTaskCountAndStopped(t *testing.T) {
+	s := newService(t)
+	if err := s.SetMaxTaskCount("j1", 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetStopped("j1", true); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, _ := s.Desired("j1")
+	if cfg.MaxTaskCount != 32 || !cfg.Stopped {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	// Both live in the oncall layer; the second write must not clobber
+	// the first (layer read-modify-write).
+	if err := s.SetStopped("j1", false); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, _ = s.Desired("j1")
+	if cfg.MaxTaskCount != 32 {
+		t.Fatal("SetStopped clobbered maxTaskCount in the same layer")
+	}
+}
+
+func TestUpdateUnknownJob(t *testing.T) {
+	s := newService(t)
+	if err := s.SetTaskCount("ghost", config.LayerScaler, 5); err == nil {
+		t.Fatal("update of unknown job accepted")
+	}
+	if _, _, err := s.Desired("ghost"); err == nil {
+		t.Fatal("Desired of unknown job succeeded")
+	}
+}
+
+func TestConcurrentLayerWritersAllLand(t *testing.T) {
+	// Two actors updating *different* paths of the same layer must both
+	// land despite CAS contention (read-modify-write consistency, §III-A).
+	s := newService(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var err error
+			if i%2 == 0 {
+				err = s.UpdateLayer("j1", config.LayerOncall, func(d config.Doc) config.Doc {
+					return d.SetPath("maxTaskCount", 32)
+				})
+			} else {
+				err = s.UpdateLayer("j1", config.LayerOncall, func(d config.Doc) config.Doc {
+					return d.SetPath("priority", 7)
+				})
+			}
+			if err != nil {
+				t.Errorf("writer %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	cfg, _, err := s.Desired("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxTaskCount != 32 || cfg.Priority != 7 {
+		t.Fatalf("lost update: %+v", cfg)
+	}
+}
+
+func TestDeleteDelegates(t *testing.T) {
+	s := newService(t)
+	if err := s.Delete("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Desired("j1"); err == nil {
+		t.Fatal("deleted job still resolvable")
+	}
+}
+
+func TestSetTaskResourcesAllDimensions(t *testing.T) {
+	s := newService(t)
+	err := s.SetTaskResources("j1", config.LayerScaler, config.Resources{
+		CPUCores: 2, MemoryBytes: 2 << 30, DiskBytes: 10 << 30, NetworkBps: 100 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, _ := s.Desired("j1")
+	if cfg.TaskResources.DiskBytes != 10<<30 || cfg.TaskResources.NetworkBps != 100<<20 {
+		t.Fatalf("resources = %+v", cfg.TaskResources)
+	}
+}
+
+func TestUpdateLayerNilMutationResult(t *testing.T) {
+	s := newService(t)
+	// A mutate function returning nil resets the layer to empty.
+	if err := s.SetTaskCount("j1", config.LayerOncall, 20); err != nil {
+		t.Fatal(err)
+	}
+	err := s.UpdateLayer("j1", config.LayerOncall, func(config.Doc) config.Doc { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, _ := s.Desired("j1")
+	if cfg.TaskCount != 10 {
+		t.Fatalf("TaskCount = %d, want base 10", cfg.TaskCount)
+	}
+}
+
+func TestUpdateLayerUndecodableRejected(t *testing.T) {
+	s := newService(t)
+	err := s.UpdateLayer("j1", config.LayerOncall, func(d config.Doc) config.Doc {
+		return d.SetPath("taskCount", "NaN-string")
+	})
+	if err == nil {
+		t.Fatal("undecodable layer accepted")
+	}
+}

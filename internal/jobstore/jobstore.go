@@ -1,0 +1,342 @@
+// Package jobstore is Turbine's Job Store (paper §III): the repository of
+// current and desired configuration parameters for every job.
+//
+// Following Table I, each job has two records:
+//
+//   - the Expected Job entry: four partial configuration layers (Base,
+//     Provisioner, Scaler, Oncall) whose precedence-ordered merge is the
+//     desired state. Different actors own different layers and update them
+//     independently.
+//   - the Running Job entry: the configuration the cluster is actually
+//     running. Only the State Syncer writes it, and only after the actions
+//     that realize it succeeded — that commit discipline is what gives job
+//     updates their atomicity.
+//
+// Every job carries a single version covering its expected layers. Writers
+// follow read-modify-write: they pass back the version their decision was
+// based on, and the store rejects stale writes (ErrVersionMismatch). This
+// is the consistency guarantee the Job Service relies on when, e.g., two
+// oncalls update the oncall configuration simultaneously (§III-A).
+package jobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/config"
+)
+
+// ErrVersionMismatch is returned by compare-and-set writes whose base
+// version is stale: another writer updated the job first. Callers must
+// re-read, re-apply their decision, and retry.
+var ErrVersionMismatch = errors.New("jobstore: version mismatch")
+
+// ErrNotFound is returned when the named job has no expected entry.
+var ErrNotFound = errors.New("jobstore: job not found")
+
+// AnyVersion passes CAS unconditionally. Reserved for actors whose writes
+// must not be lost to races (oncall emergency overrides).
+const AnyVersion int64 = -1
+
+// Expected is a read snapshot of a job's expected configuration stack.
+type Expected struct {
+	Layers  [4]config.Doc // indexed by config.Layer; nil layers unset
+	Version int64
+}
+
+// Merged returns the precedence-ordered merge of all layers (Algorithm 1).
+func (e *Expected) Merged() config.Doc {
+	return config.MergeLayers(e.Layers[0], e.Layers[1], e.Layers[2], e.Layers[3])
+}
+
+// Running is a read snapshot of a job's running configuration.
+type Running struct {
+	Config  config.Doc
+	Version int64 // the expected version this running state realizes
+}
+
+// Quarantine marks a job the State Syncer gave up on after repeated
+// failed synchronizations; an oncall must investigate (§III-B).
+type Quarantine struct {
+	Reason string
+}
+
+// Store is the in-memory Job Store. Safe for concurrent use.
+type Store struct {
+	mu          sync.RWMutex
+	expected    map[string]*Expected
+	running     map[string]*Running
+	quarantined map[string]Quarantine
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		expected:    make(map[string]*Expected),
+		running:     make(map[string]*Running),
+		quarantined: make(map[string]Quarantine),
+	}
+}
+
+// Create registers a new job whose Base layer is base. It fails if the job
+// already exists.
+func (s *Store) Create(name string, base config.Doc) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.expected[name]; ok {
+		return fmt.Errorf("jobstore: job %q already exists", name)
+	}
+	e := &Expected{Version: 1}
+	e.Layers[config.LayerBase] = base.Clone()
+	s.expected[name] = e
+	return nil
+}
+
+// Delete removes a job's expected entry. The running entry remains until
+// the State Syncer has stopped the job's tasks and calls DropRunning; the
+// syncer detects deletion as "running without expected".
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.expected[name]; !ok {
+		return ErrNotFound
+	}
+	delete(s.expected, name)
+	delete(s.quarantined, name)
+	return nil
+}
+
+// GetExpected returns a snapshot of the job's expected stack.
+func (s *Store) GetExpected(name string) (Expected, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.expected[name]
+	if !ok {
+		return Expected{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return snapshotExpected(e), nil
+}
+
+func snapshotExpected(e *Expected) Expected {
+	out := Expected{Version: e.Version}
+	for i, l := range e.Layers {
+		out.Layers[i] = l.Clone()
+	}
+	return out
+}
+
+// SetLayer replaces one expected layer under CAS: the write succeeds only
+// if the job's version still equals baseVersion (or baseVersion is
+// AnyVersion). On success the job's version is bumped and returned.
+func (s *Store) SetLayer(name string, layer config.Layer, doc config.Doc, baseVersion int64) (int64, error) {
+	if !layer.Valid() {
+		return 0, fmt.Errorf("jobstore: invalid layer %v", layer)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.expected[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if baseVersion != AnyVersion && e.Version != baseVersion {
+		return 0, fmt.Errorf("%w: job %s at version %d, write based on %d", ErrVersionMismatch, name, e.Version, baseVersion)
+	}
+	e.Layers[layer] = doc.Clone()
+	e.Version++
+	return e.Version, nil
+}
+
+// MergedExpected returns the effective desired configuration — the
+// precedence merge of all expected layers — and the version it reflects.
+func (s *Store) MergedExpected(name string) (config.Doc, int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.expected[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	snap := snapshotExpected(e)
+	return snap.Merged(), e.Version, nil
+}
+
+// GetRunning returns a snapshot of the job's running configuration.
+func (s *Store) GetRunning(name string) (Running, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.running[name]
+	if !ok {
+		return Running{}, false
+	}
+	return Running{Config: r.Config.Clone(), Version: r.Version}, true
+}
+
+// ExpectedVersion returns just the version of a job's expected entry,
+// without snapshotting its layers.
+func (s *Store) ExpectedVersion(name string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.expected[name]
+	if !ok {
+		return 0, false
+	}
+	return e.Version, true
+}
+
+// RunningVersion returns just the version of a job's running entry,
+// without cloning its configuration — the State Syncer's fast path.
+func (s *Store) RunningVersion(name string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.running[name]
+	if !ok {
+		return 0, false
+	}
+	return r.Version, true
+}
+
+// CommitRunning records that the cluster now runs cfg, which realizes
+// expected version version. Only the State Syncer calls this, and only
+// after the execution plan completed — the atomic commit point of a job
+// update (§III-B).
+func (s *Store) CommitRunning(name string, cfg config.Doc, version int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running[name] = &Running{Config: cfg.Clone(), Version: version}
+}
+
+// DropRunning removes the running entry after a deleted job's tasks have
+// been stopped.
+func (s *Store) DropRunning(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.running, name)
+}
+
+// ExpectedNames returns all jobs with an expected entry, sorted.
+func (s *Store) ExpectedNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedKeys(s.expected)
+}
+
+// RunningNames returns all jobs with a running entry, sorted.
+func (s *Store) RunningNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedKeys(s.running)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetQuarantine marks a job quarantined with a reason.
+func (s *Store) SetQuarantine(name, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quarantined[name] = Quarantine{Reason: reason}
+}
+
+// ClearQuarantine lifts a job's quarantine.
+func (s *Store) ClearQuarantine(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.quarantined, name)
+}
+
+// Quarantined reports whether a job is quarantined, and why.
+func (s *Store) Quarantined(name string) (Quarantine, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	q, ok := s.quarantined[name]
+	return q, ok
+}
+
+// QuarantinedNames returns all quarantined job names, sorted.
+func (s *Store) QuarantinedNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedKeys(s.quarantined)
+}
+
+// snapshot is the serialized form of the whole store.
+type snapshot struct {
+	Expected    map[string]*Expected  `json:"expected"`
+	Running     map[string]*Running   `json:"running"`
+	Quarantined map[string]Quarantine `json:"quarantined"`
+}
+
+// Snapshot serializes the full store to JSON, for durability and for
+// offline inspection by turbinectl.
+func (s *Store) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return json.MarshalIndent(snapshot{
+		Expected:    s.expected,
+		Running:     s.running,
+		Quarantined: s.quarantined,
+	}, "", "  ")
+}
+
+// Restore replaces the store's contents from a Snapshot.
+func (s *Store) Restore(data []byte) error {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("jobstore: restore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expected = snap.Expected
+	s.running = snap.Running
+	s.quarantined = snap.Quarantined
+	if s.expected == nil {
+		s.expected = make(map[string]*Expected)
+	}
+	if s.running == nil {
+		s.running = make(map[string]*Running)
+	}
+	if s.quarantined == nil {
+		s.quarantined = make(map[string]Quarantine)
+	}
+	return nil
+}
+
+// SaveFile atomically persists a snapshot to path (temp file + rename), so
+// a crash mid-write never corrupts the stored state.
+func (s *Store) SaveFile(path string) error {
+	data, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("jobstore: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobstore: save: %w", err)
+	}
+	return nil
+}
+
+// LoadFile restores the store from a snapshot written by SaveFile. A
+// missing file leaves the store empty (first boot) and returns no error.
+func (s *Store) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobstore: load: %w", err)
+	}
+	return s.Restore(data)
+}

@@ -1,0 +1,309 @@
+package jobstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func baseDoc() config.Doc {
+	return config.Doc{
+		"name":      "j1",
+		"taskCount": 10,
+		"package":   config.Doc{"name": "tailer", "version": "v1"},
+	}
+}
+
+func TestCreateAndGetExpected(t *testing.T) {
+	s := New()
+	if err := s.Create("j1", baseDoc()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("j1", baseDoc()); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	e, err := s.GetExpected("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 1 {
+		t.Fatalf("Version = %d, want 1", e.Version)
+	}
+	if v, _ := e.Layers[config.LayerBase].GetPath("taskCount"); v != 10 {
+		t.Fatalf("base taskCount = %v", v)
+	}
+	if _, err := s.GetExpected("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCreateIsolatesCallerDoc(t *testing.T) {
+	s := New()
+	d := baseDoc()
+	s.Create("j1", d)
+	d["taskCount"] = 999 // caller mutates after create
+	e, _ := s.GetExpected("j1")
+	if v, _ := e.Layers[config.LayerBase].GetPath("taskCount"); v != 10 {
+		t.Fatalf("store aliased caller's doc: taskCount = %v", v)
+	}
+}
+
+func TestSetLayerCAS(t *testing.T) {
+	s := New()
+	s.Create("j1", baseDoc())
+	v, err := s.SetLayer("j1", config.LayerScaler, config.Doc{"taskCount": 15}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("new version = %d, want 2", v)
+	}
+	// Stale write rejected.
+	if _, err := s.SetLayer("j1", config.LayerOncall, config.Doc{"taskCount": 30}, 1); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("stale write err = %v, want ErrVersionMismatch", err)
+	}
+	// AnyVersion bypasses.
+	if _, err := s.SetLayer("j1", config.LayerOncall, config.Doc{"taskCount": 30}, AnyVersion); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid layer rejected.
+	if _, err := s.SetLayer("j1", config.Layer(9), config.Doc{}, AnyVersion); err == nil {
+		t.Fatal("invalid layer accepted")
+	}
+	// Unknown job rejected.
+	if _, err := s.SetLayer("nope", config.LayerBase, config.Doc{}, AnyVersion); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMergedExpectedPrecedence(t *testing.T) {
+	s := New()
+	s.Create("j1", baseDoc())
+	s.SetLayer("j1", config.LayerScaler, config.Doc{"taskCount": 15}, AnyVersion)
+	s.SetLayer("j1", config.LayerOncall, config.Doc{"taskCount": 30}, AnyVersion)
+	merged, version, err := s.MergedExpected("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := merged.GetPath("taskCount"); v != 30 {
+		t.Fatalf("merged taskCount = %v, want 30 (oncall wins)", v)
+	}
+	if v, _ := merged.GetPath("package.version"); v != "v1" {
+		t.Fatalf("merged package.version = %v (base must survive)", v)
+	}
+	if version != 3 {
+		t.Fatalf("version = %d, want 3", version)
+	}
+}
+
+func TestRunningLifecycle(t *testing.T) {
+	s := New()
+	if _, ok := s.GetRunning("j1"); ok {
+		t.Fatal("phantom running entry")
+	}
+	s.CommitRunning("j1", config.Doc{"taskCount": 10}, 5)
+	r, ok := s.GetRunning("j1")
+	if !ok || r.Version != 5 {
+		t.Fatalf("running = %+v,%v", r, ok)
+	}
+	if v, _ := r.Config.GetPath("taskCount"); v != 10 {
+		t.Fatalf("running taskCount = %v", v)
+	}
+	s.DropRunning("j1")
+	if _, ok := s.GetRunning("j1"); ok {
+		t.Fatal("running entry survived drop")
+	}
+}
+
+func TestDeleteLeavesRunningForSyncer(t *testing.T) {
+	s := New()
+	s.Create("j1", baseDoc())
+	s.CommitRunning("j1", baseDoc(), 1)
+	if err := s.Delete("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetExpected("j1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("expected entry survived delete")
+	}
+	if _, ok := s.GetRunning("j1"); !ok {
+		t.Fatal("running entry must remain until syncer stops tasks")
+	}
+	if err := s.Delete("j1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	s := New()
+	s.Create("zj", baseDoc())
+	s.Create("aj", baseDoc())
+	s.CommitRunning("mj", config.Doc{}, 1)
+	if got := s.ExpectedNames(); len(got) != 2 || got[0] != "aj" {
+		t.Fatalf("ExpectedNames = %v", got)
+	}
+	if got := s.RunningNames(); len(got) != 1 || got[0] != "mj" {
+		t.Fatalf("RunningNames = %v", got)
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	s := New()
+	s.Create("j1", baseDoc())
+	s.SetQuarantine("j1", "5 consecutive sync failures")
+	q, ok := s.Quarantined("j1")
+	if !ok || q.Reason == "" {
+		t.Fatalf("Quarantined = %+v,%v", q, ok)
+	}
+	if names := s.QuarantinedNames(); len(names) != 1 || names[0] != "j1" {
+		t.Fatalf("QuarantinedNames = %v", names)
+	}
+	s.ClearQuarantine("j1")
+	if _, ok := s.Quarantined("j1"); ok {
+		t.Fatal("quarantine survived clear")
+	}
+}
+
+func TestDeleteClearsQuarantine(t *testing.T) {
+	s := New()
+	s.Create("j1", baseDoc())
+	s.SetQuarantine("j1", "x")
+	s.Delete("j1")
+	if _, ok := s.Quarantined("j1"); ok {
+		t.Fatal("quarantine survived job delete")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := New()
+	s.Create("j1", baseDoc())
+	s.SetLayer("j1", config.LayerScaler, config.Doc{"taskCount": 15}, AnyVersion)
+	s.CommitRunning("j1", config.Doc{"taskCount": 15}, 2)
+	s.SetQuarantine("j2", "test")
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New()
+	if err := restored.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	merged, version, err := restored.MergedExpected("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := merged.GetPath("taskCount"); v != float64(15) {
+		t.Fatalf("restored taskCount = %v", v)
+	}
+	if version != 2 {
+		t.Fatalf("restored version = %d", version)
+	}
+	if _, ok := restored.GetRunning("j1"); !ok {
+		t.Fatal("running entry lost in restore")
+	}
+	if _, ok := restored.Quarantined("j2"); !ok {
+		t.Fatal("quarantine lost in restore")
+	}
+	if err := restored.Restore([]byte("not json")); err == nil {
+		t.Fatal("garbage restore accepted")
+	}
+}
+
+func TestConcurrentCASOneWinnerPerVersion(t *testing.T) {
+	s := New()
+	s.Create("j1", baseDoc())
+	const writers = 16
+	var wg sync.WaitGroup
+	wins := make(chan int64, writers)
+	// Barrier: every writer bases its decision on the SAME version read,
+	// then all write concurrently. Exactly one CAS may win.
+	var ready sync.WaitGroup
+	ready.Add(writers)
+	start := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := s.GetExpected("j1")
+			ready.Done()
+			if err != nil {
+				return
+			}
+			<-start
+			v, err := s.SetLayer("j1", config.LayerOncall, config.Doc{"taskCount": i}, e.Version)
+			if err == nil {
+				wins <- v
+			}
+		}()
+	}
+	ready.Wait()
+	close(start)
+	wg.Wait()
+	close(wins)
+	// All writers read version 1 concurrently; exactly one CAS can win.
+	var count int
+	for range wins {
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("%d writers won CAS from the same base version, want exactly 1", count)
+	}
+}
+
+func TestGetRunningIsolated(t *testing.T) {
+	s := New()
+	s.CommitRunning("j1", config.Doc{"taskCount": 10}, 1)
+	r, _ := s.GetRunning("j1")
+	r.Config["taskCount"] = 999
+	r2, _ := s.GetRunning("j1")
+	if v, _ := r2.Config.GetPath("taskCount"); v != 10 {
+		t.Fatal("GetRunning aliased internal state")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+
+	s := New()
+	s.Create("j1", baseDoc())
+	s.CommitRunning("j1", baseDoc(), 1)
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// No stray temp file.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+
+	restored := New()
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.ExpectedNames()) != 1 {
+		t.Fatalf("names = %v", restored.ExpectedNames())
+	}
+	if _, ok := restored.GetRunning("j1"); !ok {
+		t.Fatal("running entry lost")
+	}
+
+	// Missing file: clean first boot.
+	fresh := New()
+	if err := fresh.LoadFile(filepath.Join(dir, "nope.json")); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.ExpectedNames()) != 0 {
+		t.Fatal("phantom jobs on first boot")
+	}
+	// Corrupt file: explicit error.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if err := fresh.LoadFile(bad); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}

@@ -1,0 +1,256 @@
+// Package metrics is a small in-process time-series store standing in for
+// Facebook's metric collection system (ODS) in the Turbine reproduction.
+//
+// Turbine's control loops are metric-driven: Task Managers report per-task
+// resource usage, the load aggregator turns those into shard loads, and the
+// Auto Scaler's Pattern Analyzer consults 14 days of per-minute workload
+// history before approving a scaling plan. The store keeps one append-only
+// series per name, trims beyond a retention horizon, and answers the window
+// and range queries those loops need.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Point is a single observation in a series.
+type Point struct {
+	At    time.Time
+	Value float64
+}
+
+// Store holds named time series with a shared retention horizon.
+// It is safe for concurrent use.
+type Store struct {
+	clock     simclock.Clock
+	retention time.Duration
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+type series struct {
+	pts []Point // ascending by At
+}
+
+// NewStore returns a Store that timestamps observations with clock and
+// retains at least retention of history per series. A non-positive
+// retention keeps everything.
+func NewStore(clock simclock.Clock, retention time.Duration) *Store {
+	return &Store{clock: clock, retention: retention, series: make(map[string]*series)}
+}
+
+// Record appends value to the named series at the current clock time.
+func (s *Store) Record(name string, value float64) {
+	s.RecordAt(name, s.clock.Now(), value)
+}
+
+// RecordAt appends value at an explicit timestamp. Out-of-order points
+// (older than the series tail) are dropped: Turbine's reporters are
+// monotonic, and a deterministic store is worth more than a sorted insert.
+func (s *Store) RecordAt(name string, at time.Time, value float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.series[name]
+	if sr == nil {
+		sr = &series{}
+		s.series[name] = sr
+	}
+	if n := len(sr.pts); n > 0 && at.Before(sr.pts[n-1].At) {
+		return
+	}
+	sr.pts = append(sr.pts, Point{At: at, Value: value})
+	if s.retention > 0 {
+		cutoff := at.Add(-s.retention)
+		// Trim lazily but keep amortized O(1): only compact when more
+		// than half the slice is expired.
+		i := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(cutoff) })
+		if i > len(sr.pts)/2 {
+			sr.pts = append(sr.pts[:0], sr.pts[i:]...)
+		}
+	}
+}
+
+// Latest returns the most recent value of the named series.
+func (s *Store) Latest(name string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sr := s.series[name]
+	if sr == nil || len(sr.pts) == 0 {
+		return 0, false
+	}
+	return sr.pts[len(sr.pts)-1].Value, true
+}
+
+// LatestPoint returns the most recent point of the named series.
+func (s *Store) LatestPoint(name string) (Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sr := s.series[name]
+	if sr == nil || len(sr.pts) == 0 {
+		return Point{}, false
+	}
+	return sr.pts[len(sr.pts)-1], true
+}
+
+// Range returns a copy of all points with from <= At <= to.
+func (s *Store) Range(name string, from, to time.Time) []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sr := s.series[name]
+	if sr == nil {
+		return nil
+	}
+	lo := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(from) })
+	hi := sort.Search(len(sr.pts), func(i int) bool { return sr.pts[i].At.After(to) })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Point, hi-lo)
+	copy(out, sr.pts[lo:hi])
+	return out
+}
+
+// WindowAvg returns the mean of the named series over the trailing window,
+// measured back from the current clock time.
+func (s *Store) WindowAvg(name string, window time.Duration) (float64, bool) {
+	return s.windowAgg(name, window, Mean)
+}
+
+// WindowMax returns the maximum over the trailing window.
+func (s *Store) WindowMax(name string, window time.Duration) (float64, bool) {
+	return s.windowAgg(name, window, func(vs []float64) float64 {
+		m := vs[0]
+		for _, v := range vs[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	})
+}
+
+// WindowMin returns the minimum over the trailing window.
+func (s *Store) WindowMin(name string, window time.Duration) (float64, bool) {
+	return s.windowAgg(name, window, func(vs []float64) float64 {
+		m := vs[0]
+		for _, v := range vs[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	})
+}
+
+// WindowSum returns the sum over the trailing window.
+func (s *Store) WindowSum(name string, window time.Duration) (float64, bool) {
+	return s.windowAgg(name, window, func(vs []float64) float64 {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		return sum
+	})
+}
+
+func (s *Store) windowAgg(name string, window time.Duration, agg func([]float64) float64) (float64, bool) {
+	now := s.clock.Now()
+	pts := s.Range(name, now.Add(-window), now)
+	if len(pts) == 0 {
+		return 0, false
+	}
+	vs := make([]float64, len(pts))
+	for i, p := range pts {
+		vs[i] = p.Value
+	}
+	return agg(vs), true
+}
+
+// Names returns all series names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.series))
+	for name := range s.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes the named series.
+func (s *Store) Delete(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.series, name)
+}
+
+// Len reports the number of points retained in the named series.
+func (s *Store) Len(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sr := s.series[name]
+	if sr == nil {
+		return 0
+	}
+	return len(sr.pts)
+}
+
+// Mean returns the arithmetic mean of vs, or 0 for an empty slice.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// StdDev returns the population standard deviation of vs. Turbine uses it
+// to measure input imbalance across the tasks of one job (§V-A).
+func StdDev(vs []float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	m := Mean(vs)
+	sum := 0.0
+	for _, v := range vs {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(vs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of vs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// The input is not modified.
+func Percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(vs))
+	copy(sorted, vs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

@@ -1,0 +1,223 @@
+// Package provision models Turbine's Provision Service (paper §II, Figure
+// 2): the component that takes a validated, compiled streaming application
+// and generates the runtime configurations Turbine manages.
+//
+// In the paper, applications are written against Facebook's stream
+// processing framework (declarative or imperative), compiled to an
+// internal representation, optimized, and then provisioned as a set of
+// jobs: "a stream pipeline may contain multiple jobs, for example
+// aggregation after data shuffling", with inter-job communication through
+// Scribe rather than direct network connections. This package reproduces
+// that contract: a Pipeline is the declarative application; Compile lowers
+// it to a chain of JobConfigs connected by intermediate Scribe categories;
+// the Job Service admits each job.
+package provision
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+)
+
+// Stage is one transformation step of a pipeline. Each stage becomes one
+// Turbine job running Parallelism tasks of the stage's operator.
+type Stage struct {
+	// Name identifies the stage within the pipeline (required; no '/').
+	Name string
+	// Operator run by this stage's binary.
+	Operator config.Operator
+	// Parallelism is the initial task count (default 1).
+	Parallelism int
+	// Threads per task (default 2).
+	Threads int
+	// Resources per task (defaults: 2 cores, 2 GB).
+	Resources config.Resources
+	// OutPartitions is the partition count of this stage's output
+	// category — the next stage's input fan-in (default 4× the NEXT
+	// stage's parallelism, computed at compile time).
+	OutPartitions int
+	// MaxTaskCount caps the Auto Scaler (default 4× input partitions,
+	// clamped to the partition count).
+	MaxTaskCount int
+}
+
+// Pipeline is a declarative streaming application: a source category read
+// by a linear chain of stages, optionally writing a final sink category.
+type Pipeline struct {
+	// Name prefixes every generated job ("<name>/<stage>").
+	Name string
+	// InputCategory and InputPartitions locate the source stream.
+	InputCategory   string
+	InputPartitions int
+	// Stages in processing order (at least one).
+	Stages []Stage
+	// SinkCategory receives the last stage's output; empty means the
+	// last stage writes to an external system (like a Scuba tailer).
+	SinkCategory string
+	// SinkPartitions for the sink category (default: last stage's
+	// parallelism × 4).
+	SinkPartitions int
+
+	// Package identifies the compiled binary bundle shared by the
+	// pipeline's stages.
+	Package config.Package
+	// Priority and SLOSeconds apply to every generated job.
+	Priority   int
+	SLOSeconds float64
+}
+
+// Category is an intermediate or sink stream the pipeline needs.
+type Category struct {
+	Name       string
+	Partitions int
+}
+
+// Compiled is the provisioning plan for a pipeline: the jobs to admit and
+// the Scribe categories they communicate through (excluding the
+// already-existing source).
+type Compiled struct {
+	Jobs       []*config.JobConfig
+	Categories []Category
+}
+
+// Validate checks the pipeline's shape before compilation.
+func (p *Pipeline) Validate() error {
+	var errs []error
+	if p.Name == "" {
+		errs = append(errs, errors.New("pipeline name is required"))
+	}
+	if strings.Contains(p.Name, "#") {
+		errs = append(errs, errors.New("pipeline name must not contain '#'"))
+	}
+	if p.InputCategory == "" {
+		errs = append(errs, errors.New("input category is required"))
+	}
+	if p.InputPartitions <= 0 {
+		errs = append(errs, fmt.Errorf("input partitions must be positive, got %d", p.InputPartitions))
+	}
+	if len(p.Stages) == 0 {
+		errs = append(errs, errors.New("pipeline needs at least one stage"))
+	}
+	if p.Package.Name == "" || p.Package.Version == "" {
+		errs = append(errs, errors.New("package name and version are required"))
+	}
+	seen := make(map[string]struct{}, len(p.Stages))
+	for i, st := range p.Stages {
+		if st.Name == "" {
+			errs = append(errs, fmt.Errorf("stage %d has no name", i))
+			continue
+		}
+		if strings.ContainsAny(st.Name, "/#") {
+			errs = append(errs, fmt.Errorf("stage %q: name must not contain '/' or '#'", st.Name))
+		}
+		if _, dup := seen[st.Name]; dup {
+			errs = append(errs, fmt.Errorf("duplicate stage name %q", st.Name))
+		}
+		seen[st.Name] = struct{}{}
+		if st.Parallelism < 0 || st.Threads < 0 {
+			errs = append(errs, fmt.Errorf("stage %q: negative parallelism or threads", st.Name))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Compile lowers the pipeline to jobs and intermediate categories. Stage i
+// reads stage i-1's output category; the generated configurations pass
+// config.JobConfig validation (compile-time admission, §II).
+func (p *Pipeline) Compile() (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("provision: validate pipeline %q: %w", p.Name, err)
+	}
+
+	out := &Compiled{}
+	inputCat := p.InputCategory
+	inputParts := p.InputPartitions
+	for i := range p.Stages {
+		st := p.Stages[i]
+		applyStageDefaults(&st)
+
+		// Clamp parallelism to what the input can feed.
+		if st.Parallelism > inputParts {
+			st.Parallelism = inputParts
+		}
+		maxTasks := st.MaxTaskCount
+		if maxTasks <= 0 {
+			maxTasks = inputParts
+		}
+		if maxTasks > inputParts {
+			maxTasks = inputParts
+		}
+
+		job := &config.JobConfig{
+			Name:           p.Name + "/" + st.Name,
+			Package:        p.Package,
+			TaskCount:      st.Parallelism,
+			ThreadsPerTask: st.Threads,
+			TaskResources:  st.Resources,
+			Operator:       st.Operator,
+			Input:          config.Input{Category: inputCat, Partitions: inputParts},
+			Enforcement:    config.EnforceCgroup,
+			Priority:       p.Priority,
+			MaxTaskCount:   maxTasks,
+			SLOSeconds:     p.SLOSeconds,
+		}
+
+		// Wire the output: an intermediate category for non-final stages,
+		// the sink for the final one (possibly none).
+		last := i == len(p.Stages)-1
+		switch {
+		case !last:
+			next := p.Stages[i+1]
+			parts := st.OutPartitions
+			if parts <= 0 {
+				parts = defaultPartitions(next.Parallelism)
+			}
+			cat := intermediateCategory(p.Name, st.Name)
+			job.Output = config.Output{Category: cat}
+			out.Categories = append(out.Categories, Category{Name: cat, Partitions: parts})
+			inputCat, inputParts = cat, parts
+		case p.SinkCategory != "":
+			parts := p.SinkPartitions
+			if parts <= 0 {
+				parts = defaultPartitions(st.Parallelism)
+			}
+			job.Output = config.Output{Category: p.SinkCategory}
+			out.Categories = append(out.Categories, Category{Name: p.SinkCategory, Partitions: parts})
+		}
+
+		if err := job.Validate(); err != nil {
+			return nil, fmt.Errorf("provision: stage %q compiles to invalid job: %w", st.Name, err)
+		}
+		out.Jobs = append(out.Jobs, job)
+	}
+	return out, nil
+}
+
+func applyStageDefaults(st *Stage) {
+	if st.Parallelism <= 0 {
+		st.Parallelism = 1
+	}
+	if st.Threads <= 0 {
+		st.Threads = 2
+	}
+	if st.Resources.IsZero() {
+		st.Resources = config.Resources{CPUCores: 2, MemoryBytes: 2 << 30}
+	}
+	if st.Operator == "" {
+		st.Operator = config.OpTransform
+	}
+}
+
+func defaultPartitions(nextParallelism int) int {
+	if nextParallelism <= 0 {
+		nextParallelism = 1
+	}
+	return nextParallelism * 4
+}
+
+// intermediateCategory names the Scribe category between two stages.
+func intermediateCategory(pipeline, stage string) string {
+	return strings.ReplaceAll(pipeline, "/", "_") + "__" + stage + "_out"
+}

@@ -1,0 +1,159 @@
+package provision
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func validPipeline() *Pipeline {
+	return &Pipeline{
+		Name:            "analytics/clicks",
+		InputCategory:   "clicks_raw",
+		InputPartitions: 64,
+		Package:         config.Package{Name: "stream", Version: "v1"},
+		SLOSeconds:      90,
+		Priority:        3,
+		Stages: []Stage{
+			{Name: "filter", Operator: config.OpFilter, Parallelism: 8},
+			{Name: "shuffle", Operator: config.OpTransform, Parallelism: 4},
+			{Name: "agg", Operator: config.OpAggregate, Parallelism: 2},
+		},
+		SinkCategory:   "clicks_agg",
+		SinkPartitions: 8,
+	}
+}
+
+func TestCompileLinearChain(t *testing.T) {
+	c, err := validPipeline().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Jobs) != 3 {
+		t.Fatalf("jobs = %d", len(c.Jobs))
+	}
+	// Stage 0 reads the source.
+	if c.Jobs[0].Name != "analytics/clicks/filter" || c.Jobs[0].Input.Category != "clicks_raw" || c.Jobs[0].Input.Partitions != 64 {
+		t.Fatalf("stage0 = %+v", c.Jobs[0])
+	}
+	// Stage 1 reads stage 0's output; categories line up with the plan.
+	if c.Jobs[1].Input.Category != c.Jobs[0].Output.Category {
+		t.Fatalf("chain broken: %q -> %q", c.Jobs[0].Output.Category, c.Jobs[1].Input.Category)
+	}
+	if c.Jobs[2].Input.Category != c.Jobs[1].Output.Category {
+		t.Fatal("chain broken at stage 2")
+	}
+	// Final stage writes the sink.
+	if c.Jobs[2].Output.Category != "clicks_agg" {
+		t.Fatalf("sink = %q", c.Jobs[2].Output.Category)
+	}
+	// Three categories to create: two intermediates plus the sink.
+	if len(c.Categories) != 3 {
+		t.Fatalf("categories = %+v", c.Categories)
+	}
+	// Intermediate partition counts feed the next stage's parallelism.
+	if c.Categories[0].Partitions != 4*4 { // next stage (shuffle) parallelism 4
+		t.Fatalf("intermediate partitions = %d", c.Categories[0].Partitions)
+	}
+	// Every job individually valid; pipeline-wide settings propagate.
+	for _, j := range c.Jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", j.Name, err)
+		}
+		if j.Priority != 3 || j.SLOSeconds != 90 || j.Package.Version != "v1" {
+			t.Fatalf("settings lost on %s: %+v", j.Name, j)
+		}
+	}
+}
+
+func TestCompileNoSink(t *testing.T) {
+	p := validPipeline()
+	p.Stages = p.Stages[:1]
+	p.SinkCategory = ""
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Jobs[0].Output.Category != "" {
+		t.Fatal("external-sink stage got a scribe output")
+	}
+	if len(c.Categories) != 0 {
+		t.Fatalf("categories = %+v", c.Categories)
+	}
+}
+
+func TestCompileClampsParallelismToPartitions(t *testing.T) {
+	p := validPipeline()
+	p.Stages = []Stage{
+		{Name: "wide", Operator: config.OpFilter, Parallelism: 500}, // > 64 partitions
+	}
+	p.SinkCategory = ""
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Jobs[0].TaskCount != 64 {
+		t.Fatalf("TaskCount = %d, want clamped to 64", c.Jobs[0].TaskCount)
+	}
+	if c.Jobs[0].MaxTaskCount != 64 {
+		t.Fatalf("MaxTaskCount = %d", c.Jobs[0].MaxTaskCount)
+	}
+}
+
+func TestStageDefaults(t *testing.T) {
+	p := validPipeline()
+	p.Stages = []Stage{{Name: "bare"}}
+	p.SinkCategory = ""
+	c, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := c.Jobs[0]
+	if j.TaskCount != 1 || j.ThreadsPerTask != 2 || j.Operator != config.OpTransform {
+		t.Fatalf("defaults = %+v", j)
+	}
+	if j.TaskResources.CPUCores != 2 || j.TaskResources.MemoryBytes != 2<<30 {
+		t.Fatalf("resource defaults = %+v", j.TaskResources)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Pipeline)
+		want   string
+	}{
+		{"no name", func(p *Pipeline) { p.Name = "" }, "name is required"},
+		{"hash in name", func(p *Pipeline) { p.Name = "a#b" }, "must not contain"},
+		{"no input", func(p *Pipeline) { p.InputCategory = "" }, "input category"},
+		{"bad partitions", func(p *Pipeline) { p.InputPartitions = 0 }, "partitions"},
+		{"no stages", func(p *Pipeline) { p.Stages = nil }, "at least one stage"},
+		{"no package", func(p *Pipeline) { p.Package = config.Package{} }, "package"},
+		{"unnamed stage", func(p *Pipeline) { p.Stages[0].Name = "" }, "no name"},
+		{"slash in stage", func(p *Pipeline) { p.Stages[0].Name = "a/b" }, "must not contain"},
+		{"duplicate stage", func(p *Pipeline) { p.Stages[1].Name = p.Stages[0].Name }, "duplicate"},
+	}
+	for _, tc := range cases {
+		p := validPipeline()
+		tc.mutate(p)
+		_, err := p.Compile()
+		if err == nil {
+			t.Errorf("%s: compile accepted invalid pipeline", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestIntermediateCategoryNaming(t *testing.T) {
+	got := intermediateCategory("analytics/clicks", "filter")
+	if strings.Contains(got, "/") {
+		t.Fatalf("category name %q contains '/'", got)
+	}
+	if got != "analytics_clicks__filter_out" {
+		t.Fatalf("category = %q", got)
+	}
+}

@@ -1,0 +1,202 @@
+// Package rootcause implements the "auto root-causer" Turbine's job
+// management was designed to accommodate (paper §III: new services like
+// "the auto scaler ... and an auto root-causer" plug into the
+// architecture; §IX names automatic root cause analysis as the next
+// investment).
+//
+// The diagnoser encodes the causal taxonomy of §V-D's untriaged problems —
+// "temporary hardware issues, bad user updates of the job logic,
+// dependency failures, and system bugs" — plus the triaged symptoms the
+// Auto Scaler already acts on, as an ordered rule chain over a job's
+// observable signals. Each diagnosis carries evidence and the runbook
+// action the paper describes for that cause (move the task, allocate more
+// resources, page the oncall).
+package rootcause
+
+import (
+	"fmt"
+
+	"repro/internal/autoscaler"
+	"repro/internal/metrics"
+)
+
+// Cause classifies why a job is unhealthy.
+type Cause string
+
+// The §V-D taxonomy plus the triaged symptom causes.
+const (
+	CauseHealthy          Cause = "healthy"
+	CauseUnderProvisioned Cause = "under-provisioned"
+	CauseImbalancedInput  Cause = "imbalanced-input"
+	CauseMemoryPressure   Cause = "memory-pressure"
+	CauseHardwareIssue    Cause = "hardware-issue"
+	CauseRecentUpdate     Cause = "recent-bad-update"
+	CauseDependency       Cause = "dependency-failure"
+	CauseBacklogRecovery  Cause = "backlog-recovery-in-progress"
+	CauseUnknown          Cause = "unknown-system-issue"
+)
+
+// Diagnosis is one job's root-cause finding.
+type Diagnosis struct {
+	Job            string
+	Cause          Cause
+	Evidence       string
+	Recommendation string
+	// AutoActionable reports whether Turbine can mitigate without a
+	// human (move a task, scale) — hardware issues and provisioning are;
+	// dependency failures and system bugs are not (§V-D).
+	AutoActionable bool
+}
+
+// Observation extends the scaler's job signals with the history a
+// root-causer needs: what changed recently and how tasks are failing.
+type Observation struct {
+	Signals autoscaler.Signals
+	// SecondsSinceUpdate since the last configuration/package change
+	// (negative = unknown/never).
+	SecondsSinceUpdate float64
+	// RestartingTasks counts tasks that crashed/restarted recently.
+	RestartingTasks int
+	// SingleTaskAffected reports whether the misbehavior is confined to
+	// one task — the hardware-issue signature (§V-D: "hardware issues
+	// typically impact a single task of a misbehaving job").
+	SingleTaskAffected bool
+	// PEstimate is the scaler's per-thread max rate estimate (0 = use a
+	// conservative default).
+	PEstimate float64
+}
+
+// Diagnose runs the rule chain over one job's observation. Rules are
+// ordered from most to least specific; the first match wins.
+func Diagnose(job string, obs Observation) Diagnosis {
+	sig := obs.Signals
+	slo := sig.SLOSeconds
+	if slo <= 0 {
+		slo = 90
+	}
+	p := obs.PEstimate
+	if p <= 0 {
+		p = 2 << 20
+	}
+	kEff := float64(sig.Threads)
+	if sig.TaskResources.CPUCores > 0 && sig.TaskResources.CPUCores < kEff {
+		kEff = sig.TaskResources.CPUCores
+	}
+	if kEff <= 0 {
+		kEff = 1
+	}
+	capacity := p * kEff * float64(maxInt(sig.TaskCount, 1))
+	lag := sig.TimeLagged(capacity)
+
+	// OOM pressure dominates: it produces lag as a side effect.
+	if sig.OOMs > 0 {
+		return Diagnosis{
+			Job:   job,
+			Cause: CauseMemoryPressure,
+			Evidence: fmt.Sprintf("%d OOM kills; peak memory %d MB vs %d MB reserved",
+				sig.OOMs, sig.MemPeakBytes>>20, sig.TaskResources.MemoryBytes>>20),
+			Recommendation: "increase reserved memory (vertical), then horizontal if at the 1/5-container cap",
+			AutoActionable: true,
+		}
+	}
+
+	if lag <= slo && obs.RestartingTasks == 0 {
+		return Diagnosis{Job: job, Cause: CauseHealthy, Evidence: fmt.Sprintf("lag %.0fs within SLO %.0fs", lag, slo), Recommendation: "none"}
+	}
+
+	// Single-task misbehavior points at the host, not the job (§V-D).
+	if obs.SingleTaskAffected {
+		return Diagnosis{
+			Job:            job,
+			Cause:          CauseHardwareIssue,
+			Evidence:       "misbehavior confined to a single task of the job",
+			Recommendation: "move the task to another host (shard fail-over usually resolves this class)",
+			AutoActionable: true,
+		}
+	}
+
+	// Imbalanced input: stddev of per-task rates is high (§V-A).
+	if len(sig.TaskRates) > 1 {
+		mean := metrics.Mean(sig.TaskRates)
+		if mean > 0 && metrics.StdDev(sig.TaskRates)/mean > 0.5 {
+			return Diagnosis{
+				Job:            job,
+				Cause:          CauseImbalancedInput,
+				Evidence:       fmt.Sprintf("per-task rate stddev/mean = %.2f", metrics.StdDev(sig.TaskRates)/mean),
+				Recommendation: "rebalance input traffic amongst tasks before scaling",
+				AutoActionable: true,
+			}
+		}
+	}
+
+	// Genuinely under-provisioned: demand exceeds estimated capacity.
+	if sig.InputRate > capacity {
+		return Diagnosis{
+			Job:   job,
+			Cause: CauseUnderProvisioned,
+			Evidence: fmt.Sprintf("input %.1f MB/s exceeds estimated capacity %.1f MB/s",
+				sig.InputRate/(1<<20), capacity/(1<<20)),
+			Recommendation: "allocate more resources (equation 3 sizing)",
+			AutoActionable: true,
+		}
+	}
+
+	// Lag with sufficient resources: the untriaged split (§V-D). A recent
+	// update points at the job logic; more resources usually help while
+	// fresh metrics accumulate.
+	if obs.SecondsSinceUpdate >= 0 && obs.SecondsSinceUpdate < 3600 {
+		return Diagnosis{
+			Job:   job,
+			Cause: CauseRecentUpdate,
+			Evidence: fmt.Sprintf("lag %.0fs began within %.0f minutes of a configuration/package change",
+				lag, obs.SecondsSinceUpdate/60),
+			Recommendation: "allocate more resources temporarily; the job usually converges once updated metrics land — else roll back",
+			AutoActionable: true,
+		}
+	}
+
+	// Out of SLO but draining: processing outpaces arrivals, so the lag
+	// is a shrinking historical backlog, not a live bottleneck. The only
+	// question is whether the drain rate is acceptable (lift the cap, as
+	// in fig. 8, if not).
+	if sig.ProcessingRate > sig.InputRate && sig.BacklogBytes > 0 {
+		eta := float64(sig.BacklogBytes) / (sig.ProcessingRate - sig.InputRate)
+		return Diagnosis{
+			Job:   job,
+			Cause: CauseBacklogRecovery,
+			Evidence: fmt.Sprintf("draining at %.1f MB/s net; ~%.1f hours to catch up",
+				(sig.ProcessingRate-sig.InputRate)/(1<<20), eta/3600),
+			Recommendation: "recovery in progress; raise the task-count cap if the ETA is unacceptable",
+			AutoActionable: true,
+		}
+	}
+
+	// Processing far below capacity with resources to spare: the job
+	// cannot push its output or read its input — a dependency failure.
+	// Scaling would amplify the pressure on the dependency (§V-A).
+	if sig.ProcessingRate < 0.5*capacity && sig.ProcessingRate < sig.InputRate {
+		return Diagnosis{
+			Job:   job,
+			Cause: CauseDependency,
+			Evidence: fmt.Sprintf("processing %.1f MB/s far below capacity %.1f MB/s with no local bottleneck",
+				sig.ProcessingRate/(1<<20), capacity/(1<<20)),
+			Recommendation: "do NOT scale (it amplifies dependent-service load); page the dependency's oncall",
+			AutoActionable: false,
+		}
+	}
+
+	return Diagnosis{
+		Job:            job,
+		Cause:          CauseUnknown,
+		Evidence:       fmt.Sprintf("lag %.0fs with no matching signature", lag),
+		Recommendation: "manual investigation (runbook: untriaged problems)",
+		AutoActionable: false,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

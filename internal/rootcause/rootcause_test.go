@@ -1,0 +1,140 @@
+package rootcause
+
+import (
+	"testing"
+
+	"repro/internal/autoscaler"
+	"repro/internal/config"
+)
+
+const mb = 1 << 20
+
+// base returns a 4-task job at 8 MB/s with 2 MB/s/thread capacity
+// (capacity 16 MB/s), healthy unless mutated.
+func base() Observation {
+	return Observation{
+		Signals: autoscaler.Signals{
+			InputRate:      8 * mb,
+			ProcessingRate: 8 * mb,
+			TaskRates:      []float64{2 * mb, 2 * mb, 2 * mb, 2 * mb},
+			TaskCount:      4,
+			Threads:        2,
+			TaskResources:  config.Resources{CPUCores: 2, MemoryBytes: 1 << 30},
+			SLOSeconds:     90,
+		},
+		SecondsSinceUpdate: -1,
+		PEstimate:          2 * mb,
+	}
+}
+
+func TestHealthyJob(t *testing.T) {
+	d := Diagnose("j", base())
+	if d.Cause != CauseHealthy {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+}
+
+func TestMemoryPressureDominates(t *testing.T) {
+	obs := base()
+	obs.Signals.OOMs = 3
+	obs.Signals.MemPeakBytes = 2 << 30
+	obs.Signals.BacklogBytes = 100 * 1024 * mb // also lagging
+	d := Diagnose("j", obs)
+	if d.Cause != CauseMemoryPressure || !d.AutoActionable {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+}
+
+func TestHardwareIssueSingleTask(t *testing.T) {
+	obs := base()
+	obs.Signals.BacklogBytes = 10 * 1024 * mb
+	obs.SingleTaskAffected = true
+	d := Diagnose("j", obs)
+	if d.Cause != CauseHardwareIssue || !d.AutoActionable {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+}
+
+func TestImbalancedInput(t *testing.T) {
+	obs := base()
+	obs.Signals.BacklogBytes = 10 * 1024 * mb
+	obs.Signals.TaskRates = []float64{7 * mb, 0.3 * mb, 0.3 * mb, 0.3 * mb}
+	d := Diagnose("j", obs)
+	if d.Cause != CauseImbalancedInput {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+}
+
+func TestUnderProvisioned(t *testing.T) {
+	obs := base()
+	obs.Signals.InputRate = 40 * mb // capacity is 16
+	obs.Signals.ProcessingRate = 16 * mb
+	obs.Signals.TaskRates = []float64{4 * mb, 4 * mb, 4 * mb, 4 * mb}
+	obs.Signals.BacklogBytes = 10 * 1024 * mb
+	d := Diagnose("j", obs)
+	if d.Cause != CauseUnderProvisioned || !d.AutoActionable {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+}
+
+func TestRecentUpdateSuspect(t *testing.T) {
+	obs := base()
+	obs.Signals.BacklogBytes = 10 * 1024 * mb
+	obs.Signals.ProcessingRate = 14 * mb // busy but below input+backlog need
+	obs.Signals.TaskRates = []float64{3.5 * mb, 3.5 * mb, 3.5 * mb, 3.5 * mb}
+	obs.SecondsSinceUpdate = 600 // changed 10 minutes ago
+	d := Diagnose("j", obs)
+	if d.Cause != CauseRecentUpdate {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+}
+
+func TestDependencyFailureNotAutoActionable(t *testing.T) {
+	obs := base()
+	// Lagging, balanced, plenty of capacity, barely processing: the
+	// signature of a broken downstream (§V-A's connection-failure case).
+	obs.Signals.InputRate = 8 * mb
+	obs.Signals.ProcessingRate = 0.5 * mb
+	obs.Signals.TaskRates = []float64{0.125 * mb, 0.125 * mb, 0.125 * mb, 0.125 * mb}
+	obs.Signals.BacklogBytes = 50 * 1024 * mb
+	d := Diagnose("j", obs)
+	if d.Cause != CauseDependency {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+	if d.AutoActionable {
+		t.Fatal("dependency failure must not be auto-mitigated by scaling")
+	}
+}
+
+func TestUnknownFallback(t *testing.T) {
+	obs := base()
+	// Lagging, balanced, processing exactly keeping pace with input (the
+	// backlog neither grows nor drains), no recent update: no signature.
+	obs.Signals.BacklogBytes = 10 * 1024 * mb
+	obs.Signals.ProcessingRate = 8 * mb
+	obs.Signals.TaskRates = []float64{2 * mb, 2 * mb, 2 * mb, 2 * mb}
+	d := Diagnose("j", obs)
+	if d.Cause != CauseUnknown || d.AutoActionable {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+}
+
+func TestDefaultsForDegenerateInputs(t *testing.T) {
+	d := Diagnose("j", Observation{})
+	// Zero signals: no backlog, no OOM → healthy.
+	if d.Cause != CauseHealthy {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+}
+
+func TestBacklogRecoveryInProgress(t *testing.T) {
+	obs := base()
+	obs.Signals.BacklogBytes = 100 * 1024 * mb
+	obs.Signals.InputRate = 8 * mb
+	obs.Signals.ProcessingRate = 16 * mb // draining at 8 MB/s net
+	obs.Signals.TaskRates = []float64{4 * mb, 4 * mb, 4 * mb, 4 * mb}
+	d := Diagnose("j", obs)
+	if d.Cause != CauseBacklogRecovery || !d.AutoActionable {
+		t.Fatalf("diagnosis = %+v", d)
+	}
+}

@@ -1,0 +1,286 @@
+package scribe
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateCategory(t *testing.T) {
+	b := NewBus()
+	if err := b.CreateCategory("cat", 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Partitions("cat"); got != 4 {
+		t.Fatalf("Partitions = %d, want 4", got)
+	}
+	// Idempotent with same count.
+	if err := b.CreateCategory("cat", 4); err != nil {
+		t.Fatalf("idempotent create failed: %v", err)
+	}
+	// Error with different count.
+	if err := b.CreateCategory("cat", 8); err == nil {
+		t.Fatal("repartition silently accepted")
+	}
+	// Error with non-positive count.
+	if err := b.CreateCategory("bad", 0); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+}
+
+func TestAppendAndWritten(t *testing.T) {
+	b := NewBus()
+	if err := b.CreateCategory("cat", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append("cat", 1, 100, 10); err != nil {
+		t.Fatal(err)
+	}
+	bytes, msgs, err := b.Written("cat", 1)
+	if err != nil || bytes != 100 || msgs != 10 {
+		t.Fatalf("Written = %d,%d,%v want 100,10,nil", bytes, msgs, err)
+	}
+	bytes, _, _ = b.Written("cat", 0)
+	if bytes != 0 {
+		t.Fatalf("untouched partition has %d bytes", bytes)
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	b := NewBus()
+	b.CreateCategory("cat", 2)
+	if err := b.Append("nope", 0, 1, 1); err == nil {
+		t.Fatal("append to unknown category accepted")
+	}
+	if err := b.Append("cat", 5, 1, 1); err == nil {
+		t.Fatal("append to out-of-range partition accepted")
+	}
+	if err := b.Append("cat", 0, -1, 0); err == nil {
+		t.Fatal("negative append accepted")
+	}
+}
+
+func TestAppendEvenDistributesWithRemainder(t *testing.T) {
+	b := NewBus()
+	b.CreateCategory("cat", 3)
+	if err := b.AppendEven("cat", 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	var totalB, totalM int64
+	for i := 0; i < 3; i++ {
+		bs, ms, _ := b.Written("cat", i)
+		totalB += bs
+		totalM += ms
+		if bs < 3 || bs > 4 {
+			t.Fatalf("partition %d got %d bytes, want 3 or 4", i, bs)
+		}
+	}
+	if totalB != 10 || totalM != 4 {
+		t.Fatalf("totals = %d,%d want 10,4", totalB, totalM)
+	}
+}
+
+func TestAppendWeighted(t *testing.T) {
+	b := NewBus()
+	b.CreateCategory("cat", 2)
+	if err := b.AppendWeighted("cat", 100, []float64{3, 1}, 10); err != nil {
+		t.Fatal(err)
+	}
+	b0, m0, _ := b.Written("cat", 0)
+	b1, m1, _ := b.Written("cat", 1)
+	if b0 != 75 || b1 != 25 {
+		t.Fatalf("weighted split = %d,%d want 75,25", b0, b1)
+	}
+	if m0 != 7 || m1 != 2 {
+		t.Fatalf("messages = %d,%d want 7,2", m0, m1)
+	}
+}
+
+func TestAppendWeightedErrors(t *testing.T) {
+	b := NewBus()
+	b.CreateCategory("cat", 2)
+	if err := b.AppendWeighted("cat", 10, []float64{1}, 0); err == nil {
+		t.Fatal("wrong weight count accepted")
+	}
+	if err := b.AppendWeighted("cat", 10, []float64{1, -1}, 0); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := b.AppendWeighted("cat", 10, []float64{0, 0}, 0); err == nil {
+		t.Fatal("zero weights accepted")
+	}
+	if err := b.AppendWeighted("nope", 10, []float64{1, 1}, 0); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+}
+
+func TestBacklogAndRead(t *testing.T) {
+	b := NewBus()
+	b.CreateCategory("cat", 1)
+	b.Append("cat", 0, 1000, 0)
+
+	if lag := b.Backlog("cat", 0, 0); lag != 1000 {
+		t.Fatalf("Backlog = %d, want 1000", lag)
+	}
+	off, consumed := b.Read("cat", 0, 0, 400)
+	if off != 400 || consumed != 400 {
+		t.Fatalf("Read = %d,%d want 400,400", off, consumed)
+	}
+	if lag := b.Backlog("cat", 0, off); lag != 600 {
+		t.Fatalf("Backlog after read = %d, want 600", lag)
+	}
+	// Reading more than available consumes only what's there.
+	off, consumed = b.Read("cat", 0, off, 10000)
+	if off != 1000 || consumed != 600 {
+		t.Fatalf("Read = %d,%d want 1000,600", off, consumed)
+	}
+	// At the end: nothing to read.
+	off, consumed = b.Read("cat", 0, off, 100)
+	if off != 1000 || consumed != 0 {
+		t.Fatalf("Read at end = %d,%d want 1000,0", off, consumed)
+	}
+}
+
+func TestBacklogFloorsAtZero(t *testing.T) {
+	b := NewBus()
+	b.CreateCategory("cat", 1)
+	b.Append("cat", 0, 10, 0)
+	if lag := b.Backlog("cat", 0, 50); lag != 0 {
+		t.Fatalf("Backlog with ahead offset = %d, want 0", lag)
+	}
+}
+
+func TestBacklogUnknownCategoryIsZero(t *testing.T) {
+	b := NewBus()
+	if lag := b.Backlog("nope", 0, 0); lag != 0 {
+		t.Fatalf("Backlog = %d, want 0", lag)
+	}
+}
+
+func TestReadInvalidArgs(t *testing.T) {
+	b := NewBus()
+	b.CreateCategory("cat", 1)
+	b.Append("cat", 0, 10, 0)
+	if off, n := b.Read("cat", 0, 0, 0); off != 0 || n != 0 {
+		t.Fatal("Read with maxBytes=0 consumed data")
+	}
+	if off, n := b.Read("cat", 9, 0, 10); off != 0 || n != 0 {
+		t.Fatal("Read from bad partition consumed data")
+	}
+	if off, n := b.Read("nope", 0, 0, 10); off != 0 || n != 0 {
+		t.Fatal("Read from unknown category consumed data")
+	}
+}
+
+func TestTotalWrittenAndEnd(t *testing.T) {
+	b := NewBus()
+	b.CreateCategory("cat", 3)
+	b.Append("cat", 0, 5, 0)
+	b.Append("cat", 2, 7, 0)
+	if got := b.TotalWritten("cat"); got != 12 {
+		t.Fatalf("TotalWritten = %d, want 12", got)
+	}
+	if got := b.End("cat", 2); got != 7 {
+		t.Fatalf("End = %d, want 7", got)
+	}
+	if got := b.TotalWritten("nope"); got != 0 {
+		t.Fatalf("TotalWritten(unknown) = %d", got)
+	}
+}
+
+func TestAvgMessageSize(t *testing.T) {
+	b := NewBus()
+	b.CreateCategory("cat", 1)
+	if got := b.AvgMessageSize("cat", 0); got != 0 {
+		t.Fatalf("AvgMessageSize empty = %d, want 0", got)
+	}
+	b.Append("cat", 0, 1000, 10)
+	if got := b.AvgMessageSize("cat", 0); got != 100 {
+		t.Fatalf("AvgMessageSize = %d, want 100", got)
+	}
+}
+
+func TestCategoriesSortedAndDelete(t *testing.T) {
+	b := NewBus()
+	b.CreateCategory("zeta", 1)
+	b.CreateCategory("alpha", 1)
+	got := b.Categories()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("Categories = %v", got)
+	}
+	b.DeleteCategory("alpha")
+	if got := b.Categories(); len(got) != 1 || got[0] != "zeta" {
+		t.Fatalf("after delete, Categories = %v", got)
+	}
+	if b.Partitions("alpha") != 0 {
+		t.Fatal("deleted category still has partitions")
+	}
+}
+
+// Property: conservation — reading in arbitrary chunk sizes eventually
+// consumes exactly what was written, never more.
+func TestReadConservationProperty(t *testing.T) {
+	f := func(appends []uint16, chunks []uint16) bool {
+		b := NewBus()
+		b.CreateCategory("c", 1)
+		var written int64
+		for _, a := range appends {
+			b.Append("c", 0, int64(a), 0)
+			written += int64(a)
+		}
+		var offset, consumed int64
+		for _, ch := range chunks {
+			var n int64
+			offset, n = b.Read("c", 0, offset, int64(ch)+1)
+			consumed += n
+		}
+		// Drain the rest.
+		for {
+			var n int64
+			offset, n = b.Read("c", 0, offset, 1<<30)
+			consumed += n
+			if n == 0 {
+				break
+			}
+		}
+		return consumed == written && offset == written && b.Backlog("c", 0, offset) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AppendEven conserves totals across partition counts.
+func TestAppendEvenConservationProperty(t *testing.T) {
+	f := func(total uint32, parts uint8) bool {
+		n := int(parts%16) + 1
+		b := NewBus()
+		b.CreateCategory("c", n)
+		b.AppendEven("c", int64(total), int64(total/3))
+		return b.TotalWritten("c") == int64(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppendRead(t *testing.T) {
+	b := NewBus()
+	b.CreateCategory("c", 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Append("c", g%4, 10, 1)
+				b.Backlog("c", g%4, 0)
+				b.TotalWritten("c")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.TotalWritten("c"); got != 8*500*10 {
+		t.Fatalf("TotalWritten = %d, want %d", got, 8*500*10)
+	}
+}

@@ -1,0 +1,716 @@
+// Package shardmanager models Facebook's Shard Manager service (paper
+// §IV-A; similar to Google's Slicer): the general mechanism for balanced
+// assignment of shards to containers that Turbine builds its two-level
+// task placement on.
+//
+// Tasks never appear here. Task Managers hash task IDs to shard IDs
+// locally (ShardOf); the Shard Manager only decides which container owns
+// which shard, which is exactly the decoupling that lets Turbine keep
+// scheduling when the Job Management layer is down and vice versa (§IV-D).
+//
+// Responsibilities reproduced from the paper:
+//
+//   - shard movement via the DROP_SHARD / ADD_SHARD protocol (§IV-A2);
+//   - heartbeat-based fail-over: a container missing heartbeats for a full
+//     fail-over interval (60 s) is presumed dead and its shards are moved
+//     (§IV-C);
+//   - periodic load balancing: a bin-packing of shards to containers that
+//     keeps each container's total load within a utilization band (e.g.
+//     ±10%) of the mean while satisfying capacity and headroom constraints
+//     (§IV-B).
+package shardmanager
+
+import (
+	"container/heap"
+	"crypto/md5"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/simclock"
+)
+
+// ErrUnavailable is returned by Heartbeat while the Shard Manager service
+// is down. Task Managers entering this degraded mode keep their shards
+// and tasks running from the stored mapping (§IV-D): with the Shard
+// Manager down, nothing can fail their shards over, so continuing is safe.
+var ErrUnavailable = errors.New("shardmanager: service unavailable")
+
+// ShardID identifies one shard of the task hash space.
+type ShardID int
+
+// ShardOf maps a stable task identity to its shard: the MD5 hash of the
+// task ID modulo the shard count. Every Task Manager computes this locally
+// from its task-spec snapshot (§IV-A1).
+func ShardOf(taskID string, numShards int) ShardID {
+	if numShards <= 0 {
+		return 0
+	}
+	sum := md5.Sum([]byte(taskID))
+	return ShardID(binary.BigEndian.Uint64(sum[:8]) % uint64(numShards))
+}
+
+// Handler is the shard-movement interface each Turbine container's Task
+// Manager exposes to the Shard Manager.
+type Handler interface {
+	// AddShard tells the container it now owns the shard: it must
+	// retrieve the shard's tasks and start them.
+	AddShard(ShardID) error
+	// DropShard tells the container to stop the shard's tasks and forget
+	// the shard.
+	DropShard(ShardID) error
+}
+
+// Options tune the manager. Zero values take the paper's defaults.
+type Options struct {
+	// NumShards is the size of the shard space (default 1024).
+	NumShards int
+	// UtilizationBand is the allowed relative deviation of a container's
+	// load from the mean (default 0.10 = ±10%, §IV-B).
+	UtilizationBand float64
+	// Headroom is the fraction of each container's capacity kept free to
+	// absorb workload spikes (default 0.10, §VI-A).
+	Headroom float64
+	// FailoverInterval is how long a container may miss heartbeats before
+	// its shards are failed over (default 60 s, §IV-C).
+	FailoverInterval time.Duration
+	// FailureCheckInterval is how often heartbeats are scanned
+	// (default 10 s).
+	FailureCheckInterval time.Duration
+	// RebalanceInterval is how often the shard→container mapping is
+	// re-generated from fresh loads (default 30 min, §IV-B).
+	RebalanceInterval time.Duration
+	// MaxMovesPerRebalance bounds churn in one balancing pass
+	// (default 0 = unbounded).
+	MaxMovesPerRebalance int
+}
+
+func (o *Options) fillDefaults() {
+	if o.NumShards <= 0 {
+		o.NumShards = 1024
+	}
+	if o.UtilizationBand <= 0 {
+		o.UtilizationBand = 0.10
+	}
+	if o.Headroom < 0 {
+		o.Headroom = 0.10
+	}
+	if o.FailoverInterval <= 0 {
+		o.FailoverInterval = 60 * time.Second
+	}
+	if o.FailureCheckInterval <= 0 {
+		o.FailureCheckInterval = 10 * time.Second
+	}
+	if o.RebalanceInterval <= 0 {
+		o.RebalanceInterval = 30 * time.Minute
+	}
+}
+
+type containerState struct {
+	id            string
+	capacity      config.Resources
+	handler       Handler
+	region        string
+	lastHeartbeat time.Time
+}
+
+// Stats are cumulative counters.
+type Stats struct {
+	Moves       int           // shard movements (balancing + failover)
+	Failovers   int           // containers failed over
+	Rebalances  int           // balancing passes that ran
+	DropErrors  int           // DROP_SHARD failures (source forcefully killed)
+	AddErrors   int           // ADD_SHARD failures
+	LastBalance time.Duration // wall-clock cost of the last mapping pass
+}
+
+// Manager is the Shard Manager. Safe for concurrent use.
+type Manager struct {
+	clock simclock.Clock
+	opts  Options
+
+	mu               sync.Mutex
+	containers       map[string]*containerState
+	assignment       map[ShardID]string
+	loads            map[ShardID]config.Resources
+	regions          map[ShardID]string // shard -> required region ("" = any)
+	balancingEnabled bool
+	unavailable      bool
+	stats            Stats
+	tickers          []simclock.Ticker
+}
+
+// New returns a Manager with the given options.
+func New(clock simclock.Clock, opts Options) *Manager {
+	opts.fillDefaults()
+	return &Manager{
+		clock:            clock,
+		opts:             opts,
+		containers:       make(map[string]*containerState),
+		assignment:       make(map[ShardID]string),
+		loads:            make(map[ShardID]config.Resources),
+		regions:          make(map[ShardID]string),
+		balancingEnabled: true,
+	}
+}
+
+// NumShards returns the shard-space size.
+func (m *Manager) NumShards() int { return m.opts.NumShards }
+
+// Start schedules the periodic failure check and rebalance on the clock.
+func (m *Manager) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.tickers) > 0 {
+		return
+	}
+	m.tickers = append(m.tickers,
+		m.clock.TickEvery(m.opts.FailureCheckInterval, func() { m.CheckFailures() }),
+		m.clock.TickEvery(m.opts.RebalanceInterval, func() { m.Rebalance() }),
+	)
+}
+
+// Stop cancels the periodic work.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.tickers {
+		t.Stop()
+	}
+	m.tickers = nil
+}
+
+// SetBalancingEnabled toggles the load balancer (used by the Figure 7
+// experiment). Fail-over continues to work while balancing is off.
+func (m *Manager) SetBalancingEnabled(enabled bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.balancingEnabled = enabled
+}
+
+// Register adds a container (or re-registers one after a reboot). A
+// re-registering container keeps whatever shards are still mapped to it;
+// a brand-new one starts empty and receives shards from AssignUnassigned
+// or the next rebalance ("gradually added", §IV-C).
+func (m *Manager) Register(id string, capacity config.Resources, h Handler) {
+	m.RegisterInRegion(id, "", capacity, h)
+}
+
+// RegisterInRegion adds a container tagged with a region. Shards
+// constrained to a region (SetShardRegion) are only placed on containers
+// of that region — the paper's "satisfying regional constraints" (§IV-B).
+func (m *Manager) RegisterInRegion(id, region string, capacity config.Resources, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.containers[id] = &containerState{
+		id:            id,
+		capacity:      capacity,
+		handler:       h,
+		region:        region,
+		lastHeartbeat: m.clock.Now(),
+	}
+}
+
+// SetShardRegion constrains a shard to containers of the given region
+// (empty clears the constraint). Takes effect on the next placement pass;
+// a shard currently outside its region moves at the next rebalance.
+func (m *Manager) SetShardRegion(shard ShardID, region string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if region == "" {
+		delete(m.regions, shard)
+		return
+	}
+	m.regions[shard] = region
+}
+
+// regionOK reports whether a container may host a shard.
+func (m *Manager) regionOKLocked(shard ShardID, c *containerState) bool {
+	want := m.regions[shard]
+	return want == "" || want == c.region
+}
+
+// Unregister removes a container without failing over its shards; callers
+// that need failover semantics use CheckFailures or FailoverContainer.
+func (m *Manager) Unregister(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.containers, id)
+}
+
+// SetAvailable simulates the Shard Manager service going down or coming
+// back. While down, heartbeats fail with ErrUnavailable and no failovers
+// or rebalances run; the shard→container mapping remains readable — the
+// "stored mapping" Task Managers degrade to (§IV-D). On recovery all
+// heartbeat deadlines reset, so the outage itself does not trigger a mass
+// failover.
+func (m *Manager) SetAvailable(available bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wasDown := m.unavailable
+	m.unavailable = !available
+	if available && wasDown {
+		now := m.clock.Now()
+		for _, c := range m.containers {
+			c.lastHeartbeat = now
+		}
+	}
+}
+
+// Heartbeat records liveness for a container. It returns ErrUnavailable
+// while the service is down, or an error if the container is unknown
+// (e.g. already failed over) — the Task Manager must then re-register as
+// a new, empty container.
+func (m *Manager) Heartbeat(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.unavailable {
+		return ErrUnavailable
+	}
+	c, ok := m.containers[id]
+	if !ok {
+		return fmt.Errorf("shardmanager: unknown container %q", id)
+	}
+	c.lastHeartbeat = m.clock.Now()
+	return nil
+}
+
+// ReportShardLoad records the latest aggregated load of a shard, as
+// computed by the load-aggregator thread in a Task Manager (§IV-B).
+func (m *Manager) ReportShardLoad(shard ShardID, load config.Resources) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.loads[shard] = load
+}
+
+// Owner returns the container currently assigned a shard.
+func (m *Manager) Owner(shard ShardID) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.assignment[shard]
+	return id, ok
+}
+
+// ShardsOf returns the shards assigned to a container, sorted.
+func (m *Manager) ShardsOf(containerID string) []ShardID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []ShardID
+	for s, c := range m.assignment {
+		if c == containerID {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Mapping returns a copy of the full shard→container mapping: the stored
+// mapping Task Managers can fall back to when the Shard Manager is
+// unavailable (degraded mode, §IV-D).
+func (m *Manager) Mapping() map[ShardID]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[ShardID]string, len(m.assignment))
+	for s, c := range m.assignment {
+		out[s] = c
+	}
+	return out
+}
+
+// Stats returns cumulative counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ContainerIDs returns registered containers, sorted.
+func (m *Manager) ContainerIDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.containers))
+	for id := range m.containers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// score is the scalar balancing load of a resource vector: the sum of
+// dimension loads normalized by a reference capacity, so heterogeneous
+// dimensions compare. Used for both shards and containers.
+func score(load, ref config.Resources) float64 {
+	s := 0.0
+	if ref.CPUCores > 0 {
+		s += load.CPUCores / ref.CPUCores
+	}
+	if ref.MemoryBytes > 0 {
+		s += float64(load.MemoryBytes) / float64(ref.MemoryBytes)
+	}
+	if ref.DiskBytes > 0 {
+		s += float64(load.DiskBytes) / float64(ref.DiskBytes)
+	}
+	if ref.NetworkBps > 0 {
+		s += float64(load.NetworkBps) / float64(ref.NetworkBps)
+	}
+	return s
+}
+
+// AssignUnassigned places every unassigned shard on the currently
+// least-loaded container. New clusters call it once after registering the
+// initial container fleet; it also runs at the start of every rebalance so
+// fresh or failed-over shards never wait for a full balancing pass.
+func (m *Manager) AssignUnassigned() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.assignUnassignedLocked()
+}
+
+func (m *Manager) assignUnassignedLocked() int {
+	alive := m.sortedContainersLocked()
+	if len(alive) == 0 {
+		return 0
+	}
+	var unassigned []ShardID
+	for s := ShardID(0); s < ShardID(m.opts.NumShards); s++ {
+		if _, ok := m.assignment[s]; !ok {
+			unassigned = append(unassigned, s)
+		}
+	}
+	if len(unassigned) == 0 {
+		return 0
+	}
+	counts := make(map[string]int, len(alive))
+	for _, c := range m.assignment {
+		counts[c]++
+	}
+	// Spread by current shard count via a min-heap: cheap even at 100K
+	// shards, and load-based balancing refines placement once loads are
+	// reported. Region-constrained shards fall back to a linear scan of
+	// eligible containers (constraints are rare).
+	h := make(countHeap, len(alive))
+	counts2 := make(map[string]*int, len(alive))
+	for i, c := range alive {
+		n := counts[c.id]
+		h[i] = countEntry{container: c, count: n}
+		cnt := n
+		counts2[c.id] = &cnt
+	}
+	heap.Init(&h)
+	assigned := 0
+	for _, s := range unassigned {
+		var best *containerState
+		if _, constrained := m.regions[s]; !constrained {
+			best = h[0].container
+			h[0].count++
+			heap.Fix(&h, 0)
+		} else {
+			for _, c := range alive {
+				if !m.regionOKLocked(s, c) {
+					continue
+				}
+				if best == nil || *counts2[c.id] < *counts2[best.id] {
+					best = c
+				}
+			}
+			if best == nil {
+				continue // no eligible container; retry next pass
+			}
+			*counts2[best.id]++
+		}
+		m.assignment[s] = best.id
+		assigned++
+		if best.handler != nil {
+			if err := best.handler.AddShard(s); err != nil {
+				m.stats.AddErrors++
+			}
+		}
+	}
+	return assigned
+}
+
+// countEntry / countHeap implement a min-heap of containers by shard
+// count (ties broken by ID for determinism).
+type countEntry struct {
+	container *containerState
+	count     int
+}
+
+type countHeap []countEntry
+
+func (h countHeap) Len() int { return len(h) }
+func (h countHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count < h[j].count
+	}
+	return h[i].container.id < h[j].container.id
+}
+func (h countHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *countHeap) Push(x any)   { *h = append(*h, x.(countEntry)) }
+func (h *countHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (m *Manager) sortedContainersLocked() []*containerState {
+	out := make([]*containerState, 0, len(m.containers))
+	for _, c := range m.containers {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// CheckFailures scans heartbeats and fails over every container that has
+// been silent for a full fail-over interval: its shards move to the
+// least-loaded surviving containers and the container is forgotten. It
+// returns the IDs of failed-over containers.
+func (m *Manager) CheckFailures() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.unavailable {
+		return nil
+	}
+	now := m.clock.Now()
+	var dead []string
+	for id, c := range m.containers {
+		if now.Sub(c.lastHeartbeat) >= m.opts.FailoverInterval {
+			dead = append(dead, id)
+		}
+	}
+	sort.Strings(dead)
+	for _, id := range dead {
+		m.failoverLocked(id)
+	}
+	return dead
+}
+
+// FailoverContainer forces immediate fail-over of one container
+// (experiments use it to model maintenance events, §VI-A).
+func (m *Manager) FailoverContainer(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.containers[id]; ok {
+		m.failoverLocked(id)
+	}
+}
+
+func (m *Manager) failoverLocked(id string) {
+	delete(m.containers, id)
+	m.stats.Failovers++
+	// Orphan the dead container's shards, then place them like fresh
+	// shards. The dead handler is never called (it cannot respond); the
+	// Task Manager's own proactive timeout guarantees it already stopped
+	// processing before this point (§IV-C).
+	for s, c := range m.assignment {
+		if c == id {
+			delete(m.assignment, s)
+		}
+	}
+	moved := m.assignUnassignedLocked()
+	m.stats.Moves += moved
+}
+
+// RebalanceResult describes one balancing pass.
+type RebalanceResult struct {
+	Moves      int
+	Assigned   int // previously unassigned shards placed
+	MeanScore  float64
+	MaxScore   float64
+	MinScore   float64
+	Containers int
+}
+
+// Rebalance regenerates the shard→container mapping from the latest shard
+// loads (§IV-B): it first places unassigned shards, then — if balancing is
+// enabled — moves shards from containers above the utilization band to
+// containers below it, largest-loaded shards first, honoring container
+// capacity minus headroom.
+func (m *Manager) Rebalance() RebalanceResult {
+	start := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var res RebalanceResult
+	if m.unavailable {
+		return res
+	}
+	res.Assigned = m.assignUnassignedLocked()
+	alive := m.sortedContainersLocked()
+	res.Containers = len(alive)
+	if len(alive) == 0 {
+		return res
+	}
+	if !m.balancingEnabled {
+		return res
+	}
+	m.stats.Rebalances++
+
+	// Repatriate shards whose region constraint is violated (constraint
+	// added or container re-tagged after placement). Skipped entirely in
+	// unconstrained clusters so the pass stays O(1) extra.
+	if len(m.regions) > 0 {
+		for sh, cid := range m.assignment {
+			c := m.containers[cid]
+			if c == nil || m.regionOKLocked(sh, c) {
+				continue
+			}
+			for _, cand := range alive {
+				if m.regionOKLocked(sh, cand) {
+					m.moveLocked(sh, cid, cand.id)
+					res.Moves++
+					break
+				}
+			}
+		}
+	}
+
+	// Reference capacity for score normalization: the mean container
+	// capacity, so "1.0" means one average container fully loaded.
+	var ref config.Resources
+	for _, c := range alive {
+		ref = ref.Add(c.capacity)
+	}
+	ref = ref.Scale(1 / float64(len(alive)))
+
+	// Current load per container, plus per-shard scores.
+	type shardLoad struct {
+		id    ShardID
+		load  config.Resources
+		score float64
+	}
+	contLoad := make(map[string]config.Resources, len(alive))
+	contShards := make(map[string][]shardLoad, len(alive))
+	for s, cid := range m.assignment {
+		l := m.loads[s]
+		contLoad[cid] = contLoad[cid].Add(l)
+		contShards[cid] = append(contShards[cid], shardLoad{id: s, load: l, score: score(l, ref)})
+	}
+
+	scores := make(map[string]float64, len(alive))
+	var total float64
+	for _, c := range alive {
+		scores[c.id] = score(contLoad[c.id], ref)
+		total += scores[c.id]
+	}
+	mean := total / float64(len(alive))
+	band := m.opts.UtilizationBand
+	high := mean * (1 + band)
+	low := mean * (1 - band)
+
+	// Donors above the band, sorted by score descending (worst first).
+	donors := make([]string, 0)
+	for _, c := range alive {
+		if scores[c.id] > high {
+			donors = append(donors, c.id)
+		}
+	}
+	sort.Slice(donors, func(i, j int) bool {
+		if scores[donors[i]] != scores[donors[j]] {
+			return scores[donors[i]] > scores[donors[j]]
+		}
+		return donors[i] < donors[j]
+	})
+
+	capScore := make(map[string]float64, len(alive))
+	for _, c := range alive {
+		capScore[c.id] = score(c.capacity, ref) * (1 - m.opts.Headroom)
+	}
+
+	for _, donor := range donors {
+		shards := contShards[donor]
+		// Move largest shards first: fewest moves to re-enter the band.
+		sort.Slice(shards, func(i, j int) bool {
+			if shards[i].score != shards[j].score {
+				return shards[i].score > shards[j].score
+			}
+			return shards[i].id < shards[j].id
+		})
+		for _, sh := range shards {
+			if scores[donor] <= high {
+				break
+			}
+			if m.opts.MaxMovesPerRebalance > 0 && res.Moves >= m.opts.MaxMovesPerRebalance {
+				break
+			}
+			if sh.score == 0 {
+				break // only zero-load shards left; moving them is churn
+			}
+			// Receiver: the lowest-scored container that can take the
+			// shard without leaving the band or violating capacity or
+			// its region constraint.
+			recv := ""
+			recvScore := 0.0
+			for _, c := range alive {
+				if c.id == donor {
+					continue
+				}
+				if !m.regionOKLocked(sh.id, c) {
+					continue
+				}
+				cs := scores[c.id]
+				if cs >= low && recv != "" {
+					continue
+				}
+				if cs+sh.score > high {
+					continue
+				}
+				if cs+sh.score > capScore[c.id] {
+					continue
+				}
+				if recv == "" || cs < recvScore {
+					recv, recvScore = c.id, cs
+				}
+			}
+			if recv == "" {
+				continue
+			}
+			m.moveLocked(sh.id, donor, recv)
+			scores[donor] -= sh.score
+			scores[recv] += sh.score
+			res.Moves++
+		}
+	}
+
+	// Report distribution after the pass.
+	res.MeanScore = mean
+	first := true
+	for _, c := range alive {
+		s := scores[c.id]
+		if first {
+			res.MinScore, res.MaxScore = s, s
+			first = false
+			continue
+		}
+		if s < res.MinScore {
+			res.MinScore = s
+		}
+		if s > res.MaxScore {
+			res.MaxScore = s
+		}
+	}
+	m.stats.Moves += res.Moves
+	m.stats.LastBalance = time.Since(start)
+	return res
+}
+
+// moveLocked executes the shard movement protocol (§IV-A2): DROP_SHARD on
+// the source, update the mapping, ADD_SHARD on the destination. A failed
+// drop is counted (the Task Manager force-kills the stuck tasks); a failed
+// add leaves the mapping in place — the destination picks the shard's
+// tasks up on its next snapshot fetch.
+func (m *Manager) moveLocked(shard ShardID, from, to string) {
+	if c := m.containers[from]; c != nil && c.handler != nil {
+		if err := c.handler.DropShard(shard); err != nil {
+			m.stats.DropErrors++
+		}
+	}
+	m.assignment[shard] = to
+	if c := m.containers[to]; c != nil && c.handler != nil {
+		if err := c.handler.AddShard(shard); err != nil {
+			m.stats.AddErrors++
+		}
+	}
+}

@@ -1,0 +1,574 @@
+// Package statesyncer implements Turbine's State Syncer (paper §III-B),
+// the service that drives jobs from their current state to their desired
+// state and gives job updates their ACIDF properties.
+//
+// Every round (30 seconds in production and in this reproduction's
+// defaults) the syncer, for every job: merges the expected configuration
+// layers by precedence, compares the result with the running
+// configuration, generates an Execution Plan — an ordered sequence of
+// idempotent actions — if a difference is detected, and carries the plan
+// out. The running configuration is committed only after the plan
+// succeeds, which yields:
+//
+//   - Atomicity: a partial failure leaves the running entry untouched;
+//   - Fault-tolerance: a failed plan is aborted and re-generated next
+//     round, because the expected/running difference is still there;
+//   - Durability: running eventually converges to expected even if the
+//     syncer itself crashes between rounds — rounds are stateless.
+//
+// Synchronizations come in two classes (§III-B): simple ones are a direct
+// copy of the merged expected configuration into the running table (e.g. a
+// package release — the new version propagates to tasks via the Task
+// Service), batched by the round; complex ones require coordinated phases
+// in a strict order — changing job parallelism stops the old tasks,
+// redistributes their checkpoints among the future tasks, and only then
+// starts the new ones. A job whose plan fails repeatedly is quarantined
+// and an alert is raised for the oncall.
+package statesyncer
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/jobstore"
+	"repro/internal/simclock"
+)
+
+// Actuator is the State Syncer's interface to the task-management world:
+// the side effects complex synchronizations need. Implementations must be
+// idempotent — plans may be re-executed after partial failure.
+type Actuator interface {
+	// StopJobTasks stops every running task of the job and returns once
+	// they have fully stopped (checkpoint leases released). Stopping a
+	// job with no running tasks is a no-op.
+	StopJobTasks(job string) error
+	// RedistributeCheckpoints re-maps per-partition checkpoints and state
+	// from oldTaskCount to newTaskCount tasks. It is called only after
+	// StopJobTasks succeeded, mirroring the paper's ordering requirement.
+	RedistributeCheckpoints(job string, partitions, oldTaskCount, newTaskCount int) error
+	// ResumeJob lifts whatever hold StopJobTasks placed on the job
+	// (e.g. a Task Service quiesce), and is invoked only AFTER the new
+	// running configuration is committed — the "only then starts the new
+	// tasks" phase of a complex synchronization.
+	ResumeJob(job string) error
+}
+
+// NopActuator is an Actuator with no side effects, for configurations
+// where task lifecycle is driven purely by spec propagation.
+type NopActuator struct{}
+
+func (NopActuator) StopJobTasks(string) error                           { return nil }
+func (NopActuator) RedistributeCheckpoints(string, int, int, int) error { return nil }
+func (NopActuator) ResumeJob(string) error                              { return nil }
+
+// PlanKind classifies a synchronization.
+type PlanKind int
+
+const (
+	// PlanNoop means expected and running already match.
+	PlanNoop PlanKind = iota
+	// PlanSimple is a direct expected→running copy, no actions needed.
+	PlanSimple
+	// PlanComplex requires ordered phases (stop, redistribute, commit).
+	PlanComplex
+	// PlanDelete tears down a job whose expected entry is gone.
+	PlanDelete
+)
+
+func (k PlanKind) String() string {
+	switch k {
+	case PlanNoop:
+		return "noop"
+	case PlanSimple:
+		return "simple"
+	case PlanComplex:
+		return "complex"
+	case PlanDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("plan(%d)", int(k))
+	}
+}
+
+// Action is one idempotent step of an execution plan.
+type Action struct {
+	Name string
+	Run  func() error
+}
+
+// Plan is the execution plan for one job in one round.
+type Plan struct {
+	Job     string
+	Kind    PlanKind
+	Changes []config.Change
+	Actions []Action
+	// commit publishes the new running configuration; it runs only after
+	// every action succeeded (the atomic commit point).
+	commit func()
+	// after runs post-commit follow-ups (resume a quiesced job). Failures
+	// here do not undo the commit; the follow-up is idempotent and the
+	// next round retries it if the difference persists.
+	after []Action
+	// rollback runs when an action fails BEFORE the commit: it returns
+	// the job to its previous consistent state (e.g. un-quiesce so the
+	// old-configuration tasks keep running) — the paper's "cleans up,
+	// rolls back, and retries failed job updates" (§I).
+	rollback []Action
+}
+
+// complexPaths are configuration paths whose change requires coordinated
+// multi-phase synchronization rather than a direct copy. Task-count
+// changes redistribute checkpoints; input changes re-map partitions;
+// operator changes replace state semantics; output changes initialize a
+// new sink; the stopped bit needs tasks actually stopped.
+var complexPaths = []string{
+	"taskCount",
+	"input.category",
+	"input.partitions",
+	"operator",
+	"output.category",
+	"stopped",
+}
+
+func isComplexChange(path string) bool {
+	for _, p := range complexPaths {
+		if path == p || strings.HasPrefix(path, p+".") {
+			return true
+		}
+	}
+	return false
+}
+
+// Alert is raised when a job is quarantined after repeated sync failures.
+type Alert struct {
+	Job    string
+	Reason string
+	At     time.Time
+}
+
+// Stats are cumulative counters over all rounds.
+type Stats struct {
+	Rounds        int
+	SimpleSyncs   int
+	ComplexSyncs  int
+	Deletes       int
+	Failures      int
+	Quarantines   int
+	JobsExamined  int
+	JobsConverged int // syncs successfully applied
+}
+
+// Options tune the syncer.
+type Options struct {
+	// Interval between rounds; defaults to the paper's 30 seconds.
+	Interval time.Duration
+	// QuarantineAfter is the number of consecutive failures before a job
+	// is quarantined; defaults to 5.
+	QuarantineAfter int
+	// OnAlert, if set, receives quarantine alerts.
+	OnAlert func(Alert)
+	// MaxParallelComplex bounds concurrently executed complex plans per
+	// round ("parallelize the complex ones", §III-B); defaults to 16.
+	MaxParallelComplex int
+}
+
+// Syncer drives expected→running convergence.
+type Syncer struct {
+	store *jobstore.Store
+	act   Actuator
+	clock simclock.Clock
+	opts  Options
+
+	mu       sync.Mutex
+	failures map[string]int
+	stats    Stats
+	ticker   simclock.Ticker
+	// pendingAfter holds post-commit actions that failed and must be
+	// retried at the start of every round until they succeed — otherwise
+	// a job whose running config already matches expected (fast path)
+	// could stay quiesced forever.
+	pendingAfter map[string][]Action
+}
+
+// New returns a Syncer over store using act for complex-plan side effects.
+func New(store *jobstore.Store, act Actuator, clock simclock.Clock, opts Options) *Syncer {
+	if opts.Interval <= 0 {
+		opts.Interval = 30 * time.Second
+	}
+	if opts.QuarantineAfter <= 0 {
+		opts.QuarantineAfter = 5
+	}
+	if opts.MaxParallelComplex <= 0 {
+		opts.MaxParallelComplex = 16
+	}
+	if act == nil {
+		act = NopActuator{}
+	}
+	return &Syncer{
+		store:        store,
+		act:          act,
+		clock:        clock,
+		opts:         opts,
+		failures:     make(map[string]int),
+		pendingAfter: make(map[string][]Action),
+	}
+}
+
+// Start schedules periodic rounds on the syncer's clock.
+func (s *Syncer) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ticker != nil {
+		return
+	}
+	s.ticker = s.clock.TickEvery(s.opts.Interval, func() { s.RunRound() })
+}
+
+// Stop cancels periodic rounds.
+func (s *Syncer) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// Stats returns a copy of cumulative counters.
+func (s *Syncer) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// BuildPlan computes the execution plan for one job given its merged
+// expected configuration. It is exported for tests and for turbinectl's
+// dry-run mode.
+func (s *Syncer) BuildPlan(job string, merged config.Doc, version int64) Plan {
+	// Version short-circuit: the running entry records which expected
+	// version it realizes. If that hasn't moved, there is nothing to
+	// diff — the common case for tens of thousands of converged jobs.
+	if rv, ok := s.store.RunningVersion(job); ok && rv == version {
+		return Plan{Job: job, Kind: PlanNoop}
+	}
+	running, hasRunning := s.store.GetRunning(job)
+	var changes []config.Change
+	if hasRunning {
+		changes = config.Diff(running.Config, merged)
+		if len(changes) == 0 {
+			// Content equal even though the version moved (e.g. an
+			// override written and reverted): commit the version so
+			// future rounds take the fast path.
+			s.store.CommitRunning(job, merged, version)
+			return Plan{Job: job, Kind: PlanNoop}
+		}
+	}
+
+	commit := func() { s.store.CommitRunning(job, merged, version) }
+
+	complex := false
+	for _, ch := range changes {
+		if isComplexChange(ch.Path) {
+			complex = true
+			break
+		}
+	}
+	if !hasRunning || !complex {
+		// New jobs and direct copies are simple synchronizations: the
+		// commit itself is the whole plan, and the new settings propagate
+		// to tasks through the Task Service (§IV).
+		return Plan{Job: job, Kind: PlanSimple, Changes: changes, commit: commit}
+	}
+
+	// Complex synchronization: multi-step, strictly ordered (§III-B).
+	oldCount := intAt(running.Config, "taskCount")
+	newCount := intAt(merged, "taskCount")
+	partitions := intAt(merged, "input.partitions")
+	actions := []Action{
+		{
+			Name: fmt.Sprintf("stop %d old tasks", oldCount),
+			Run:  func() error { return s.act.StopJobTasks(job) },
+		},
+		{
+			Name: fmt.Sprintf("redistribute checkpoints %d->%d tasks", oldCount, newCount),
+			Run: func() error {
+				return s.act.RedistributeCheckpoints(job, partitions, oldCount, newCount)
+			},
+		},
+	}
+	after := []Action{{
+		Name: "resume job (start new tasks)",
+		Run:  func() error { return s.act.ResumeJob(job) },
+	}}
+	rollback := []Action{{
+		Name: "roll back: resume job in its previous configuration",
+		Run:  func() error { return s.act.ResumeJob(job) },
+	}}
+	return Plan{Job: job, Kind: PlanComplex, Changes: changes, Actions: actions, commit: commit, after: after, rollback: rollback}
+}
+
+func intAt(d config.Doc, path string) int {
+	v, ok := d.GetPath(path)
+	if !ok {
+		return 0
+	}
+	switch n := v.(type) {
+	case int:
+		return n
+	case float64:
+		return int(n)
+	case int64:
+		return int(n)
+	default:
+		return 0
+	}
+}
+
+// executePlan runs a plan's actions in order and commits on full success.
+func executePlan(p Plan) error {
+	for _, a := range p.Actions {
+		if err := a.Run(); err != nil {
+			for _, rb := range p.rollback {
+				_ = rb.Run() // best effort; the retry next round re-plans
+			}
+			return fmt.Errorf("%s: action %q: %w", p.Job, a.Name, err)
+		}
+	}
+	if p.commit != nil {
+		p.commit()
+	}
+	for i, a := range p.after {
+		if err := a.Run(); err != nil {
+			return &afterError{
+				job:       p.Job,
+				remaining: p.after[i:],
+				err:       fmt.Errorf("%s: post-commit action %q: %w", p.Job, a.Name, err),
+			}
+		}
+	}
+	return nil
+}
+
+// afterError marks a plan whose commit landed but whose post-commit
+// follow-ups failed; the remaining actions must be retried until they
+// succeed even though the job now looks converged.
+type afterError struct {
+	job       string
+	remaining []Action
+	err       error
+}
+
+func (e *afterError) Error() string { return e.err.Error() }
+func (e *afterError) Unwrap() error { return e.err }
+
+// RoundResult summarizes one synchronization round.
+type RoundResult struct {
+	Simple   int
+	Complex  int
+	Deleted  int
+	Failed   []string
+	Duration time.Duration
+}
+
+// RunRound performs one synchronization pass over every job: batch-apply
+// the simple plans, execute complex plans (bounded parallelism), tear
+// down deleted jobs, and update failure/quarantine accounting.
+func (s *Syncer) RunRound() RoundResult {
+	start := time.Now() // wall time: measures real sync cost, not sim time
+	var res RoundResult
+
+	// Retry post-commit follow-ups left over from earlier rounds first:
+	// these jobs are converged by version but still held (e.g. quiesced).
+	s.mu.Lock()
+	retries := make(map[string][]Action, len(s.pendingAfter))
+	for job, acts := range s.pendingAfter {
+		retries[job] = acts
+	}
+	s.mu.Unlock()
+	for job, acts := range retries {
+		done := 0
+		var err error
+		for _, a := range acts {
+			if err = a.Run(); err != nil {
+				break
+			}
+			done++
+		}
+		s.mu.Lock()
+		if err == nil {
+			delete(s.pendingAfter, job)
+		} else {
+			s.pendingAfter[job] = acts[done:]
+		}
+		s.mu.Unlock()
+		if err != nil {
+			s.recordFailure(job, err, &res)
+		}
+	}
+
+	type pending struct {
+		plan    Plan
+		version int64
+	}
+	var simple, complexPlans []pending
+
+	expected := s.store.ExpectedNames()
+	for _, job := range expected {
+		if _, quarantined := s.store.Quarantined(job); quarantined {
+			continue
+		}
+		// Cheap convergence check before snapshotting and merging the
+		// full layer stack.
+		if ev, ok := s.store.ExpectedVersion(job); ok {
+			if rv, ok := s.store.RunningVersion(job); ok && rv == ev {
+				continue
+			}
+		}
+		merged, version, err := s.store.MergedExpected(job)
+		if err != nil {
+			continue // deleted between listing and read; handled below
+		}
+		s.bumpExamined()
+		plan := s.BuildPlan(job, merged, version)
+		switch plan.Kind {
+		case PlanNoop:
+			continue
+		case PlanSimple:
+			simple = append(simple, pending{plan, version})
+		case PlanComplex:
+			complexPlans = append(complexPlans, pending{plan, version})
+		}
+	}
+
+	// Batch the simple synchronizations: direct copies, no actions. Tens
+	// of thousands of jobs complete in one pass within seconds (§III-B).
+	for _, p := range simple {
+		if err := executePlan(p.plan); err != nil {
+			s.handlePlanError(p.plan.Job, err, &res)
+			continue
+		}
+		s.recordSuccess(p.plan.Job)
+		res.Simple++
+	}
+
+	// Parallelize the complex synchronizations, bounded.
+	if len(complexPlans) > 0 {
+		sem := make(chan struct{}, s.opts.MaxParallelComplex)
+		errs := make([]error, len(complexPlans))
+		var wg sync.WaitGroup
+		for i, p := range complexPlans {
+			i, p := i, p
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				errs[i] = executePlan(p.plan)
+			}()
+		}
+		wg.Wait()
+		for i, p := range complexPlans {
+			if errs[i] != nil {
+				s.handlePlanError(p.plan.Job, errs[i], &res)
+				continue
+			}
+			s.recordSuccess(p.plan.Job)
+			res.Complex++
+		}
+	}
+
+	// Tear down jobs whose expected entry is gone: stop tasks, then drop
+	// the running entry. Errors retry next round like any failed plan.
+	expectedSet := make(map[string]struct{}, len(expected))
+	for _, j := range expected {
+		expectedSet[j] = struct{}{}
+	}
+	for _, job := range s.store.RunningNames() {
+		if _, ok := expectedSet[job]; ok {
+			continue
+		}
+		if err := s.act.StopJobTasks(job); err != nil {
+			s.recordFailure(job, err, &res)
+			continue
+		}
+		s.store.DropRunning(job)
+		_ = s.act.ResumeJob(job) // clear any hold; no specs remain anyway
+		s.bumpDeleted()
+		res.Deleted++
+	}
+
+	s.mu.Lock()
+	s.stats.Rounds++
+	s.stats.SimpleSyncs += res.Simple
+	s.stats.ComplexSyncs += res.Complex
+	s.mu.Unlock()
+
+	res.Duration = time.Since(start)
+	return res
+}
+
+// handlePlanError routes a plan failure: post-commit failures park their
+// remaining actions for per-round retry; pre-commit failures follow the
+// abort-and-retry-next-round path.
+func (s *Syncer) handlePlanError(job string, err error, res *RoundResult) {
+	var ae *afterError
+	if errors.As(err, &ae) {
+		s.mu.Lock()
+		s.pendingAfter[job] = ae.remaining
+		s.mu.Unlock()
+	}
+	s.recordFailure(job, err, res)
+}
+
+func (s *Syncer) bumpExamined() {
+	s.mu.Lock()
+	s.stats.JobsExamined++
+	s.mu.Unlock()
+}
+
+func (s *Syncer) bumpDeleted() {
+	s.mu.Lock()
+	s.stats.Deletes++
+	s.mu.Unlock()
+}
+
+func (s *Syncer) recordSuccess(job string) {
+	s.mu.Lock()
+	delete(s.failures, job)
+	s.stats.JobsConverged++
+	s.mu.Unlock()
+}
+
+func (s *Syncer) recordFailure(job string, err error, res *RoundResult) {
+	s.mu.Lock()
+	s.failures[job]++
+	s.stats.Failures++
+	n := s.failures[job]
+	quarantine := n >= s.opts.QuarantineAfter
+	if quarantine {
+		s.stats.Quarantines++
+		delete(s.failures, job)
+	}
+	onAlert := s.opts.OnAlert
+	s.mu.Unlock()
+
+	res.Failed = append(res.Failed, job)
+	if quarantine {
+		reason := fmt.Sprintf("quarantined after %d consecutive sync failures; last: %v", n, err)
+		s.store.SetQuarantine(job, reason)
+		if onAlert != nil {
+			onAlert(Alert{Job: job, Reason: reason, At: s.clock.Now()})
+		}
+	}
+}
+
+// FailureCount returns the current consecutive-failure count for a job.
+func (s *Syncer) FailureCount(job string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures[job]
+}

@@ -1,0 +1,575 @@
+// Package taskmanager implements Turbine's local Task Manager (paper §IV):
+// the agent inside every Turbine container that actually runs stream
+// processing tasks.
+//
+// Each Task Manager periodically (every 60 seconds) fetches the FULL
+// snapshot of task specs from the Task Service, computes each task's shard
+// with an MD5 hash of its identity, and runs exactly the tasks whose
+// shards the Shard Manager has assigned to its container. Keeping the full
+// list means load balancing and fail-over keep working even when the Task
+// Service or Job Management layer is degraded (§IV-D).
+//
+// Fail-over safety (§IV-C): the Task Manager heartbeats the Shard Manager;
+// if it cannot reach it, it proactively times out (40 seconds) BEFORE the
+// Shard Manager's fail-over interval (60 seconds) and reboots itself —
+// stopping all of its tasks — so that when the Shard Manager gives its
+// shards away, no two active instances of the same task can exist. If it
+// reconnects before fail-over, its shards remain and tasks restart in
+// place.
+package taskmanager
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/scribe"
+	"repro/internal/shardmanager"
+	"repro/internal/simclock"
+	"repro/internal/tupperware"
+)
+
+// TaskSource provides full task-spec snapshots (implemented by the Task
+// Service). The returned version changes whenever the snapshot content
+// does, letting Task Managers skip reconciliation when nothing changed.
+type TaskSource interface {
+	Snapshot() ([]engine.TaskSpec, int)
+}
+
+// ShardManagerClient is the subset of the Shard Manager the Task Manager
+// talks to.
+type ShardManagerClient interface {
+	Register(id string, capacity config.Resources, h shardmanager.Handler)
+	RegisterInRegion(id, region string, capacity config.Resources, h shardmanager.Handler)
+	Heartbeat(id string) error
+	ReportShardLoad(s shardmanager.ShardID, load config.Resources)
+	NumShards() int
+	// Mapping returns the stored shard→container mapping. It stays
+	// readable while the Shard Manager service is unavailable — the
+	// degraded mode a freshly restarted Task Manager recovers its shard
+	// set from (§IV-D).
+	Mapping() map[shardmanager.ShardID]string
+}
+
+// ProfileFunc resolves the true engine profile for a task's job; the
+// cluster harness supplies it (the binary's behaviour travels with the
+// job, not with Turbine).
+type ProfileFunc func(spec engine.TaskSpec) *engine.Profile
+
+// Options tune a Task Manager. Zero values take the paper's defaults.
+type Options struct {
+	// FetchInterval between task-spec snapshot fetches (default 60 s).
+	FetchInterval time.Duration
+	// HeartbeatInterval to the Shard Manager (default 10 s).
+	HeartbeatInterval time.Duration
+	// ConnectionTimeout is the proactive self-reboot deadline when the
+	// Shard Manager is unreachable; it MUST be shorter than the Shard
+	// Manager's fail-over interval (default 40 s < 60 s, §IV-C).
+	ConnectionTimeout time.Duration
+	// LoadReportInterval between shard-load reports (default 10 min).
+	LoadReportInterval time.Duration
+	// Region tags this container for regional placement constraints
+	// (§IV-B); empty means unconstrained.
+	Region string
+}
+
+func (o *Options) fillDefaults() {
+	if o.FetchInterval <= 0 {
+		o.FetchInterval = 60 * time.Second
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 10 * time.Second
+	}
+	if o.ConnectionTimeout <= 0 {
+		o.ConnectionTimeout = 40 * time.Second
+	}
+	if o.LoadReportInterval <= 0 {
+		o.LoadReportInterval = 10 * time.Minute
+	}
+}
+
+type runningTask struct {
+	task  *engine.Task
+	hash  string
+	stats engine.Stats
+}
+
+// Stats are cumulative Task Manager counters.
+type Stats struct {
+	Started     int
+	Stopped     int
+	Restarted   int // spec-hash changes
+	StartErrors int // lease conflicts etc.
+	Reboots     int // proactive self-reboots
+	OOMKills    int
+}
+
+// Manager is one container's local Task Manager.
+type Manager struct {
+	id        string
+	container *tupperware.Container
+	clock     simclock.Clock
+	source    TaskSource
+	sm        ShardManagerClient
+	bus       *scribe.Bus
+	ckpt      *engine.CheckpointStore
+	profile   ProfileFunc
+	opts      Options
+
+	mu          sync.Mutex
+	shards      map[shardmanager.ShardID]struct{}
+	tasks       map[string]*runningTask
+	connected   bool
+	lastContact time.Time
+	rebootedEp  bool // already rebooted in this disconnection episode
+	stats       Stats
+	oomsByJob   map[string]int
+	tickers     []simclock.Ticker
+
+	// Refresh fast-path state: skip reconciliation when neither the
+	// snapshot nor the local shard set changed and the last pass was
+	// clean.
+	dirty               bool
+	lastSnapshotVersion int
+	lastStartErrors     int
+}
+
+// New builds a Task Manager for a container. Call Start to register with
+// the Shard Manager and begin periodic work.
+func New(container *tupperware.Container, clock simclock.Clock, source TaskSource,
+	sm ShardManagerClient, bus *scribe.Bus, ckpt *engine.CheckpointStore,
+	profile ProfileFunc, opts Options) *Manager {
+	opts.fillDefaults()
+	return &Manager{
+		id:          container.ID(),
+		container:   container,
+		clock:       clock,
+		source:      source,
+		sm:          sm,
+		bus:         bus,
+		ckpt:        ckpt,
+		profile:     profile,
+		opts:        opts,
+		shards:      make(map[shardmanager.ShardID]struct{}),
+		tasks:       make(map[string]*runningTask),
+		connected:   true,
+		lastContact: clock.Now(),
+	}
+}
+
+// ID returns the container ID this manager serves.
+func (m *Manager) ID() string { return m.id }
+
+// Start registers with the Shard Manager and schedules the periodic
+// loops: snapshot refresh, heartbeat, and load reporting.
+func (m *Manager) Start() {
+	m.sm.RegisterInRegion(m.id, m.opts.Region, m.container.Capacity(), m)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.tickers) > 0 {
+		return
+	}
+	m.tickers = append(m.tickers,
+		m.clock.TickEvery(m.opts.FetchInterval, func() { m.Refresh() }),
+		m.clock.TickEvery(m.opts.HeartbeatInterval, func() { m.heartbeat() }),
+		m.clock.TickEvery(m.opts.LoadReportInterval, func() { m.ReportLoads() }),
+	)
+}
+
+// Shutdown stops all periodic work and all tasks (clean stop).
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	tickers := m.tickers
+	m.tickers = nil
+	m.mu.Unlock()
+	for _, t := range tickers {
+		t.Stop()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, rt := range m.tasks {
+		rt.task.Stop()
+		delete(m.tasks, id)
+		m.stats.Stopped++
+	}
+}
+
+// SetConnected simulates the network path to the Shard Manager going down
+// or up (the connection-failure scenario of §IV-C).
+func (m *Manager) SetConnected(connected bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wasDown := !m.connected
+	m.connected = connected
+	if connected && wasDown {
+		m.rebootedEp = false
+	}
+}
+
+// AddShard implements shardmanager.Handler: the container now owns the
+// shard; start its tasks from the latest snapshot.
+func (m *Manager) AddShard(s shardmanager.ShardID) error {
+	m.mu.Lock()
+	m.shards[s] = struct{}{}
+	m.dirty = true
+	m.mu.Unlock()
+	m.Refresh()
+	return nil
+}
+
+// DropShard implements shardmanager.Handler: stop the shard's tasks and
+// forget the shard.
+func (m *Manager) DropShard(s shardmanager.ShardID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.shards, s)
+	m.dirty = true
+	for id, rt := range m.tasks {
+		if shardmanager.ShardOf(id, m.sm.NumShards()) == s {
+			rt.task.Stop()
+			delete(m.tasks, id)
+			m.stats.Stopped++
+		}
+	}
+	return nil
+}
+
+// Shards returns the shards this container currently owns, sorted.
+func (m *Manager) Shards() []shardmanager.ShardID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]shardmanager.ShardID, 0, len(m.shards))
+	for s := range m.shards {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Refresh fetches the full task-spec snapshot and reconciles the running
+// task set: start tasks newly mapped to owned shards, stop tasks no longer
+// in the snapshot or no longer owned, and restart tasks whose spec changed
+// (detected by spec hash).
+func (m *Manager) Refresh() {
+	if !m.container.Alive() {
+		return
+	}
+	m.mu.Lock()
+	connected := m.connected
+	m.mu.Unlock()
+	if !connected {
+		// Shard ownership cannot be confirmed while the Shard Manager is
+		// unreachable: keep running what we run, but start nothing new —
+		// a rebooted-but-disconnected container must stay idle until it
+		// re-connects, or it could duplicate tasks the Shard Manager has
+		// failed over elsewhere (§IV-C).
+		return
+	}
+	snapshot, version := m.source.Snapshot()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Fast path: the snapshot hasn't changed, our shard set hasn't
+	// changed, and the last reconciliation completed cleanly — nothing to
+	// do. This keeps the 60-second fetch loop cheap at fleet scale.
+	if !m.dirty && version == m.lastSnapshotVersion && m.lastStartErrors == 0 {
+		return
+	}
+	m.lastSnapshotVersion = version
+	m.dirty = false
+	errsBefore := m.stats.StartErrors
+
+	numShards := m.sm.NumShards()
+	desired := make(map[string]engine.TaskSpec)
+	for _, spec := range snapshot {
+		id := spec.ID()
+		if _, owned := m.shards[shardmanager.ShardOf(id, numShards)]; owned {
+			desired[id] = spec
+		}
+	}
+
+	// Stop tasks that are no longer desired.
+	for id, rt := range m.tasks {
+		if _, ok := desired[id]; !ok {
+			rt.task.Stop()
+			delete(m.tasks, id)
+			m.stats.Stopped++
+		}
+	}
+
+	// Start new tasks and restart changed ones, in deterministic order.
+	ids := make([]string, 0, len(desired))
+	for id := range desired {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		spec := desired[id]
+		hash := spec.Hash()
+		if rt, ok := m.tasks[id]; ok {
+			if rt.hash == hash {
+				continue
+			}
+			// Spec changed (package bump, resource change, repartition):
+			// restart with the new spec.
+			rt.task.Stop()
+			delete(m.tasks, id)
+			m.stats.Restarted++
+		}
+		task := engine.NewTask(spec, m.profile(spec), m.bus, m.ckpt)
+		if err := task.Start(); err != nil {
+			// Lease conflict or similar; retry on the next refresh.
+			m.stats.StartErrors++
+			continue
+		}
+		m.tasks[id] = &runningTask{task: task, hash: hash}
+		m.stats.Started++
+	}
+	m.lastStartErrors = m.stats.StartErrors - errsBefore
+}
+
+// heartbeat maintains liveness with the Shard Manager and implements the
+// proactive connection timeout.
+func (m *Manager) heartbeat() {
+	if !m.container.Alive() {
+		return // dead containers don't heartbeat; SM will fail them over
+	}
+	m.mu.Lock()
+	connected := m.connected
+	m.mu.Unlock()
+
+	if !connected {
+		m.mu.Lock()
+		silent := m.clock.Since(m.lastContact)
+		needReboot := silent >= m.opts.ConnectionTimeout && !m.rebootedEp
+		if needReboot {
+			m.rebootedEp = true
+		}
+		m.mu.Unlock()
+		if needReboot {
+			m.reboot()
+		}
+		return
+	}
+
+	err := m.sm.Heartbeat(m.id)
+	m.mu.Lock()
+	m.lastContact = m.clock.Now()
+	m.mu.Unlock()
+	if errors.Is(err, shardmanager.ErrUnavailable) {
+		// Degraded mode (§IV-D): the Shard Manager service itself is
+		// down. We reached its endpoint, so this is NOT a partition of
+		// this container; nothing can fail our shards over, so we keep
+		// the stored mapping and keep processing. A freshly restarted
+		// container with no local state recovers its shard set from the
+		// stored mapping.
+		m.mu.Lock()
+		empty := len(m.shards) == 0
+		m.mu.Unlock()
+		if empty {
+			m.adoptStoredMapping()
+		}
+		return
+	}
+	if err != nil {
+		// The Shard Manager no longer knows us: we were failed over while
+		// away. Re-register as a new, empty container (§IV-C).
+		m.mu.Lock()
+		m.shards = make(map[shardmanager.ShardID]struct{})
+		m.dirty = true
+		for id, rt := range m.tasks {
+			rt.task.Stop()
+			delete(m.tasks, id)
+			m.stats.Stopped++
+		}
+		m.mu.Unlock()
+		m.sm.RegisterInRegion(m.id, m.opts.Region, m.container.Capacity(), m)
+	}
+}
+
+// adoptStoredMapping loads the shards mapped to this container from the
+// Shard Manager's stored mapping — the §IV-D degraded mode for a Task
+// Manager that restarted while the service is down.
+func (m *Manager) adoptStoredMapping() {
+	adopted := false
+	for s, owner := range m.sm.Mapping() {
+		if owner != m.id {
+			continue
+		}
+		m.mu.Lock()
+		if _, ok := m.shards[s]; !ok {
+			m.shards[s] = struct{}{}
+			m.dirty = true
+			adopted = true
+		}
+		m.mu.Unlock()
+	}
+	if adopted {
+		m.Refresh()
+	}
+}
+
+// reboot models the container rebooting itself after the proactive
+// timeout: every task stops (leases released) but the local shard list is
+// kept — if the Shard Manager still maps the shards here after reconnect,
+// the tasks restart in place on the next refresh.
+func (m *Manager) reboot() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirty = true
+	for id, rt := range m.tasks {
+		rt.task.Stop()
+		delete(m.tasks, id)
+		m.stats.Stopped++
+	}
+	m.stats.Reboots++
+}
+
+// StopJob cleanly stops every running task of one job on this container.
+// The State Syncer's actuator calls it across the fleet as the first phase
+// of a complex synchronization (§III-B). It returns how many tasks it
+// stopped.
+func (m *Manager) StopJob(job string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirty = true
+	n := 0
+	for id, rt := range m.tasks {
+		if rt.task.Spec().Job == job {
+			rt.task.Stop()
+			delete(m.tasks, id)
+			m.stats.Stopped++
+			n++
+		}
+	}
+	return n
+}
+
+// OOMsByJob returns cumulative OOM-kill counts per job on this container.
+func (m *Manager) OOMsByJob() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.oomsByJob))
+	for j, n := range m.oomsByJob {
+		out[j] = n
+	}
+	return out
+}
+
+// OnContainerDead force-releases everything after the container's host
+// died: the processes are gone, so their partition leases no longer
+// represent active instances. The cluster harness calls this when it kills
+// a host.
+func (m *Manager) OnContainerDead() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirty = true
+	for id, rt := range m.tasks {
+		rt.task.Kill()
+		delete(m.tasks, id)
+	}
+}
+
+// Advance drives every running task by dt of simulated processing and
+// records their stats. The cluster harness calls it from the simulation
+// loop.
+func (m *Manager) Advance(dt time.Duration) {
+	if !m.container.Alive() {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rt := range m.tasks {
+		st := rt.task.Advance(dt)
+		rt.stats = st
+		if st.OOMKilled {
+			m.stats.OOMKills++
+			if m.oomsByJob == nil {
+				m.oomsByJob = make(map[string]int)
+			}
+			m.oomsByJob[rt.task.Spec().Job]++
+		}
+	}
+}
+
+// TaskStats returns the last-observed stats of every running task.
+func (m *Manager) TaskStats() map[string]engine.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]engine.Stats, len(m.tasks))
+	for id, rt := range m.tasks {
+		out[id] = rt.stats
+	}
+	return out
+}
+
+// RunningTaskIDs returns the IDs of tasks currently running, sorted.
+func (m *Manager) RunningTaskIDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.tasks))
+	for id := range m.tasks {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TaskCount returns the number of running tasks.
+func (m *Manager) TaskCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.tasks)
+}
+
+// Usage returns the container's current resource consumption: the sum of
+// its tasks' last-observed CPU and memory.
+func (m *Manager) Usage() config.Resources {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var u config.Resources
+	for _, rt := range m.tasks {
+		u.CPUCores += rt.stats.CPUCores
+		u.MemoryBytes += rt.stats.MemoryBytes
+		u.DiskBytes += rt.stats.DiskBytes
+		u.NetworkBps += rt.stats.NetworkBps
+	}
+	return u
+}
+
+// ReportLoads aggregates per-task usage into per-shard loads and reports
+// them to the Shard Manager (the load-aggregator thread of §IV-B).
+func (m *Manager) ReportLoads() {
+	if !m.container.Alive() {
+		return
+	}
+	m.mu.Lock()
+	loads := make(map[shardmanager.ShardID]config.Resources)
+	numShards := m.sm.NumShards()
+	for s := range m.shards {
+		loads[s] = config.Resources{}
+	}
+	for id, rt := range m.tasks {
+		s := shardmanager.ShardOf(id, numShards)
+		l := loads[s]
+		l.CPUCores += rt.stats.CPUCores
+		l.MemoryBytes += rt.stats.MemoryBytes
+		l.DiskBytes += rt.stats.DiskBytes
+		l.NetworkBps += rt.stats.NetworkBps
+		loads[s] = l
+	}
+	m.mu.Unlock()
+	for s, l := range loads {
+		m.sm.ReportShardLoad(s, l)
+	}
+}
+
+// Stats returns cumulative counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,189 @@
+// Package taskservice implements Turbine's Task Service (paper §IV): the
+// read path that converts running job configurations into individual task
+// specs.
+//
+// The Task Service retrieves the list of jobs from the Job Store and
+// dynamically generates task specs considering each job's parallelism
+// level and applying template substitutions. Every local Task Manager
+// periodically fetches the *full* snapshot of task specs — keeping the
+// full list is what lets Task Managers perform load balancing and
+// fail-over even when the Task Service or the Job Management layer is
+// unavailable or degraded (§IV-D).
+//
+// Snapshots are cached for a TTL (90 seconds in production and here);
+// combined with the State Syncer's 30-second rounds and the Task Managers'
+// 60-second fetches this yields the paper's 1–2 minute end-to-end
+// scheduling latency for cluster-wide updates.
+package taskservice
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/jobstore"
+	"repro/internal/simclock"
+)
+
+// Service generates and caches task-spec snapshots.
+type Service struct {
+	store *jobstore.Store
+	clock simclock.Clock
+	ttl   time.Duration
+
+	mu        sync.Mutex
+	cache     []engine.TaskSpec
+	cachedAt  time.Time
+	haveCache bool
+	genCount  int
+	version   int
+	quiesced  map[string]struct{}
+}
+
+// New returns a Service over store. ttl is the snapshot cache lifetime; a
+// non-positive ttl defaults to the production 90 seconds.
+func New(store *jobstore.Store, clock simclock.Clock, ttl time.Duration) *Service {
+	if ttl <= 0 {
+		ttl = 90 * time.Second
+	}
+	return &Service{store: store, clock: clock, ttl: ttl, quiesced: make(map[string]struct{})}
+}
+
+// Quiesce suppresses a job's task specs until Unquiesce: no Task Manager
+// will start (or restart) its tasks. The State Syncer quiesces a job
+// through the stop/redistribute phases of a complex synchronization, so
+// that stale snapshots cannot resurrect old-parallelism tasks while new
+// ones are being started — the paper's "only then starts the new tasks"
+// ordering (§III-B). The cache is invalidated so the suppression is
+// visible to the very next snapshot fetch.
+func (s *Service) Quiesce(job string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quiesced[job] = struct{}{}
+	s.haveCache = false
+}
+
+// Unquiesce lifts the suppression after the new running configuration has
+// been committed.
+func (s *Service) Unquiesce(job string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.quiesced, job)
+	s.haveCache = false
+}
+
+// Snapshot returns the full list of task specs for every running job,
+// serving from cache within the TTL, along with a version number that
+// changes only when the content was regenerated AND differs from the
+// previous snapshot. Task Managers use the version to skip reconciliation
+// when nothing changed. The returned slice is shared and must not be
+// modified by callers.
+func (s *Service) Snapshot() ([]engine.TaskSpec, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	if s.haveCache && now.Sub(s.cachedAt) < s.ttl {
+		return s.cache, s.version
+	}
+	fresh := s.generate()
+	if !specsEqual(fresh, s.cache) || !s.haveCache {
+		s.version++
+	}
+	s.cache = fresh
+	s.cachedAt = now
+	s.haveCache = true
+	s.genCount++
+	return s.cache, s.version
+}
+
+// specsEqual compares snapshots by spec hash, cheaply detecting "nothing
+// changed" between regenerations.
+func specsEqual(a, b []engine.TaskSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Hash() != b[i].Hash() {
+			return false
+		}
+	}
+	return true
+}
+
+// Invalidate drops the cached snapshot so the next fetch regenerates. Used
+// by tests and by operators forcing a fast propagation.
+func (s *Service) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.haveCache = false
+}
+
+// Generations reports how many times a snapshot was generated (not served
+// from cache); tests use it to verify caching behaviour.
+func (s *Service) Generations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.genCount
+}
+
+// generate builds specs from every running job configuration. Jobs whose
+// running config is undecodable or administratively stopped produce no
+// tasks.
+func (s *Service) generate() []engine.TaskSpec {
+	var specs []engine.TaskSpec
+	for _, job := range s.store.RunningNames() {
+		if _, q := s.quiesced[job]; q {
+			continue
+		}
+		r, ok := s.store.GetRunning(job)
+		if !ok {
+			continue
+		}
+		cfg, err := config.JobConfigFromDoc(r.Config)
+		if err != nil || cfg.Stopped || cfg.TaskCount <= 0 {
+			continue
+		}
+		specs = append(specs, SpecsForJob(cfg)...)
+	}
+	return specs
+}
+
+// SpecsForJob expands one job configuration into its task specs: one spec
+// per parallelism slot, with contiguous disjoint partition ranges and
+// template substitutions applied.
+func SpecsForJob(cfg *config.JobConfig) []engine.TaskSpec {
+	specs := make([]engine.TaskSpec, 0, cfg.TaskCount)
+	for i := 0; i < cfg.TaskCount; i++ {
+		specs = append(specs, engine.TaskSpec{
+			Job:            cfg.Name,
+			Index:          i,
+			TaskCount:      cfg.TaskCount,
+			PackageName:    cfg.Package.Name,
+			PackageVersion: cfg.Package.Version,
+			Threads:        cfg.ThreadsPerTask,
+			Operator:       cfg.Operator,
+			InputCategory:  cfg.Input.Category,
+			Partitions:     engine.AssignPartitions(cfg.Input.Partitions, cfg.TaskCount, i),
+			OutputCategory: cfg.Output.Category,
+			Resources:      cfg.TaskResources,
+			Enforcement:    cfg.Enforcement,
+			CheckpointDir:  substitute(cfg.CheckpointDir, cfg.Name, i),
+			Priority:       cfg.Priority,
+		})
+	}
+	return specs
+}
+
+// substitute applies the task-spec template substitutions: $JOB expands to
+// the job name and $TASK to the task index.
+func substitute(template, job string, index int) string {
+	if template == "" {
+		return ""
+	}
+	out := strings.ReplaceAll(template, "$JOB", job)
+	out = strings.ReplaceAll(out, "$TASK", strconv.Itoa(index))
+	return out
+}

@@ -1,0 +1,251 @@
+// Package tupperware models Facebook's cluster management system of the
+// same name (paper §I, §IV), the substrate Turbine is layered on.
+//
+// Turbine uses Tupperware for exactly one thing: low-level host management.
+// It asks for an allocation of Linux containers — the "Turbine Containers"
+// — each with a multi-dimensional capacity, and runs a local Task Manager
+// inside each one. Everything above (which tasks run where, when they move)
+// is Turbine's business. Accordingly this package models hosts with
+// capacity vectors, container allocation with first-fit placement, and
+// host/container failure injection for the fail-over experiments; it does
+// not model processes, images, or networking.
+package tupperware
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/config"
+)
+
+// Cluster is a set of hosts that containers can be allocated on.
+// Safe for concurrent use.
+type Cluster struct {
+	mu         sync.RWMutex
+	hosts      map[string]*host
+	containers map[string]*Container
+}
+
+type host struct {
+	name      string
+	capacity  config.Resources
+	allocated config.Resources
+	healthy   bool
+}
+
+// Container is one Turbine Container: a nested-container allocation on a
+// host that a Task Manager runs inside.
+type Container struct {
+	id       string
+	capacity config.Resources
+
+	mu   sync.RWMutex
+	host string // empty after release or host removal
+	dead bool
+}
+
+// NewCluster returns an empty cluster.
+func NewCluster() *Cluster {
+	return &Cluster{
+		hosts:      make(map[string]*host),
+		containers: make(map[string]*Container),
+	}
+}
+
+// AddHost registers a healthy host with the given capacity.
+func (c *Cluster) AddHost(name string, capacity config.Resources) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.hosts[name]; ok {
+		return fmt.Errorf("tupperware: host %q already exists", name)
+	}
+	c.hosts[name] = &host{name: name, capacity: capacity, healthy: true}
+	return nil
+}
+
+// RemoveHost deregisters a host. Containers on it are marked dead; their
+// Task Managers will stop heartbeating and the Shard Manager fails their
+// shards over (paper §IV-C notes host addition/removal is fully automated).
+func (c *Cluster) RemoveHost(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.hosts[name]; !ok {
+		return fmt.Errorf("tupperware: unknown host %q", name)
+	}
+	delete(c.hosts, name)
+	for _, ct := range c.containers {
+		ct.mu.Lock()
+		if ct.host == name {
+			ct.host = ""
+			ct.dead = true
+		}
+		ct.mu.Unlock()
+	}
+	return nil
+}
+
+// SetHostHealthy marks a host healthy or not. Containers on an unhealthy
+// host report !Alive, which stops their heartbeats.
+func (c *Cluster) SetHostHealthy(name string, healthy bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.hosts[name]
+	if !ok {
+		return fmt.Errorf("tupperware: unknown host %q", name)
+	}
+	h.healthy = healthy
+	for _, ct := range c.containers {
+		ct.mu.Lock()
+		if ct.host == name {
+			ct.dead = !healthy
+		}
+		ct.mu.Unlock()
+	}
+	return nil
+}
+
+// Allocate places a new container with the given capacity on some healthy
+// host with room, using first-fit over hosts sorted by name (deterministic).
+func (c *Cluster) Allocate(id string, capacity config.Resources) (*Container, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.containers[id]; ok {
+		return nil, fmt.Errorf("tupperware: container %q already exists", id)
+	}
+	names := make([]string, 0, len(c.hosts))
+	for n := range c.hosts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := c.hosts[n]
+		if !h.healthy {
+			continue
+		}
+		if capacity.Add(h.allocated).Fits(h.capacity) {
+			return c.placeLocked(id, capacity, h), nil
+		}
+	}
+	return nil, fmt.Errorf("tupperware: no healthy host can fit container %q (%+v)", id, capacity)
+}
+
+// AllocateOn places a container on a specific host.
+func (c *Cluster) AllocateOn(hostName, id string, capacity config.Resources) (*Container, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.containers[id]; ok {
+		return nil, fmt.Errorf("tupperware: container %q already exists", id)
+	}
+	h, ok := c.hosts[hostName]
+	if !ok {
+		return nil, fmt.Errorf("tupperware: unknown host %q", hostName)
+	}
+	if !h.healthy {
+		return nil, fmt.Errorf("tupperware: host %q is unhealthy", hostName)
+	}
+	if !capacity.Add(h.allocated).Fits(h.capacity) {
+		return nil, fmt.Errorf("tupperware: host %q cannot fit container %q", hostName, id)
+	}
+	return c.placeLocked(id, capacity, h), nil
+}
+
+func (c *Cluster) placeLocked(id string, capacity config.Resources, h *host) *Container {
+	h.allocated = h.allocated.Add(capacity)
+	ct := &Container{id: id, capacity: capacity, host: h.name}
+	c.containers[id] = ct
+	return ct
+}
+
+// Release frees a container's allocation and removes it.
+func (c *Cluster) Release(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ct, ok := c.containers[id]
+	if !ok {
+		return fmt.Errorf("tupperware: unknown container %q", id)
+	}
+	ct.mu.Lock()
+	if h, ok := c.hosts[ct.host]; ok {
+		h.allocated = h.allocated.Sub(ct.capacity)
+	}
+	ct.host = ""
+	ct.dead = true
+	ct.mu.Unlock()
+	delete(c.containers, id)
+	return nil
+}
+
+// Container returns a container by id.
+func (c *Cluster) Container(id string) (*Container, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ct, ok := c.containers[id]
+	return ct, ok
+}
+
+// ContainerIDs returns all container ids, sorted.
+func (c *Cluster) ContainerIDs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.containers))
+	for id := range c.containers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostInfo is a read-only snapshot of one host.
+type HostInfo struct {
+	Name      string
+	Capacity  config.Resources
+	Allocated config.Resources
+	Healthy   bool
+}
+
+// Hosts returns snapshots of all hosts, sorted by name.
+func (c *Cluster) Hosts() []HostInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]HostInfo, 0, len(c.hosts))
+	for _, h := range c.hosts {
+		out = append(out, HostInfo{Name: h.name, Capacity: h.capacity, Allocated: h.allocated, Healthy: h.healthy})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ID returns the container's identifier.
+func (ct *Container) ID() string { return ct.id }
+
+// Capacity returns the container's capacity vector.
+func (ct *Container) Capacity() config.Resources { return ct.capacity }
+
+// Host returns the name of the host the container runs on, or "" if it has
+// been released or its host removed.
+func (ct *Container) Host() string {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	return ct.host
+}
+
+// Alive reports whether the container is running on a healthy host.
+func (ct *Container) Alive() bool {
+	ct.mu.RLock()
+	defer ct.mu.RUnlock()
+	return !ct.dead && ct.host != ""
+}
+
+// Revive marks a container alive again after its host recovers. It is the
+// model for a Turbine container rebooting itself after a connection
+// timeout (paper §IV-C). Reviving a released container fails.
+func (ct *Container) Revive() error {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.host == "" {
+		return fmt.Errorf("tupperware: container %q has no host to revive on", ct.id)
+	}
+	ct.dead = false
+	return nil
+}

@@ -1,0 +1,231 @@
+package tupperware
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func res(cpu float64, memGB int64) config.Resources {
+	return config.Resources{CPUCores: cpu, MemoryBytes: memGB << 30}
+}
+
+func TestAddHostAndDuplicate(t *testing.T) {
+	c := NewCluster()
+	if err := c.AddHost("h1", res(48, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddHost("h1", res(48, 256)); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	hosts := c.Hosts()
+	if len(hosts) != 1 || hosts[0].Name != "h1" || !hosts[0].Healthy {
+		t.Fatalf("Hosts = %+v", hosts)
+	}
+}
+
+func TestAllocateFirstFitDeterministic(t *testing.T) {
+	c := NewCluster()
+	c.AddHost("h2", res(48, 256))
+	c.AddHost("h1", res(48, 256))
+	ct, err := c.Allocate("c1", res(4, 26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Host() != "h1" {
+		t.Fatalf("first-fit placed on %q, want h1 (sorted order)", ct.Host())
+	}
+	if !ct.Alive() {
+		t.Fatal("fresh container not alive")
+	}
+	if ct.Capacity() != res(4, 26) {
+		t.Fatalf("Capacity = %+v", ct.Capacity())
+	}
+}
+
+func TestAllocateRespectsCapacity(t *testing.T) {
+	c := NewCluster()
+	c.AddHost("h1", res(8, 64))
+	if _, err := c.Allocate("c1", res(6, 32)); err != nil {
+		t.Fatal(err)
+	}
+	// 6 of 8 cores used; a 4-core container no longer fits.
+	if _, err := c.Allocate("c2", res(4, 16)); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	// But a 2-core one does.
+	if _, err := c.Allocate("c3", res(2, 16)); err != nil {
+		t.Fatalf("fitting allocation rejected: %v", err)
+	}
+	h := c.Hosts()[0]
+	if h.Allocated.CPUCores != 8 {
+		t.Fatalf("Allocated CPU = %v, want 8", h.Allocated.CPUCores)
+	}
+}
+
+func TestAllocateSkipsUnhealthyHosts(t *testing.T) {
+	c := NewCluster()
+	c.AddHost("h1", res(48, 256))
+	c.AddHost("h2", res(48, 256))
+	c.SetHostHealthy("h1", false)
+	ct, err := c.Allocate("c1", res(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Host() != "h2" {
+		t.Fatalf("allocated on unhealthy host %q", ct.Host())
+	}
+}
+
+func TestAllocateDuplicateID(t *testing.T) {
+	c := NewCluster()
+	c.AddHost("h1", res(48, 256))
+	c.Allocate("c1", res(1, 1))
+	if _, err := c.Allocate("c1", res(1, 1)); err == nil {
+		t.Fatal("duplicate container id accepted")
+	}
+}
+
+func TestAllocateOn(t *testing.T) {
+	c := NewCluster()
+	c.AddHost("h1", res(48, 256))
+	c.AddHost("h2", res(48, 256))
+	ct, err := c.AllocateOn("h2", "c1", res(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Host() != "h2" {
+		t.Fatalf("Host = %q, want h2", ct.Host())
+	}
+	if _, err := c.AllocateOn("nope", "c2", res(1, 1)); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+	c.SetHostHealthy("h1", false)
+	if _, err := c.AllocateOn("h1", "c3", res(1, 1)); err == nil {
+		t.Fatal("unhealthy host accepted")
+	}
+}
+
+func TestReleaseFreesCapacity(t *testing.T) {
+	c := NewCluster()
+	c.AddHost("h1", res(8, 64))
+	ct, _ := c.Allocate("c1", res(6, 32))
+	if err := c.Release("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Alive() {
+		t.Fatal("released container still alive")
+	}
+	if h := c.Hosts()[0]; !h.Allocated.IsZero() {
+		t.Fatalf("capacity not freed: %+v", h.Allocated)
+	}
+	if _, err := c.Allocate("c2", res(6, 32)); err != nil {
+		t.Fatalf("reallocation after release failed: %v", err)
+	}
+	if err := c.Release("nope"); err == nil {
+		t.Fatal("release of unknown container accepted")
+	}
+	if err := ct.Revive(); err == nil {
+		t.Fatal("revive of released container accepted")
+	}
+}
+
+func TestHostFailureKillsContainers(t *testing.T) {
+	c := NewCluster()
+	c.AddHost("h1", res(48, 256))
+	ct, _ := c.Allocate("c1", res(1, 1))
+	c.SetHostHealthy("h1", false)
+	if ct.Alive() {
+		t.Fatal("container alive on failed host")
+	}
+	// Recovery: host healthy again → container can reboot itself (§IV-C).
+	c.SetHostHealthy("h1", true)
+	if !ct.Alive() {
+		t.Fatal("container not revived with host recovery")
+	}
+}
+
+func TestSetHostHealthyUnknown(t *testing.T) {
+	c := NewCluster()
+	if err := c.SetHostHealthy("nope", true); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestRemoveHostOrphansContainers(t *testing.T) {
+	c := NewCluster()
+	c.AddHost("h1", res(48, 256))
+	ct, _ := c.Allocate("c1", res(1, 1))
+	if err := c.RemoveHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Alive() || ct.Host() != "" {
+		t.Fatal("container survived host removal")
+	}
+	if err := ct.Revive(); err == nil {
+		t.Fatal("revive without host accepted")
+	}
+	if err := c.RemoveHost("h1"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestContainerLookupAndIDs(t *testing.T) {
+	c := NewCluster()
+	c.AddHost("h1", res(48, 256))
+	c.Allocate("b", res(1, 1))
+	c.Allocate("a", res(1, 1))
+	if ids := c.ContainerIDs(); len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("ContainerIDs = %v", ids)
+	}
+	if _, ok := c.Container("a"); !ok {
+		t.Fatal("Container lookup failed")
+	}
+	if _, ok := c.Container("zzz"); ok {
+		t.Fatal("phantom container found")
+	}
+}
+
+func TestMultiDimensionalFit(t *testing.T) {
+	c := NewCluster()
+	c.AddHost("h1", config.Resources{CPUCores: 100, MemoryBytes: 10, DiskBytes: 100, NetworkBps: 100})
+	// Plenty of CPU but not enough memory.
+	if _, err := c.Allocate("c1", config.Resources{CPUCores: 1, MemoryBytes: 11}); err == nil {
+		t.Fatal("memory overcommit accepted")
+	}
+	// Disk dimension enforced too.
+	if _, err := c.Allocate("c2", config.Resources{DiskBytes: 101}); err == nil {
+		t.Fatal("disk overcommit accepted")
+	}
+}
+
+func TestConcurrentAllocateRelease(t *testing.T) {
+	c := NewCluster()
+	for i := 0; i < 8; i++ {
+		c.AddHost(fmt.Sprintf("h%d", i), res(48, 256))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("c-%d-%d", g, i)
+				if _, err := c.Allocate(id, res(1, 2)); err != nil {
+					continue
+				}
+				c.Release(id)
+			}
+		}()
+	}
+	wg.Wait()
+	// All released: every host back to zero.
+	for _, h := range c.Hosts() {
+		if !h.Allocated.IsZero() {
+			t.Fatalf("host %s leaked allocation %+v", h.Name, h.Allocated)
+		}
+	}
+}

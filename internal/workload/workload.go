@@ -1,0 +1,191 @@
+// Package workload generates the synthetic traffic that stands in for
+// Facebook's production streams in this reproduction (repro note: the
+// paper's evaluation uses live Scuba Tailer traffic; every figure depends
+// only on the *shape* of load, which these generators reproduce).
+//
+// Patterns are pure functions of simulated time, so runs are exactly
+// reproducible. The shapes covering the paper's evaluation:
+//
+//   - Diurnal: Facebook streaming load varies through the day but repeats
+//     within ~1% day over day (§V-C); figures 6 and 9 ride on this.
+//   - Spike / Storm: disaster-recovery drills redirect traffic, +16% at
+//     peak in Figure 9.
+//   - Growth: the Scuba Tailer service doubled traffic in a year
+//     (Figure 1).
+//   - A long-tail fleet distribution: >80% of tailer tasks use < 1 CPU
+//     core while a small fraction needs several (Figure 5).
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/scribe"
+	"repro/internal/simclock"
+)
+
+// Pattern is a traffic intensity function: bytes/second at time t.
+type Pattern func(t time.Time) float64
+
+// Constant returns a flat pattern.
+func Constant(rate float64) Pattern {
+	return func(time.Time) float64 { return rate }
+}
+
+// Diurnal returns a daily sine pattern: rate oscillates around base with
+// the given amplitude, peaking at peakHour local (simulated) time. A small
+// deterministic day-to-day wobble (±dayJitter fraction) models the paper's
+// "within 1% variation on aggregate".
+func Diurnal(base, amplitude float64, peakHour float64, dayJitter float64) Pattern {
+	return func(t time.Time) float64 {
+		dayFrac := float64(t.Hour())/24 + float64(t.Minute())/(24*60) + float64(t.Second())/(24*3600)
+		phase := 2 * math.Pi * (dayFrac - peakHour/24)
+		day := t.YearDay()
+		jitter := 1 + dayJitter*math.Sin(float64(day)*2.399963) // golden-angle hop
+		r := (base + amplitude*math.Cos(phase)) * jitter
+		if r < 0 {
+			return 0
+		}
+		return r
+	}
+}
+
+// Spike multiplies p by factor during [start, start+dur).
+func Spike(p Pattern, start time.Time, dur time.Duration, factor float64) Pattern {
+	end := start.Add(dur)
+	return func(t time.Time) float64 {
+		r := p(t)
+		if !t.Before(start) && t.Before(end) {
+			return r * factor
+		}
+		return r
+	}
+}
+
+// Storm models a disaster-recovery drill (§VI-B2): during [start,
+// start+dur) traffic from a disconnected datacenter is redirected here,
+// multiplying load by (1 + redirected). Figure 9's storm is ~+16% at peak.
+func Storm(p Pattern, start time.Time, dur time.Duration, redirected float64) Pattern {
+	return Spike(p, start, dur, 1+redirected)
+}
+
+// Growth scales p exponentially so that it doubles every doublingPeriod,
+// starting from start (Figure 1's year-over-year doubling).
+func Growth(p Pattern, start time.Time, doublingPeriod time.Duration) Pattern {
+	return func(t time.Time) float64 {
+		elapsed := t.Sub(start)
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		factor := math.Pow(2, float64(elapsed)/float64(doublingPeriod))
+		return p(t) * factor
+	}
+}
+
+// Scale multiplies p by a constant factor.
+func Scale(p Pattern, factor float64) Pattern {
+	return func(t time.Time) float64 { return p(t) * factor }
+}
+
+// Sum adds patterns.
+func Sum(ps ...Pattern) Pattern {
+	return func(t time.Time) float64 {
+		total := 0.0
+		for _, p := range ps {
+			total += p(t)
+		}
+		return total
+	}
+}
+
+// LongTailRates draws n per-job base rates whose task-level footprint
+// reproduces Figure 5's fleet shape: most jobs are low-traffic (tasks
+// under one core), a small fraction are hot. Deterministic for a seed.
+// meanRate is the fleet average in bytes/sec per job.
+func LongTailRates(n int, meanRate float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	// Log-normal: sigma tuned so ~80% fall below the mean and the top
+	// percent are ~10x hotter.
+	const sigma = 1.1
+	mu := math.Log(meanRate) - sigma*sigma/2
+	for i := range out {
+		out[i] = math.Exp(mu + sigma*rng.NormFloat64())
+	}
+	return out
+}
+
+// Generator feeds one Scribe category from a pattern on a fixed tick.
+type Generator struct {
+	bus        *scribe.Bus
+	clock      simclock.Clock
+	category   string
+	pattern    Pattern
+	avgMsgSize int64
+
+	weights []float64 // nil = even spread
+	ticker  simclock.Ticker
+	written int64
+}
+
+// NewGenerator builds a generator for a category that must already exist
+// on the bus. avgMsgSize controls message accounting (0 = bytes only).
+func NewGenerator(bus *scribe.Bus, clock simclock.Clock, category string, pattern Pattern, avgMsgSize int64) *Generator {
+	return &Generator{bus: bus, clock: clock, category: category, pattern: pattern, avgMsgSize: avgMsgSize}
+}
+
+// SetPattern swaps the traffic pattern (experiments flip phases).
+func (g *Generator) SetPattern(p Pattern) { g.pattern = p }
+
+// SetWeights skews the partition spread (imbalanced input); nil or an
+// empty slice restores the even spread. This is also the target of the
+// Auto Scaler's "rebalance input traffic amongst tasks" action.
+func (g *Generator) SetWeights(w []float64) {
+	if len(w) == 0 {
+		g.weights = nil
+		return
+	}
+	g.weights = append([]float64(nil), w...)
+}
+
+// Rate evaluates the pattern now.
+func (g *Generator) Rate() float64 { return g.pattern(g.clock.Now()) }
+
+// Written returns total bytes emitted so far.
+func (g *Generator) Written() int64 { return g.written }
+
+// Tick emits dt worth of traffic at the current pattern rate.
+func (g *Generator) Tick(dt time.Duration) {
+	rate := g.pattern(g.clock.Now())
+	bytes := int64(rate * dt.Seconds())
+	if bytes <= 0 {
+		return
+	}
+	if g.weights != nil {
+		_ = g.bus.AppendWeighted(g.category, bytes, g.weights, g.avgMsgSize)
+	} else {
+		msgs := int64(0)
+		if g.avgMsgSize > 0 {
+			msgs = bytes / g.avgMsgSize
+		}
+		_ = g.bus.AppendEven(g.category, bytes, msgs)
+	}
+	g.written += bytes
+}
+
+// Start emits traffic every interval until Stop.
+func (g *Generator) Start(interval time.Duration) {
+	if g.ticker != nil {
+		return
+	}
+	g.ticker = g.clock.TickEvery(interval, func() { g.Tick(interval) })
+}
+
+// Stop halts emission.
+func (g *Generator) Stop() {
+	if g.ticker != nil {
+		g.ticker.Stop()
+		g.ticker = nil
+	}
+}

@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/scribe"
+	"repro/internal/simclock"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestConstant(t *testing.T) {
+	p := Constant(100)
+	if p(epoch) != 100 || p(epoch.Add(time.Hour)) != 100 {
+		t.Fatal("Constant not constant")
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	p := Diurnal(100, 50, 12, 0)
+	noon := time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC)
+	midnight := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	if got := p(noon); math.Abs(got-150) > 1 {
+		t.Fatalf("noon rate = %v, want ~150", got)
+	}
+	if got := p(midnight); math.Abs(got-50) > 1 {
+		t.Fatalf("midnight rate = %v, want ~50", got)
+	}
+	// Day-over-day repeatability within the jitter bound.
+	p2 := Diurnal(100, 50, 12, 0.01)
+	a := p2(noon)
+	b := p2(noon.Add(24 * time.Hour))
+	if math.Abs(a-b)/a > 0.03 {
+		t.Fatalf("day-over-day drift %v vs %v too large", a, b)
+	}
+	// Never negative even with amplitude > base.
+	p3 := Diurnal(10, 100, 12, 0)
+	if p3(midnight) < 0 {
+		t.Fatal("negative rate")
+	}
+}
+
+func TestSpikeWindow(t *testing.T) {
+	start := epoch.Add(time.Hour)
+	p := Spike(Constant(100), start, time.Hour, 3)
+	if p(epoch) != 100 {
+		t.Fatal("spike before window")
+	}
+	if p(start) != 300 {
+		t.Fatal("no spike at start")
+	}
+	if p(start.Add(59*time.Minute)) != 300 {
+		t.Fatal("no spike inside window")
+	}
+	if p(start.Add(time.Hour)) != 100 {
+		t.Fatal("spike after window")
+	}
+}
+
+func TestStormRedirectedFraction(t *testing.T) {
+	p := Storm(Constant(100), epoch, time.Hour, 0.16)
+	if got := p(epoch.Add(time.Minute)); math.Abs(got-116) > 1e-9 {
+		t.Fatalf("storm rate = %v, want 116", got)
+	}
+}
+
+func TestGrowthDoubles(t *testing.T) {
+	p := Growth(Constant(100), epoch, 365*24*time.Hour)
+	if got := p(epoch); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("rate at start = %v", got)
+	}
+	year := epoch.Add(365 * 24 * time.Hour)
+	if got := p(year); math.Abs(got-200) > 1e-6 {
+		t.Fatalf("rate after a year = %v, want 200", got)
+	}
+	// No decay before start.
+	if got := p(epoch.Add(-time.Hour)); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("rate before start = %v", got)
+	}
+}
+
+func TestScaleAndSum(t *testing.T) {
+	p := Sum(Constant(10), Scale(Constant(10), 2))
+	if got := p(epoch); got != 30 {
+		t.Fatalf("Sum = %v", got)
+	}
+}
+
+func TestLongTailRatesShape(t *testing.T) {
+	rates := LongTailRates(10000, 1<<20, 42)
+	if len(rates) != 10000 {
+		t.Fatal("wrong count")
+	}
+	sorted := append([]float64(nil), rates...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	p99 := sorted[len(sorted)*99/100]
+	// Long tail: median well below mean, p99 well above.
+	if median >= 1<<20 {
+		t.Fatalf("median %v not below mean", median)
+	}
+	if p99 < 4*median {
+		t.Fatalf("p99 %v vs median %v: tail not heavy", p99, median)
+	}
+	// Deterministic for a seed.
+	again := LongTailRates(10000, 1<<20, 42)
+	for i := range rates {
+		if rates[i] != again[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestGeneratorTickEmitsPatternRate(t *testing.T) {
+	bus := scribe.NewBus()
+	bus.CreateCategory("c", 4)
+	clk := simclock.NewSim(epoch)
+	g := NewGenerator(bus, clk, "c", Constant(1000), 100)
+	g.Tick(10 * time.Second)
+	if got := bus.TotalWritten("c"); got != 10000 {
+		t.Fatalf("written = %d, want 10000", got)
+	}
+	if g.Written() != 10000 {
+		t.Fatalf("Written() = %d", g.Written())
+	}
+	if g.Rate() != 1000 {
+		t.Fatalf("Rate() = %v", g.Rate())
+	}
+}
+
+func TestGeneratorWeightsSkewAndRestore(t *testing.T) {
+	bus := scribe.NewBus()
+	bus.CreateCategory("c", 2)
+	clk := simclock.NewSim(epoch)
+	g := NewGenerator(bus, clk, "c", Constant(1000), 0)
+	g.SetWeights([]float64{3, 1})
+	g.Tick(time.Second)
+	b0, _, _ := bus.Written("c", 0)
+	b1, _, _ := bus.Written("c", 1)
+	if b0 != 750 || b1 != 250 {
+		t.Fatalf("skewed split = %d/%d", b0, b1)
+	}
+	g.SetWeights(nil) // rebalance
+	g.Tick(time.Second)
+	a0, _, _ := bus.Written("c", 0)
+	a1, _, _ := bus.Written("c", 1)
+	if a0-b0 != 500 || a1-b1 != 500 {
+		t.Fatalf("post-rebalance split = %d/%d", a0-b0, a1-b1)
+	}
+}
+
+func TestGeneratorStartStopOnClock(t *testing.T) {
+	bus := scribe.NewBus()
+	bus.CreateCategory("c", 1)
+	clk := simclock.NewSim(epoch)
+	g := NewGenerator(bus, clk, "c", Constant(100), 0)
+	g.Start(time.Second)
+	g.Start(time.Second) // idempotent
+	clk.RunFor(10 * time.Second)
+	if got := bus.TotalWritten("c"); got != 1000 {
+		t.Fatalf("written = %d, want 1000", got)
+	}
+	g.Stop()
+	g.Stop()
+	clk.RunFor(10 * time.Second)
+	if got := bus.TotalWritten("c"); got != 1000 {
+		t.Fatalf("generator kept writing after Stop: %d", got)
+	}
+}
+
+func TestGeneratorZeroRateEmitsNothing(t *testing.T) {
+	bus := scribe.NewBus()
+	bus.CreateCategory("c", 1)
+	clk := simclock.NewSim(epoch)
+	g := NewGenerator(bus, clk, "c", Constant(0), 0)
+	g.Tick(time.Hour)
+	if bus.TotalWritten("c") != 0 {
+		t.Fatal("zero pattern wrote bytes")
+	}
+}
