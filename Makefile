@@ -1,0 +1,13 @@
+.PHONY: check test bench build
+
+check: ## tier-1 verify: vet + build + race tests + bench smoke
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test ./... -run 'XXXNONE' -bench . -benchmem -benchtime 2s

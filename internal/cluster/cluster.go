@@ -236,7 +236,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.Jobs = jobservice.New(c.Store)
 	c.Metrics = metrics.NewStore(c.Clk, cfg.MetricsRetention)
-	c.TaskSvc = taskservice.New(c.Store, c.Clk, 90*time.Second)
+	// The Task Service's snapshot index buckets specs by shard; it must be
+	// built with the same shard-space size the Shard Manager assigns.
+	c.TaskSvc = taskservice.New(c.Store, c.Clk, 90*time.Second, cfg.NumShards)
 	smOpts := cfg.ShardMgr
 	smOpts.NumShards = cfg.NumShards
 	c.SM = shardmanager.New(c.Clk, smOpts)

@@ -44,14 +44,35 @@ func TestTaskIDAndHash(t *testing.T) {
 		t.Fatal("TaskID format changed")
 	}
 	h1 := s.Hash()
-	s2 := s
-	s2.PackageVersion = "v2"
+	s2 := testSpec("j1", 0, 2, 8)
+	s2.PackageVersion = "v2" // mutate BEFORE the first Hash(): memo not yet set
 	if h1 == s2.Hash() {
 		t.Fatal("hash identical across different specs")
 	}
 	s3 := testSpec("j1", 0, 2, 8)
 	if h1 != s3.Hash() {
 		t.Fatal("hash differs for identical specs")
+	}
+}
+
+func TestHashMemoized(t *testing.T) {
+	s := testSpec("memo", 0, 2, 8)
+	before := HashComputations()
+	h1 := s.Hash()
+	h2 := s.Hash()
+	if h1 != h2 {
+		t.Fatal("hash unstable")
+	}
+	if got := HashComputations() - before; got != 1 {
+		t.Fatalf("hash computed %d times for two calls, want 1", got)
+	}
+	// Copies carry the memo: hashing a copy computes nothing.
+	cp := s
+	if cp.Hash() != h1 {
+		t.Fatal("copy hash differs")
+	}
+	if got := HashComputations() - before; got != 1 {
+		t.Fatalf("hash computed %d times after copy, want 1", got)
 	}
 }
 

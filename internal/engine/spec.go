@@ -30,13 +30,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
+	"sync/atomic"
 
 	"repro/internal/config"
 )
 
 // TaskSpec includes all configuration necessary to run a task, such as
 // package version, arguments, and number of threads (paper §IV). Specs are
-// value objects: two specs are the same iff their hashes are equal.
+// value objects: two specs are the same iff their hashes are equal. Specs
+// must not be mutated after their first Hash() call — the hash is memoized
+// on the spec (and travels with copies), which is what keeps the Task
+// Service's snapshot read path from re-marshaling every spec on every
+// touch.
 type TaskSpec struct {
 	Job            string                   `json:"job"`
 	Index          int                      `json:"index"` // 0-based within job
@@ -52,6 +58,11 @@ type TaskSpec struct {
 	Enforcement    config.MemoryEnforcement `json:"enforcement,omitempty"`
 	CheckpointDir  string                   `json:"checkpointDir,omitempty"`
 	Priority       int                      `json:"priority,omitempty"`
+
+	// memoHash caches the content hash after the first Hash() call.
+	// Unexported, so it is invisible to json.Marshal and cannot perturb
+	// the hash itself.
+	memoHash string
 }
 
 // ID returns the stable task identity "job#index". Identity survives spec
@@ -59,12 +70,32 @@ type TaskSpec struct {
 // keep a task on its shard across updates.
 func (s *TaskSpec) ID() string { return TaskID(s.Job, s.Index) }
 
-// TaskID formats the stable identity of task index of the named job.
-func TaskID(job string, index int) string { return fmt.Sprintf("%s#%d", job, index) }
+// TaskID formats the stable identity of task index of the named job. It is
+// called for every task on every refresh and shard lookup, so it avoids
+// fmt's reflection path.
+func TaskID(job string, index int) string { return job + "#" + strconv.Itoa(index) }
+
+// hashComputations counts actual (non-memoized) hash computations; tests
+// and benchmarks use it to verify the at-most-once-per-spec guarantee.
+var hashComputations atomic.Int64
+
+// HashComputations returns the process-wide count of TaskSpec hash
+// computations that actually marshaled and digested a spec (memoized reads
+// excluded). Intended for tests and benchmarks.
+func HashComputations() int64 { return hashComputations.Load() }
 
 // Hash returns a content hash of the full spec; Task Managers use it to
 // detect that a task's configuration changed and it must be restarted.
+//
+// The result is memoized on the spec: the JSON marshal + MD5 runs once,
+// on the first call, and every later call (including on copies of the
+// spec) returns the stored digest. The Task Service hashes every spec at
+// snapshot-generation time, so published snapshots are read-only with
+// respect to this memo and concurrent readers never write it.
 func (s *TaskSpec) Hash() string {
+	if s.memoHash != "" {
+		return s.memoHash
+	}
 	raw, err := json.Marshal(s)
 	if err != nil {
 		// A TaskSpec is plain data; Marshal cannot fail. Keep the
@@ -72,7 +103,9 @@ func (s *TaskSpec) Hash() string {
 		panic(fmt.Sprintf("engine: marshal task spec: %v", err))
 	}
 	sum := md5.Sum(raw)
-	return hex.EncodeToString(sum[:])
+	hashComputations.Add(1)
+	s.memoHash = hex.EncodeToString(sum[:])
+	return s.memoHash
 }
 
 // AssignPartitions splits partition indices [0,total) into taskCount

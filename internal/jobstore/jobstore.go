@@ -26,6 +26,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/config"
 )
@@ -46,6 +47,12 @@ const AnyVersion int64 = -1
 type Expected struct {
 	Layers  [4]config.Doc // indexed by config.Layer; nil layers unset
 	Version int64
+
+	// merged caches the precedence merge of Layers as of mergedVersion.
+	// Maintained only on the store's canonical entries (not on snapshots
+	// handed to callers); invisible to JSON serialization.
+	merged        config.Doc
+	mergedVersion int64
 }
 
 // Merged returns the precedence-ordered merge of all layers (Algorithm 1).
@@ -57,6 +64,13 @@ func (e *Expected) Merged() config.Doc {
 type Running struct {
 	Config  config.Doc
 	Version int64 // the expected version this running state realizes
+
+	// revision is a store-wide monotonic sequence stamped on every
+	// CommitRunning. Unlike Version (which tracks the expected entry the
+	// running state realizes), the revision changes on *every* commit, so
+	// read-path caches keyed on it can never serve stale content — even
+	// if a commit rewrites the config under an unchanged version.
+	revision int64
 }
 
 // Quarantine marks a job the State Syncer gave up on after repeated
@@ -71,6 +85,10 @@ type Store struct {
 	expected    map[string]*Expected
 	running     map[string]*Running
 	quarantined map[string]Quarantine
+	revSeq      int64 // source of Running.revision values
+
+	mergedHits   atomic.Int64 // MergedExpected served from cache
+	mergedMisses atomic.Int64 // MergedExpected recomputed the merge
 }
 
 // New returns an empty store.
@@ -152,15 +170,49 @@ func (s *Store) SetLayer(name string, layer config.Layer, doc config.Doc, baseVe
 
 // MergedExpected returns the effective desired configuration — the
 // precedence merge of all expected layers — and the version it reflects.
+//
+// The merge (Algorithm 1) is cached per version on the store's entry: the
+// first read after a layer write pays for the 4-layer merge, every later
+// read of the same version clones the cached document. State Syncer
+// rounds examining tens of thousands of unchanged jobs therefore stop
+// re-running the merge. The returned Doc is the caller's to mutate.
 func (s *Store) MergedExpected(name string) (config.Doc, int64, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	e, ok := s.expected[name]
+	if ok && e.merged != nil && e.mergedVersion == e.Version {
+		out, v := e.merged.Clone(), e.Version
+		s.mu.RUnlock()
+		s.mergedHits.Add(1)
+		return out, v, nil
+	}
+	s.mu.RUnlock()
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
-	snap := snapshotExpected(e)
-	return snap.Merged(), e.Version, nil
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok = s.expected[name] // re-check: the job may have been deleted
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if e.merged == nil || e.mergedVersion != e.Version {
+		// Merge directly off the canonical layers: config.Merge deep-copies
+		// both inputs into its output, so the cached doc shares no memory
+		// with the layers and survives later SetLayer calls intact.
+		e.merged = e.Merged()
+		e.mergedVersion = e.Version
+		s.mergedMisses.Add(1)
+	} else {
+		s.mergedHits.Add(1)
+	}
+	return e.merged.Clone(), e.Version, nil
+}
+
+// MergedCacheStats reports how many MergedExpected calls were served from
+// the per-version cache vs. recomputed the merge. For tests and metrics.
+func (s *Store) MergedCacheStats() (hits, misses int64) {
+	return s.mergedHits.Load(), s.mergedMisses.Load()
 }
 
 // GetRunning returns a snapshot of the job's running configuration.
@@ -198,6 +250,21 @@ func (s *Store) RunningVersion(name string) (int64, bool) {
 	return r.Version, true
 }
 
+// RunningRevision returns the commit revision of a job's running entry:
+// a store-wide monotonic sequence that moves on every CommitRunning. The
+// Task Service keys its per-job spec groups on it, so a snapshot
+// regeneration rebuilds only the jobs whose running entry was actually
+// rewritten since the last snapshot.
+func (s *Store) RunningRevision(name string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.running[name]
+	if !ok {
+		return 0, false
+	}
+	return r.revision, true
+}
+
 // CommitRunning records that the cluster now runs cfg, which realizes
 // expected version version. Only the State Syncer calls this, and only
 // after the execution plan completed — the atomic commit point of a job
@@ -205,7 +272,8 @@ func (s *Store) RunningVersion(name string) (int64, bool) {
 func (s *Store) CommitRunning(name string, cfg config.Doc, version int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.running[name] = &Running{Config: cfg.Clone(), Version: version}
+	s.revSeq++
+	s.running[name] = &Running{Config: cfg.Clone(), Version: version, revision: s.revSeq}
 }
 
 // DropRunning removes the running entry after a deleted job's tasks have
@@ -298,6 +366,14 @@ func (s *Store) Restore(data []byte) error {
 	s.expected = snap.Expected
 	s.running = snap.Running
 	s.quarantined = snap.Quarantined
+	// Serialized snapshots carry neither revisions nor merge caches (both
+	// are unexported): restamp every running entry with a fresh revision so
+	// downstream caches keyed on (job, revision) rebuild rather than serve
+	// pre-restore content.
+	for _, r := range snap.Running {
+		s.revSeq++
+		r.revision = s.revSeq
+	}
 	if s.expected == nil {
 		s.expected = make(map[string]*Expected)
 	}

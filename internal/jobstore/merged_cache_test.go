@@ -1,0 +1,89 @@
+package jobstore
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestMergedExpectedCachedPerVersion(t *testing.T) {
+	s := New()
+	if err := s.Create("j1", config.Doc{"taskCount": 4, "pkg": config.Doc{"version": "v1"}}); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := s.MergedCacheStats()
+
+	d1, v1, err := s.MergedExpected("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := s.MergedExpected("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := s.MergedCacheStats()
+	if m1-m0 != 1 || h1-h0 != 1 {
+		t.Fatalf("two reads of one version: misses=%d hits=%d, want 1 and 1", m1-m0, h1-h0)
+	}
+	if !config.Equal(d1, d2) {
+		t.Fatal("cached merge differs from computed merge")
+	}
+
+	// Callers own the returned doc: mutating it must not poison the cache.
+	d1.SetPath("pkg.version", "corrupted")
+	d3, _, err := s.MergedExpected("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d3.GetPath("pkg.version"); v != "v1" {
+		t.Fatalf("caller mutation leaked into cache: pkg.version = %v", v)
+	}
+
+	// A layer write moves the version and invalidates the cache.
+	if _, err := s.SetLayer("j1", config.LayerOncall, config.Doc{"pkg": config.Doc{"version": "v2"}}, v1); err != nil {
+		t.Fatal(err)
+	}
+	d4, _, err := s.MergedExpected("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d4.GetPath("pkg.version"); v != "v2" {
+		t.Fatalf("stale merge served after SetLayer: pkg.version = %v", v)
+	}
+	_, m2 := s.MergedCacheStats()
+	if m2-m1 != 1 {
+		t.Fatalf("post-write read recomputed %d times, want 1", m2-m1)
+	}
+}
+
+func TestRunningRevisionMovesOnEveryCommit(t *testing.T) {
+	s := New()
+	if _, ok := s.RunningRevision("ghost"); ok {
+		t.Fatal("revision for missing job")
+	}
+	s.CommitRunning("j1", config.Doc{"taskCount": 1}, 1)
+	r1, ok := s.RunningRevision("j1")
+	if !ok {
+		t.Fatal("no revision after commit")
+	}
+	// Re-committing the SAME version (even the same content) must move the
+	// revision: caches keyed on it can never serve a stale config.
+	s.CommitRunning("j1", config.Doc{"taskCount": 1}, 1)
+	r2, _ := s.RunningRevision("j1")
+	if r2 <= r1 {
+		t.Fatalf("revision did not advance: %d -> %d", r1, r2)
+	}
+
+	// Restore restamps revisions so post-restore reads rebuild caches.
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := s2.RunningRevision("j1"); !ok || r == 0 {
+		t.Fatalf("restored revision = %d, ok=%v; want fresh nonzero", r, ok)
+	}
+}

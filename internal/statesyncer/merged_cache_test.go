@@ -1,0 +1,42 @@
+package statesyncer
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestRoundsReuseCachedMerges verifies that repeated synchronization
+// rounds over jobs whose expected stack did not change never re-run the
+// Algorithm 1 layer merge: the Job Store serves the per-version cached
+// document.
+func TestRoundsReuseCachedMerges(t *testing.T) {
+	svc, syncer, act, _ := newWorld(t, Options{QuarantineAfter: 100})
+	for _, name := range []string{"a", "b", "c"} {
+		svc.Provision(validConfig(name))
+	}
+	// Keep job "a" permanently unconverged: its StopJobTasks fails every
+	// round, so the syncer re-reads its merged expected config each time.
+	act.failStops["a"] = 1 << 30
+
+	syncer.RunRound() // converges a, b, c (simple syncs, no running yet)
+	// Parallelism change: a complex sync whose stop phase always fails.
+	if err := svc.SetTaskCount("a", config.LayerOncall, 20); err != nil {
+		t.Fatal(err)
+	}
+
+	syncer.RunRound() // plans a's complex sync; the stop action fails
+	_, missesAfterFirst := svc.Store().MergedCacheStats()
+
+	for i := 0; i < 5; i++ {
+		syncer.RunRound() // "a" re-examined every round
+	}
+	_, missesAfterMany := svc.Store().MergedCacheStats()
+	if missesAfterMany != missesAfterFirst {
+		t.Fatalf("rounds over an unchanged expected stack recomputed %d merges, want 0",
+			missesAfterMany-missesAfterFirst)
+	}
+	if syncer.FailureCount("a") == 0 {
+		t.Fatal("setup: job a should be failing its sync")
+	}
+}

@@ -1,0 +1,88 @@
+package taskmanager
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/jobstore"
+	"repro/internal/scribe"
+	"repro/internal/shardmanager"
+	"repro/internal/simclock"
+	"repro/internal/taskservice"
+	"repro/internal/tupperware"
+)
+
+// BenchmarkManagerRefresh measures one fleet-wide refresh cycle: 16
+// managers x (1k jobs x 8 tasks), snapshot unchanged but managers forced
+// through full reconciliation (the post-shard-move / post-reboot path).
+func BenchmarkManagerRefresh(b *testing.B) {
+	const (
+		jobs       = 1000
+		tasksPer   = 8
+		containers = 16
+		numShards  = 256
+	)
+	clk := simclock.NewSim(epoch)
+	store := jobstore.New()
+	bus := scribe.NewBus()
+	ckpt := engine.NewCheckpointStore()
+	tw := tupperware.NewCluster()
+	ts := taskservice.New(store, clk, 90*time.Second, numShards)
+	sm := shardmanager.New(clk, shardmanager.Options{NumShards: numShards})
+	profile := func(spec engine.TaskSpec) *engine.Profile {
+		return engine.DefaultProfile(spec.Operator)
+	}
+	var tms []*Manager
+	for i := 0; i < containers; i++ {
+		host := fmt.Sprintf("h%d", i)
+		if err := tw.AddHost(host, config.Resources{CPUCores: 480, MemoryBytes: 4 << 40}); err != nil {
+			b.Fatal(err)
+		}
+		ct, err := tw.AllocateOn(host, fmt.Sprintf("tc%d", i), config.Resources{CPUCores: 400, MemoryBytes: 2 << 40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tm := New(ct, clk, ts, sm, bus, ckpt, profile, Options{})
+		tm.sm.RegisterInRegion(tm.id, "", ct.Capacity(), tm)
+		tms = append(tms, tm)
+	}
+	for i := 0; i < jobs; i++ {
+		name := fmt.Sprintf("job%04d", i)
+		cfg := &config.JobConfig{
+			Name:           name,
+			Package:        config.Package{Name: "tailer", Version: "v1"},
+			TaskCount:      tasksPer,
+			ThreadsPerTask: 1,
+			TaskResources:  config.Resources{CPUCores: 0.1, MemoryBytes: 1 << 28},
+			Operator:       config.OpTailer,
+			Input:          config.Input{Category: name + "_in", Partitions: tasksPer},
+		}
+		doc, err := cfg.ToDoc()
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.CommitRunning(name, doc, 1)
+	}
+	sm.AssignUnassigned()
+	total := 0
+	for _, tm := range tms {
+		tm.Refresh()
+		total += tm.TaskCount()
+	}
+	if total != jobs*tasksPer {
+		b.Fatalf("setup: %d running tasks, want %d", total, jobs*tasksPer)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tm := range tms {
+			tm.mu.Lock()
+			tm.dirty = true
+			tm.mu.Unlock()
+			tm.Refresh()
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package taskmanager
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/taskservice"
+)
+
+// TestRefreshComputesNoHashes verifies the read-path contract: spec
+// hashes are computed at snapshot-generation time only, so a Task
+// Manager's reconciliation — even a full one — performs zero hash
+// computations of its own.
+func TestRefreshComputesNoHashes(t *testing.T) {
+	w := newWorld(t, 4)
+	w.addJob(t, "j1", 8, 16)
+	w.addJob(t, "j2", 4, 8)
+	w.refreshAll()
+	if got := w.totalRunning(); got != 12 {
+		t.Fatalf("running = %d, want 12", got)
+	}
+
+	before := engine.HashComputations()
+	// Force every manager through a full reconciliation (the post-reboot /
+	// post-shard-move path), snapshot unchanged.
+	for _, tm := range w.tms {
+		tm.mu.Lock()
+		tm.dirty = true
+		tm.mu.Unlock()
+		tm.Refresh()
+	}
+	if got := engine.HashComputations() - before; got != 0 {
+		t.Fatalf("fleet refresh computed %d hashes, want 0", got)
+	}
+}
+
+// TestRefreshShardSpaceMismatchFallsBack wires the Task Service with a
+// different shard-space size than the Shard Manager — a misconfiguration
+// the indexed fast path cannot serve — and verifies reconciliation still
+// places every task exactly once via the full-scan fallback.
+func TestRefreshShardSpaceMismatchFallsBack(t *testing.T) {
+	w := newWorld(t, 3)
+	// Rebuild the task service with a mismatched shard count (the world's
+	// shard manager uses 64).
+	w.ts = taskservice.New(w.store, w.clk, 90*time.Second, 128)
+	for _, tm := range w.tms {
+		tm.mu.Lock()
+		tm.source = w.ts
+		tm.dirty = true // version numbering restarts with the new source
+		tm.mu.Unlock()
+	}
+	w.addJob(t, "j1", 8, 16)
+	w.refreshAll()
+
+	seen := map[string]int{}
+	for _, tm := range w.tms {
+		for _, id := range tm.RunningTaskIDs() {
+			seen[id]++
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("fallback path ran %d distinct tasks, want 8", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %s has %d instances", id, n)
+		}
+	}
+	if w.ckpt.Violations() != 0 {
+		t.Fatalf("violations: %d", w.ckpt.Violations())
+	}
+}
+
+// TestRefreshFastPathSkipsUnchangedSnapshot pins the version fast path:
+// a second refresh against an unchanged snapshot must not stop, start, or
+// restart anything.
+func TestRefreshFastPathSkipsUnchangedSnapshot(t *testing.T) {
+	w := newWorld(t, 2)
+	w.addJob(t, "j1", 4, 8)
+	w.refreshAll()
+	stats := func() (n int) {
+		for _, tm := range w.tms {
+			s := tm.Stats()
+			n += s.Started + s.Stopped + s.Restarted
+		}
+		return
+	}
+	before := stats()
+	w.clk.RunFor(10 * time.Minute) // many fetch intervals, no changes
+	if got := stats(); got != before {
+		t.Fatalf("churn on unchanged snapshot: %d -> %d", before, got)
+	}
+}

@@ -29,14 +29,17 @@ import (
 	"repro/internal/scribe"
 	"repro/internal/shardmanager"
 	"repro/internal/simclock"
+	"repro/internal/taskservice"
 	"repro/internal/tupperware"
 )
 
 // TaskSource provides full task-spec snapshots (implemented by the Task
-// Service). The returned version changes whenever the snapshot content
-// does, letting Task Managers skip reconciliation when nothing changed.
+// Service) as immutable indexes. The index's version changes whenever the
+// snapshot content does, letting Task Managers skip reconciliation when
+// nothing changed; its shard buckets let a manager reconcile by iterating
+// only the shards it owns.
 type TaskSource interface {
-	Snapshot() ([]engine.TaskSpec, int)
+	Index() *taskservice.SnapshotIndex
 }
 
 // ShardManagerClient is the subset of the Shard Manager the Task Manager
@@ -94,6 +97,7 @@ func (o *Options) fillDefaults() {
 type runningTask struct {
 	task  *engine.Task
 	hash  string
+	shard shardmanager.ShardID // fixed at start: identity (and so shard) never changes
 	stats engine.Stats
 }
 
@@ -228,7 +232,7 @@ func (m *Manager) DropShard(s shardmanager.ShardID) error {
 	delete(m.shards, s)
 	m.dirty = true
 	for id, rt := range m.tasks {
-		if shardmanager.ShardOf(id, m.sm.NumShards()) == s {
+		if rt.shard == s {
 			rt.task.Stop()
 			delete(m.tasks, id)
 			m.stats.Stopped++
@@ -249,10 +253,13 @@ func (m *Manager) Shards() []shardmanager.ShardID {
 	return out
 }
 
-// Refresh fetches the full task-spec snapshot and reconciles the running
+// Refresh fetches the task-spec snapshot index and reconciles the running
 // task set: start tasks newly mapped to owned shards, stop tasks no longer
 // in the snapshot or no longer owned, and restart tasks whose spec changed
-// (detected by spec hash).
+// (detected by spec hash). Reconciliation iterates only the index buckets
+// of the shards this container owns — not the full snapshot — and uses
+// the index's precomputed identities, hashes, and shards, so a refresh
+// performs no MD5 or JSON work of its own.
 func (m *Manager) Refresh() {
 	if !m.container.Alive() {
 		return
@@ -268,10 +275,11 @@ func (m *Manager) Refresh() {
 		// failed over elsewhere (§IV-C).
 		return
 	}
-	snapshot, version := m.source.Snapshot()
+	idx := m.source.Index()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	version := idx.Version()
 	// Fast path: the snapshot hasn't changed, our shard set hasn't
 	// changed, and the last reconciliation completed cleanly — nothing to
 	// do. This keeps the 60-second fetch loop cheap at fleet scale.
@@ -283,12 +291,25 @@ func (m *Manager) Refresh() {
 	errsBefore := m.stats.StartErrors
 
 	numShards := m.sm.NumShards()
-	desired := make(map[string]engine.TaskSpec)
-	for _, spec := range snapshot {
-		id := spec.ID()
-		if _, owned := m.shards[shardmanager.ShardOf(id, numShards)]; owned {
-			desired[id] = spec
+	desired := make(map[string]taskservice.IndexedSpec)
+	if idx.NumShards() == numShards {
+		// Indexed path: walk only the owned shards' buckets.
+		for s := range m.shards {
+			for _, is := range idx.ShardSpecs(s) {
+				desired[is.ID] = is
+			}
 		}
+	} else {
+		// Shard-space mismatch (mis-wired Task Service): fall back to a
+		// full scan with locally computed shards so correctness never
+		// depends on the wiring.
+		idx.Each(func(is taskservice.IndexedSpec) {
+			shard := shardmanager.ShardOf(is.ID, numShards)
+			if _, owned := m.shards[shard]; owned {
+				is.Shard = shard
+				desired[is.ID] = is
+			}
+		})
 	}
 
 	// Stop tasks that are no longer desired.
@@ -307,10 +328,9 @@ func (m *Manager) Refresh() {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		spec := desired[id]
-		hash := spec.Hash()
+		is := desired[id]
 		if rt, ok := m.tasks[id]; ok {
-			if rt.hash == hash {
+			if rt.hash == is.Hash {
 				continue
 			}
 			// Spec changed (package bump, resource change, repartition):
@@ -319,13 +339,14 @@ func (m *Manager) Refresh() {
 			delete(m.tasks, id)
 			m.stats.Restarted++
 		}
+		spec := *is.Spec // copy out of the immutable index
 		task := engine.NewTask(spec, m.profile(spec), m.bus, m.ckpt)
 		if err := task.Start(); err != nil {
 			// Lease conflict or similar; retry on the next refresh.
 			m.stats.StartErrors++
 			continue
 		}
-		m.tasks[id] = &runningTask{task: task, hash: hash}
+		m.tasks[id] = &runningTask{task: task, hash: is.Hash, shard: is.Shard}
 		m.stats.Started++
 	}
 	m.lastStartErrors = m.stats.StartErrors - errsBefore
@@ -548,12 +569,11 @@ func (m *Manager) ReportLoads() {
 	}
 	m.mu.Lock()
 	loads := make(map[shardmanager.ShardID]config.Resources)
-	numShards := m.sm.NumShards()
 	for s := range m.shards {
 		loads[s] = config.Resources{}
 	}
-	for id, rt := range m.tasks {
-		s := shardmanager.ShardOf(id, numShards)
+	for _, rt := range m.tasks {
+		s := rt.shard
 		l := loads[s]
 		l.CPUCores += rt.stats.CPUCores
 		l.MemoryBytes += rt.stats.MemoryBytes

@@ -39,7 +39,7 @@ func newWorld(t *testing.T, containers int) *world {
 		ckpt:  engine.NewCheckpointStore(),
 		tw:    tupperware.NewCluster(),
 	}
-	w.ts = taskservice.New(w.store, w.clk, 90*time.Second)
+	w.ts = taskservice.New(w.store, w.clk, 90*time.Second, 64)
 	w.sm = shardmanager.New(w.clk, shardmanager.Options{NumShards: 64})
 	profile := func(spec engine.TaskSpec) *engine.Profile {
 		return engine.DefaultProfile(spec.Operator)
@@ -312,7 +312,7 @@ func TestWithoutProactiveTimeoutDuplicatesWouldOccur(t *testing.T) {
 	bus := scribe.NewBus()
 	ckpt := engine.NewCheckpointStore()
 	tw := tupperware.NewCluster()
-	ts := taskservice.New(store, clk, 90*time.Second)
+	ts := taskservice.New(store, clk, 90*time.Second, 64)
 	sm := shardmanager.New(clk, shardmanager.Options{NumShards: 64})
 	profile := func(spec engine.TaskSpec) *engine.Profile {
 		return engine.DefaultProfile(spec.Operator)

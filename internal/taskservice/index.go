@@ -1,0 +1,153 @@
+// SnapshotIndex: the immutable, versioned form of a task-spec snapshot.
+//
+// The scheduling read path is O(managers × total-specs) if every Task
+// Manager re-derives its task set by scanning the full snapshot and
+// re-hashing every task ID each fetch cycle. The index moves all of that
+// work to snapshot-generation time, once per regeneration:
+//
+//   - spec content hashes are computed once (and memoized on the spec);
+//   - every task's identity and shard (MD5 of the task ID) are computed
+//     once and stored alongside the spec;
+//   - specs are bucketed by shard, so a Task Manager's Refresh iterates
+//     only the buckets of shards it owns.
+//
+// Published indexes are immutable: regeneration builds a NEW index,
+// reusing the per-job groups of every job whose running entry did not
+// change (keyed by the Job Store's commit revision). Versions are
+// monotonic and move only when snapshot content changes.
+package taskservice
+
+import (
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/shardmanager"
+)
+
+// IndexedSpec is one task spec with its derived scheduling state
+// precomputed: stable identity, content hash, and shard. The Spec pointer
+// targets the index's internal storage — callers must treat it as
+// read-only and copy the value (`spec := *is.Spec`) before any mutation.
+type IndexedSpec struct {
+	ID    string
+	Hash  string
+	Shard shardmanager.ShardID
+	Spec  *engine.TaskSpec
+}
+
+// jobGroup is the generated spec set of one job, cached between snapshot
+// regenerations. A group is immutable once built; rev records the Job
+// Store running-entry revision it was built from, sig is the
+// concatenation of its spec hashes (the group's content signature).
+type jobGroup struct {
+	job     string
+	rev     int64
+	specs   []engine.TaskSpec // hashes pre-memoized
+	indexed []IndexedSpec     // Spec pointers target specs above
+	sig     string
+}
+
+// buildSig concatenates the group's spec hashes into its content
+// signature. Hashes are fixed-width MD5 hex, so concatenation is
+// injective.
+func buildSig(specs []engine.TaskSpec) string {
+	var sb strings.Builder
+	sb.Grow(len(specs) * 32)
+	for i := range specs {
+		sb.WriteString(specs[i].Hash())
+	}
+	return sb.String()
+}
+
+// sameContent reports whether two included-group sequences describe
+// byte-identical snapshots. Reused groups compare by pointer; rebuilt
+// groups by job name and content signature.
+func sameContent(a, b []*jobGroup) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			continue
+		}
+		if a[i].job != b[i].job || a[i].sig != b[i].sig {
+			return false
+		}
+	}
+	return true
+}
+
+// SnapshotIndex is an immutable, versioned task-spec snapshot with a
+// precomputed shard→specs index. All methods are safe for concurrent use
+// by any number of Task Managers; nothing a caller can reach through the
+// accessors may be mutated.
+type SnapshotIndex struct {
+	version   int
+	numShards int
+	groups    []*jobGroup // included groups, sorted by job name
+	total     int
+	byShard   map[shardmanager.ShardID][]IndexedSpec
+}
+
+// newIndex assembles an index from the included groups (already sorted by
+// job name).
+func newIndex(version, numShards int, groups []*jobGroup) *SnapshotIndex {
+	idx := &SnapshotIndex{
+		version:   version,
+		numShards: numShards,
+		groups:    groups,
+		byShard:   make(map[shardmanager.ShardID][]IndexedSpec),
+	}
+	for _, g := range groups {
+		idx.total += len(g.indexed)
+		for _, is := range g.indexed {
+			idx.byShard[is.Shard] = append(idx.byShard[is.Shard], is)
+		}
+	}
+	return idx
+}
+
+// Version returns the snapshot version: monotonic, and moved only when
+// snapshot content changed relative to the previously published index.
+func (idx *SnapshotIndex) Version() int { return idx.version }
+
+// NumShards returns the shard-space size the index was bucketed with. It
+// must equal the Shard Manager's shard count for ShardSpecs to be
+// meaningful; Task Managers verify this and fall back to a full scan on
+// mismatch.
+func (idx *SnapshotIndex) NumShards() int { return idx.numShards }
+
+// Len returns the total number of task specs in the snapshot.
+func (idx *SnapshotIndex) Len() int { return idx.total }
+
+// ShardSpecs returns the specs whose tasks hash to the given shard. The
+// returned slice is shared and read-only.
+func (idx *SnapshotIndex) ShardSpecs(s shardmanager.ShardID) []IndexedSpec {
+	return idx.byShard[s]
+}
+
+// Each calls fn for every spec in the snapshot, in job order. It is the
+// full-scan fallback for consumers whose shard space differs from the
+// index's.
+func (idx *SnapshotIndex) Each(fn func(IndexedSpec)) {
+	for _, g := range idx.groups {
+		for _, is := range g.indexed {
+			fn(is)
+		}
+	}
+}
+
+// Specs returns a defensive deep copy of every task spec, in job order.
+// Callers own the result; mutating it cannot corrupt the index or any
+// other caller's view. Hot-path consumers should use ShardSpecs instead.
+func (idx *SnapshotIndex) Specs() []engine.TaskSpec {
+	out := make([]engine.TaskSpec, 0, idx.total)
+	for _, g := range idx.groups {
+		for i := range g.specs {
+			spec := g.specs[i]
+			spec.Partitions = append([]int(nil), spec.Partitions...)
+			out = append(out, spec)
+		}
+	}
+	return out
+}

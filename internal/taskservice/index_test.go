@@ -1,0 +1,265 @@
+package taskservice
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/jobstore"
+	"repro/internal/shardmanager"
+	"repro/internal/simclock"
+)
+
+func commitJob(t testing.TB, store *jobstore.Store, name string, tasks int, version int64) {
+	t.Helper()
+	doc, err := jobCfg(name, tasks).ToDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.CommitRunning(name, doc, version)
+}
+
+// specsJSON renders a spec list to canonical bytes for byte-identity
+// comparisons.
+func specsJSON(t *testing.T, specs []engine.TaskSpec) string {
+	t.Helper()
+	raw, err := json.Marshal(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+func TestIncrementalRegenerationMatchesFromScratch(t *testing.T) {
+	store := jobstore.New()
+	clk := simclock.NewSim(epoch)
+	for i := 0; i < 30; i++ {
+		commitJob(t, store, fmt.Sprintf("job%02d", i), 1+i%5, 1)
+	}
+	svc := New(store, clk, 90*time.Second, 64)
+	svc.Snapshot() // warm the per-job group cache
+
+	// Churn: change some jobs, delete one, add one, stop one.
+	for _, j := range []int{3, 11, 27} {
+		name := fmt.Sprintf("job%02d", j)
+		cfg := jobCfg(name, 1+j%5)
+		cfg.Package.Version = "v9"
+		doc, err := cfg.ToDoc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.CommitRunning(name, doc, 2)
+	}
+	store.DropRunning("job15")
+	commitJob(t, store, "job99", 4, 1)
+	stopped := jobCfg("job07", 2)
+	stopped.Stopped = true
+	doc, err := stopped.ToDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.CommitRunning("job07", doc, 2)
+
+	svc.Invalidate()
+	incremental, _ := svc.Snapshot()
+
+	// A brand-new service over the same store generates from scratch.
+	fresh, _ := New(store, clk, 90*time.Second, 64).Snapshot()
+
+	if got, want := specsJSON(t, incremental), specsJSON(t, fresh); got != want {
+		t.Fatalf("incremental snapshot differs from from-scratch generation:\nincremental: %s\nfresh: %s", got, want)
+	}
+}
+
+func TestIncrementalRegenerationRebuildsOnlyChangedJobs(t *testing.T) {
+	const jobs, tasks = 40, 4
+	store := jobstore.New()
+	clk := simclock.NewSim(epoch)
+	for i := 0; i < jobs; i++ {
+		commitJob(t, store, fmt.Sprintf("job%02d", i), tasks, 1)
+	}
+	svc := New(store, clk, 90*time.Second, 64)
+
+	before := engine.HashComputations()
+	svc.Snapshot()
+	if got := engine.HashComputations() - before; got != jobs*tasks {
+		t.Fatalf("initial generation computed %d hashes, want %d (once per spec)", got, jobs*tasks)
+	}
+
+	// One job changes: only its specs are rebuilt and re-hashed.
+	cfg := jobCfg("job20", tasks)
+	cfg.Package.Version = "v9"
+	doc, err := cfg.ToDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.CommitRunning("job20", doc, 2)
+	svc.Invalidate()
+	before = engine.HashComputations()
+	_, v1 := svc.Snapshot()
+	if got := engine.HashComputations() - before; got != tasks {
+		t.Fatalf("incremental regeneration computed %d hashes, want %d (only the changed job)", got, tasks)
+	}
+
+	// Nothing changed: regeneration computes zero hashes and keeps the
+	// version.
+	svc.Invalidate()
+	before = engine.HashComputations()
+	_, v2 := svc.Snapshot()
+	if got := engine.HashComputations() - before; got != 0 {
+		t.Fatalf("no-change regeneration computed %d hashes, want 0", got)
+	}
+	if v1 != v2 {
+		t.Fatalf("version moved without content change: %d -> %d", v1, v2)
+	}
+}
+
+func TestSnapshotMutationCannotCorruptOtherViews(t *testing.T) {
+	store := jobstore.New()
+	clk := simclock.NewSim(epoch)
+	commitJob(t, store, "j1", 3, 1)
+	svc := New(store, clk, 90*time.Second, 64)
+
+	// Manager A mutates its snapshot aggressively.
+	a, _ := svc.Snapshot()
+	a[0].Job = "evil"
+	a[0].PackageVersion = "evil"
+	if len(a[0].Partitions) > 0 {
+		a[0].Partitions[0] = 10 * 1000
+	}
+
+	// Manager B's view is untouched.
+	b, _ := svc.Snapshot()
+	for _, s := range b {
+		if s.Job != "j1" || s.PackageVersion != "v3" {
+			t.Fatalf("corrupted spec leaked into another manager's view: %+v", s)
+		}
+		for _, p := range s.Partitions {
+			if p >= 16 {
+				t.Fatalf("corrupted partitions leaked: %+v", s.Partitions)
+			}
+		}
+	}
+
+	// The index path is equally unaffected.
+	idx := svc.Index()
+	idx.Each(func(is IndexedSpec) {
+		if is.Spec.Job != "j1" {
+			t.Fatalf("index corrupted: %+v", is.Spec)
+		}
+	})
+}
+
+func TestShardIndexPartitionsAllSpecs(t *testing.T) {
+	const numShards = 32
+	store := jobstore.New()
+	clk := simclock.NewSim(epoch)
+	for i := 0; i < 20; i++ {
+		commitJob(t, store, fmt.Sprintf("job%02d", i), 1+i%4, 1)
+	}
+	svc := New(store, clk, 90*time.Second, numShards)
+	idx := svc.Index()
+
+	seen := make(map[string]int)
+	for s := shardmanager.ShardID(0); s < numShards; s++ {
+		for _, is := range idx.ShardSpecs(s) {
+			seen[is.ID]++
+			if want := shardmanager.ShardOf(is.ID, numShards); want != s {
+				t.Fatalf("spec %s filed under shard %d, want %d", is.ID, s, want)
+			}
+			if is.Hash != is.Spec.Hash() {
+				t.Fatalf("indexed hash mismatch for %s", is.ID)
+			}
+		}
+	}
+	if len(seen) != idx.Len() {
+		t.Fatalf("shard buckets cover %d specs, index has %d", len(seen), idx.Len())
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("spec %s appears in %d buckets", id, n)
+		}
+	}
+}
+
+// TestConcurrentSnapshotAndStoreWrites exercises Snapshot/Index readers
+// racing layer writes, running commits, and quiesce toggles. Run under
+// -race (the tier-1 check does).
+func TestConcurrentSnapshotAndStoreWrites(t *testing.T) {
+	store := jobstore.New()
+	clk := simclock.NewSim(epoch)
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("job%02d", i)
+		if err := store.Create(name, config.Doc{"taskCount": 2}); err != nil {
+			t.Fatal(err)
+		}
+		commitJob(t, store, name, 2, 1)
+	}
+	svc := New(store, clk, 90*time.Second, 64)
+
+	const iters = 200
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				svc.Invalidate()
+				specs, _ := svc.Snapshot()
+				for j := range specs {
+					specs[j].Job = "scribble" // caller-owned: must be harmless
+				}
+				idx := svc.Index()
+				_ = idx.ShardSpecs(shardmanager.ShardID(i % 64))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			name := fmt.Sprintf("job%02d", i%10)
+			if _, err := store.SetLayer(name, config.LayerOncall,
+				config.Doc{"note": strconv.Itoa(i)}, jobstore.AnyVersion); err != nil {
+				t.Error(err)
+				return
+			}
+			cfg := jobCfg(name, 1+i%3)
+			doc, err := cfg.ToDoc()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			store.CommitRunning(name, doc, int64(i))
+			if _, _, err := store.MergedExpected(name); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			name := fmt.Sprintf("job%02d", i%10)
+			svc.Quiesce(name)
+			svc.Unquiesce(name)
+		}
+	}()
+	wg.Wait()
+
+	// The store was never corrupted: a final snapshot is internally
+	// consistent.
+	svc.Invalidate()
+	specs, _ := svc.Snapshot()
+	for _, s := range specs {
+		if s.Job == "scribble" {
+			t.Fatal("caller mutation leaked into the service cache")
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package taskservice
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/jobstore"
+	"repro/internal/simclock"
+)
+
+func benchStore(b *testing.B, jobs, tasks int) *jobstore.Store {
+	b.Helper()
+	store := jobstore.New()
+	for i := 0; i < jobs; i++ {
+		name := fmt.Sprintf("job%04d", i)
+		doc, err := jobCfg(name, tasks).ToDoc()
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.CommitRunning(name, doc, 1)
+	}
+	return store
+}
+
+// BenchmarkSnapshotRegenerate measures a from-scratch snapshot
+// generation: 1k jobs x 8 tasks, no warm per-job group cache (a Task
+// Service cold start).
+func BenchmarkSnapshotRegenerate(b *testing.B) {
+	store := benchStore(b, 1000, 8)
+	clk := simclock.NewSim(epoch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := New(store, clk, 90*time.Second, 1024)
+		if idx := svc.Index(); idx.Len() != 8000 {
+			b.Fatalf("specs = %d", idx.Len())
+		}
+	}
+}
+
+// BenchmarkSnapshotIncremental measures regeneration when exactly one job
+// out of 1k changed since the previous snapshot — the steady-state shape
+// of a production fleet between rounds.
+func BenchmarkSnapshotIncremental(b *testing.B) {
+	store := benchStore(b, 1000, 8)
+	clk := simclock.NewSim(epoch)
+	svc := New(store, clk, 90*time.Second, 1024)
+	if idx := svc.Index(); idx.Len() != 8000 {
+		b.Fatal("bad setup")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := jobCfg("job0500", 8)
+		cfg.Package.Version = "v" + strconv.Itoa(i)
+		doc, _ := cfg.ToDoc()
+		store.CommitRunning("job0500", doc, int64(i+2))
+		svc.Invalidate()
+		if idx := svc.Index(); idx.Len() != 8000 {
+			b.Fatalf("specs = %d", idx.Len())
+		}
+	}
+}

@@ -13,7 +13,7 @@ func TestQuiesceSuppressesSpecsImmediately(t *testing.T) {
 	clk := simclock.NewSim(epoch)
 	store.CommitRunning("j1", runningDoc(t, jobCfg("j1", 4)), 1)
 	store.CommitRunning("j2", runningDoc(t, jobCfg("j2", 2)), 1)
-	svc := New(store, clk, 90*time.Second)
+	svc := New(store, clk, 90*time.Second, 64)
 
 	if specs, _ := svc.Snapshot(); len(specs) != 6 {
 		t.Fatalf("specs = %d, want 6", len(specs))
@@ -38,7 +38,7 @@ func TestQuiesceSuppressesSpecsImmediately(t *testing.T) {
 }
 
 func TestQuiesceUnknownJobHarmless(t *testing.T) {
-	svc := New(jobstore.New(), simclock.NewSim(epoch), 0)
+	svc := New(jobstore.New(), simclock.NewSim(epoch), 0, 64)
 	svc.Quiesce("ghost")
 	svc.Unquiesce("ghost")
 	svc.Unquiesce("ghost")
@@ -51,7 +51,7 @@ func TestSnapshotVersionChangesOnlyOnContentChange(t *testing.T) {
 	store := jobstore.New()
 	clk := simclock.NewSim(epoch)
 	store.CommitRunning("j1", runningDoc(t, jobCfg("j1", 2)), 1)
-	svc := New(store, clk, 90*time.Second)
+	svc := New(store, clk, 90*time.Second, 64)
 
 	_, v1 := svc.Snapshot()
 	// Regeneration without change: version stable.

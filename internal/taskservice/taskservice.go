@@ -14,6 +14,12 @@
 // combined with the State Syncer's 30-second rounds and the Task Managers'
 // 60-second fetches this yields the paper's 1–2 minute end-to-end
 // scheduling latency for cluster-wide updates.
+//
+// Snapshots are published as immutable SnapshotIndex values and
+// regenerated incrementally: per-job spec groups are cached keyed on the
+// Job Store's running-entry revision, so a regeneration rebuilds (and
+// re-hashes) only the jobs whose running configuration actually changed
+// since the previous snapshot. See index.go for the read-path layout.
 package taskservice
 
 import (
@@ -25,17 +31,20 @@ import (
 	"repro/internal/config"
 	"repro/internal/engine"
 	"repro/internal/jobstore"
+	"repro/internal/shardmanager"
 	"repro/internal/simclock"
 )
 
 // Service generates and caches task-spec snapshots.
 type Service struct {
-	store *jobstore.Store
-	clock simclock.Clock
-	ttl   time.Duration
+	store     *jobstore.Store
+	clock     simclock.Clock
+	ttl       time.Duration
+	numShards int
 
 	mu        sync.Mutex
-	cache     []engine.TaskSpec
+	groups    map[string]*jobGroup // per-job cache, keyed by job name
+	index     *SnapshotIndex       // last published snapshot
 	cachedAt  time.Time
 	haveCache bool
 	genCount  int
@@ -44,12 +53,24 @@ type Service struct {
 }
 
 // New returns a Service over store. ttl is the snapshot cache lifetime; a
-// non-positive ttl defaults to the production 90 seconds.
-func New(store *jobstore.Store, clock simclock.Clock, ttl time.Duration) *Service {
+// non-positive ttl defaults to the production 90 seconds. numShards is
+// the Shard Manager's shard-space size, used to precompute the snapshot's
+// shard→specs index; non-positive defaults to the production 1024.
+func New(store *jobstore.Store, clock simclock.Clock, ttl time.Duration, numShards int) *Service {
 	if ttl <= 0 {
 		ttl = 90 * time.Second
 	}
-	return &Service{store: store, clock: clock, ttl: ttl, quiesced: make(map[string]struct{})}
+	if numShards <= 0 {
+		numShards = 1024
+	}
+	return &Service{
+		store:     store,
+		clock:     clock,
+		ttl:       ttl,
+		numShards: numShards,
+		groups:    make(map[string]*jobGroup),
+		quiesced:  make(map[string]struct{}),
+	}
 }
 
 // Quiesce suppresses a job's task specs until Unquiesce: no Task Manager
@@ -58,7 +79,8 @@ func New(store *jobstore.Store, clock simclock.Clock, ttl time.Duration) *Servic
 // that stale snapshots cannot resurrect old-parallelism tasks while new
 // ones are being started — the paper's "only then starts the new tasks"
 // ordering (§III-B). The cache is invalidated so the suppression is
-// visible to the very next snapshot fetch.
+// visible to the very next snapshot fetch; the job's cached spec group is
+// kept (quiescing filters assembly, it does not discard generated specs).
 func (s *Service) Quiesce(job string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -75,46 +97,104 @@ func (s *Service) Unquiesce(job string) {
 	s.haveCache = false
 }
 
-// Snapshot returns the full list of task specs for every running job,
-// serving from cache within the TTL, along with a version number that
-// changes only when the content was regenerated AND differs from the
-// previous snapshot. Task Managers use the version to skip reconciliation
-// when nothing changed. The returned slice is shared and must not be
-// modified by callers.
-func (s *Service) Snapshot() ([]engine.TaskSpec, int) {
+// Index returns the current snapshot as an immutable SnapshotIndex,
+// serving the published index within the TTL and regenerating
+// incrementally past it. The index's version changes only when the
+// content was regenerated AND differs from the previous snapshot; Task
+// Managers use it to skip reconciliation when nothing changed.
+func (s *Service) Index() *SnapshotIndex {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.clock.Now()
-	if s.haveCache && now.Sub(s.cachedAt) < s.ttl {
-		return s.cache, s.version
+	if s.haveCache && s.index != nil && now.Sub(s.cachedAt) < s.ttl {
+		return s.index
 	}
-	fresh := s.generate()
-	if !specsEqual(fresh, s.cache) || !s.haveCache {
-		s.version++
-	}
-	s.cache = fresh
+	s.regenerateLocked()
 	s.cachedAt = now
 	s.haveCache = true
-	s.genCount++
-	return s.cache, s.version
+	return s.index
 }
 
-// specsEqual compares snapshots by spec hash, cheaply detecting "nothing
-// changed" between regenerations.
-func specsEqual(a, b []engine.TaskSpec) bool {
-	if len(a) != len(b) {
-		return false
+// Snapshot returns the full list of task specs for every running job,
+// along with the snapshot version. The returned slice is a defensive deep
+// copy owned by the caller: mutating it cannot corrupt the snapshot or any
+// other caller's view. Task Managers use the cheaper Index form.
+func (s *Service) Snapshot() ([]engine.TaskSpec, int) {
+	idx := s.Index()
+	return idx.Specs(), idx.Version()
+}
+
+// regenerateLocked rebuilds the published index, reusing the cached spec
+// group of every job whose running-entry revision is unchanged. The
+// version is bumped only if the assembled content differs from the
+// previously published index.
+func (s *Service) regenerateLocked() {
+	names := s.store.RunningNames() // sorted
+	groups := make(map[string]*jobGroup, len(names))
+	included := make([]*jobGroup, 0, len(names))
+	for _, job := range names {
+		rev, ok := s.store.RunningRevision(job)
+		if !ok {
+			continue // deleted between listing and read
+		}
+		g := s.groups[job]
+		if g == nil || g.rev != rev {
+			g = s.buildGroup(job, rev)
+		}
+		groups[job] = g
+		if len(g.indexed) == 0 {
+			continue // stopped, undecodable, or zero tasks
+		}
+		if _, q := s.quiesced[job]; q {
+			continue
+		}
+		included = append(included, g)
 	}
-	for i := range a {
-		if a[i].Hash() != b[i].Hash() {
-			return false
+	s.groups = groups
+	s.genCount++
+
+	if s.index != nil && sameContent(s.index.groups, included) {
+		// Byte-identical content: keep the published index (and version)
+		// so Task Managers skip reconciliation.
+		return
+	}
+	s.version++
+	s.index = newIndex(s.version, s.numShards, included)
+}
+
+// buildGroup generates one job's spec group: expand the running config
+// into specs, hash each spec once, and precompute each task's identity
+// and shard. Jobs whose running config is undecodable or administratively
+// stopped produce an empty group.
+func (s *Service) buildGroup(job string, rev int64) *jobGroup {
+	g := &jobGroup{job: job, rev: rev}
+	r, ok := s.store.GetRunning(job)
+	if !ok {
+		return g
+	}
+	cfg, err := config.JobConfigFromDoc(r.Config)
+	if err != nil || cfg.Stopped || cfg.TaskCount <= 0 {
+		return g
+	}
+	g.specs = SpecsForJob(cfg)
+	g.indexed = make([]IndexedSpec, len(g.specs))
+	for i := range g.specs {
+		spec := &g.specs[i]
+		id := spec.ID()
+		g.indexed[i] = IndexedSpec{
+			ID:    id,
+			Hash:  spec.Hash(), // memoizes on the stored spec
+			Shard: shardmanager.ShardOf(id, s.numShards),
+			Spec:  spec,
 		}
 	}
-	return true
+	g.sig = buildSig(g.specs)
+	return g
 }
 
-// Invalidate drops the cached snapshot so the next fetch regenerates. Used
-// by tests and by operators forcing a fast propagation.
+// Invalidate drops the cached snapshot so the next fetch regenerates
+// (incrementally — per-job groups are kept). Used by tests and by
+// operators forcing a fast propagation.
 func (s *Service) Invalidate() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -127,28 +207,6 @@ func (s *Service) Generations() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.genCount
-}
-
-// generate builds specs from every running job configuration. Jobs whose
-// running config is undecodable or administratively stopped produce no
-// tasks.
-func (s *Service) generate() []engine.TaskSpec {
-	var specs []engine.TaskSpec
-	for _, job := range s.store.RunningNames() {
-		if _, q := s.quiesced[job]; q {
-			continue
-		}
-		r, ok := s.store.GetRunning(job)
-		if !ok {
-			continue
-		}
-		cfg, err := config.JobConfigFromDoc(r.Config)
-		if err != nil || cfg.Stopped || cfg.TaskCount <= 0 {
-			continue
-		}
-		specs = append(specs, SpecsForJob(cfg)...)
-	}
-	return specs
 }
 
 // SpecsForJob expands one job configuration into its task specs: one spec

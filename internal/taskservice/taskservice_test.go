@@ -40,7 +40,7 @@ func TestSnapshotGeneratesSpecsPerTask(t *testing.T) {
 	store := jobstore.New()
 	clk := simclock.NewSim(epoch)
 	store.CommitRunning("j1", runningDoc(t, jobCfg("j1", 4)), 1)
-	svc := New(store, clk, 90*time.Second)
+	svc := New(store, clk, 90*time.Second, 64)
 
 	specs, _ := svc.Snapshot()
 	if len(specs) != 4 {
@@ -62,7 +62,7 @@ func TestTemplateSubstitution(t *testing.T) {
 	store := jobstore.New()
 	clk := simclock.NewSim(epoch)
 	store.CommitRunning("j1", runningDoc(t, jobCfg("j1", 2)), 1)
-	specs, _ := New(store, clk, 0).Snapshot()
+	specs, _ := New(store, clk, 0, 64).Snapshot()
 	for _, s := range specs {
 		want := "/ckpt/j1/" + map[int]string{0: "0", 1: "1"}[s.Index]
 		if s.CheckpointDir != want {
@@ -75,7 +75,7 @@ func TestSnapshotCachedWithinTTL(t *testing.T) {
 	store := jobstore.New()
 	clk := simclock.NewSim(epoch)
 	store.CommitRunning("j1", runningDoc(t, jobCfg("j1", 2)), 1)
-	svc := New(store, clk, 90*time.Second)
+	svc := New(store, clk, 90*time.Second, 64)
 
 	svc.Snapshot()
 	store.CommitRunning("j1", runningDoc(t, jobCfg("j1", 8)), 2)
@@ -102,7 +102,7 @@ func TestInvalidateForcesRegeneration(t *testing.T) {
 	store := jobstore.New()
 	clk := simclock.NewSim(epoch)
 	store.CommitRunning("j1", runningDoc(t, jobCfg("j1", 2)), 1)
-	svc := New(store, clk, 90*time.Second)
+	svc := New(store, clk, 90*time.Second, 64)
 	svc.Snapshot()
 	store.CommitRunning("j1", runningDoc(t, jobCfg("j1", 5)), 2)
 	svc.Invalidate()
@@ -117,7 +117,7 @@ func TestStoppedJobsProduceNoSpecs(t *testing.T) {
 	cfg := jobCfg("j1", 2)
 	cfg.Stopped = true
 	store.CommitRunning("j1", runningDoc(t, cfg), 1)
-	if specs, _ := New(store, clk, 0).Snapshot(); len(specs) != 0 {
+	if specs, _ := New(store, clk, 0, 64).Snapshot(); len(specs) != 0 {
 		t.Fatalf("stopped job produced %d specs", len(specs))
 	}
 }
@@ -127,7 +127,7 @@ func TestMultipleJobsSortedOrder(t *testing.T) {
 	clk := simclock.NewSim(epoch)
 	store.CommitRunning("b", runningDoc(t, jobCfg("b", 1)), 1)
 	store.CommitRunning("a", runningDoc(t, jobCfg("a", 1)), 1)
-	specs, _ := New(store, clk, 0).Snapshot()
+	specs, _ := New(store, clk, 0, 64).Snapshot()
 	if len(specs) != 2 || specs[0].Job != "a" || specs[1].Job != "b" {
 		t.Fatalf("specs = %+v", specs)
 	}
@@ -138,7 +138,7 @@ func TestUndecodableRunningConfigSkipped(t *testing.T) {
 	clk := simclock.NewSim(epoch)
 	store.CommitRunning("bad", config.Doc{"taskCount": "not-a-number"}, 1)
 	store.CommitRunning("good", runningDoc(t, jobCfg("good", 1)), 1)
-	specs, _ := New(store, clk, 0).Snapshot()
+	specs, _ := New(store, clk, 0, 64).Snapshot()
 	if len(specs) != 1 || specs[0].Job != "good" {
 		t.Fatalf("specs = %+v", specs)
 	}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 verification: vet, build, race-enabled tests, and a one-shot
+# benchmark smoke pass (compiles and exercises every benchmark body once;
+# perf numbers come from `go test -bench . -benchtime 2s`, see
+# EXPERIMENTS.md).
+set -eux
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test ./... -run 'XXXNONE' -bench . -benchtime 1x
