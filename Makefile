@@ -9,5 +9,5 @@ build:
 test:
 	go test ./...
 
-bench:
-	go test ./... -run 'XXXNONE' -bench . -benchmem -benchtime 2s
+bench: ## full benchmark pass; writes machine-readable BENCH_PR2.json
+	./scripts/bench.sh

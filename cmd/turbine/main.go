@@ -153,7 +153,7 @@ func printStatus(p *core.Platform, elapsed time.Duration) {
 	snap := p.Health()
 	fmt.Printf("[%8v] tasks=%-5d jobs=%-4d lagged=%-3d hostCPU%% p50=%.1f p95=%.1f  unhealthy=%.1f%%  dup=%d\n",
 		elapsed, cs.RunningTasks, cs.Jobs, lagged,
-		metrics.Percentile(cpu, 50), metrics.Percentile(cpu, 95),
+		metrics.PercentileInPlace(cpu, 50), metrics.PercentileInPlace(cpu, 95),
 		snap.PctUnhealthy, cs.DuplicateEvents)
 	for _, a := range p.HealthAlerts() {
 		fmt.Printf("          ALERT[%s] %s: %s\n", a.Level, a.Key, a.Message)

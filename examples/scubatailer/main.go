@@ -94,7 +94,7 @@ func printBand(p *core.Platform, phase string) {
 	}
 	fmt.Printf("[%s] %s:\n", p.Now().Format("15:04"), phase)
 	fmt.Printf("  host CPU %%: p5=%.1f p50=%.1f p95=%.1f\n",
-		metrics.Percentile(cpu, 5), metrics.Percentile(cpu, 50), metrics.Percentile(cpu, 95))
+		metrics.PercentileInPlace(cpu, 5), metrics.PercentileInPlace(cpu, 50), metrics.PercentileInPlace(cpu, 95))
 	fmt.Printf("  tasks/host: min=%.0f max=%.0f\n",
-		metrics.Percentile(tasks, 0), metrics.Percentile(tasks, 100))
+		metrics.PercentileInPlace(tasks, 0), metrics.PercentileInPlace(tasks, 100))
 }

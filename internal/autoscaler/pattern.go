@@ -1,6 +1,7 @@
 package autoscaler
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/metrics"
@@ -17,6 +18,13 @@ func InputRateSeries(job string) string { return "job/" + job + "/inputRate" }
 // commits to a plan (§V-C). Facebook's streaming workloads are strongly
 // diurnal — within 1% day-over-day on aggregate — so history is a reliable
 // veto for downscales that today's quiet moment would otherwise suggest.
+//
+// History reads fold over the metric store in place (no per-decision
+// copies), and the expensive aggregates — the historical peak ahead of
+// this time of day, and the same-window historical average — are cached
+// per (job, time-of-day bucket): past days are immutable, so within one
+// bucket repeated decisions reuse the first consultation. The analyzer is
+// safe for concurrent use by parallel scan workers.
 type PatternAnalyzer struct {
 	store *metrics.Store
 	clock simclock.Clock
@@ -32,6 +40,35 @@ type PatternAnalyzer struct {
 	OutlierFactor float64
 	// Safety multiplier applied to historical peaks (default 1.1).
 	Safety float64
+	// BucketMinutes is the width of the time-of-day bucket cached history
+	// aggregates are keyed by (default 10). Within one bucket the
+	// historical peak and average are computed once per job.
+	BucketMinutes int
+
+	mu    sync.Mutex
+	peaks map[string]peakEntry
+	hists map[string]histEntry
+	hits  uint64
+}
+
+// peakEntry caches the historical peak input rate over the next
+// HorizonHours at this time-of-day bucket, across all recorded past days.
+// hasData is false when no past day had points in the horizon.
+type peakEntry struct {
+	bucket  int64 // unix nanos of the bucket start the entry was computed in
+	days    int
+	horizon float64
+	peak    float64
+	hasData bool
+}
+
+// histEntry caches the historical same-time-of-day 30-minute window
+// aggregate the outlier check compares current traffic against.
+type histEntry struct {
+	bucket int64
+	days   int
+	sum    float64
+	count  int
 }
 
 // NewPatternAnalyzer returns an analyzer over the given metric store.
@@ -43,7 +80,27 @@ func NewPatternAnalyzer(store *metrics.Store, clock simclock.Clock) *PatternAnal
 		HorizonHours:  2,
 		OutlierFactor: 1.5,
 		Safety:        1.1,
+		BucketMinutes: 10,
+		peaks:         make(map[string]peakEntry),
+		hists:         make(map[string]histEntry),
 	}
+}
+
+// bucketStart truncates now to the containing time-of-day bucket.
+func (pa *PatternAnalyzer) bucketStart(now time.Time) int64 {
+	w := time.Duration(pa.BucketMinutes) * time.Minute
+	if w <= 0 {
+		w = 10 * time.Minute
+	}
+	return now.Truncate(w).UnixNano()
+}
+
+// CacheHits reports how many history consultations were answered from the
+// per-bucket cache (observability for experiments).
+func (pa *PatternAnalyzer) CacheHits() uint64 {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	return pa.hits
 }
 
 // DownscaleSafe reports whether a capacity of `capacity` bytes/second
@@ -51,19 +108,48 @@ func NewPatternAnalyzer(store *metrics.Store, clock simclock.Clock) *PatternAnal
 // this time of day on every recorded past day. Days without data are
 // skipped; with no history at all the answer is true (the plan generator's
 // own veto still protects against breaking the job's current traffic).
+//
+// The consultation short-circuits per day — a single day whose peak
+// already exceeds the capacity answers false without reading the rest of
+// history — and a completed consultation caches the overall historical
+// peak for the current (job, time-of-day bucket), so repeated decisions
+// in one scan round (or across scans within the bucket) are O(1).
 func (pa *PatternAnalyzer) DownscaleSafe(job string, capacity float64) bool {
 	now := pa.clock.Now()
+	bucket := pa.bucketStart(now)
+
+	pa.mu.Lock()
+	if e, ok := pa.peaks[job]; ok && e.bucket == bucket && e.days == pa.HistoryDays && e.horizon == pa.HorizonHours {
+		pa.hits++
+		pa.mu.Unlock()
+		return !e.hasData || e.peak*pa.Safety <= capacity
+	}
+	pa.mu.Unlock()
+
 	horizon := time.Duration(pa.HorizonHours * float64(time.Hour))
 	series := InputRateSeries(job)
+	peak := 0.0
+	hasData := false
 	for d := 1; d <= pa.HistoryDays; d++ {
 		from := now.Add(-time.Duration(d) * 24 * time.Hour)
-		pts := pa.store.Range(series, from, from.Add(horizon))
-		for _, p := range pts {
-			if p.Value*pa.Safety > capacity {
-				return false
-			}
+		a := pa.store.RangeAgg(series, from, from.Add(horizon))
+		if a.Count == 0 {
+			continue
 		}
+		if a.Max*pa.Safety > capacity {
+			// Day-level short-circuit: this day alone vetoes the
+			// downscale. The scan is partial, so nothing is cached.
+			return false
+		}
+		if !hasData || a.Max > peak {
+			peak = a.Max
+		}
+		hasData = true
 	}
+
+	pa.mu.Lock()
+	pa.peaks[job] = peakEntry{bucket: bucket, days: pa.HistoryDays, horizon: pa.HorizonHours, peak: peak, hasData: hasData}
+	pa.mu.Unlock()
 	return true
 }
 
@@ -73,27 +159,43 @@ func (pa *PatternAnalyzer) DownscaleSafe(job string, capacity float64) bool {
 // OutlierFactor. During an outlier (e.g. a disaster-recovery storm),
 // history-based decision making is disabled (§V-C) and the scaler acts on
 // live signals only.
+//
+// Both averages are folded in place; the historical one is cached per
+// (job, time-of-day bucket) like the downscale peak.
 func (pa *PatternAnalyzer) Outlier(job string) bool {
 	now := pa.clock.Now()
 	const window = 30 * time.Minute
 	series := InputRateSeries(job)
 
-	cur := pa.store.Range(series, now.Add(-window), now)
-	if len(cur) == 0 {
+	cur := pa.store.RangeAgg(series, now.Add(-window), now)
+	if cur.Count == 0 {
 		return false
 	}
-	curVals := values(cur)
-	curAvg := metrics.Mean(curVals)
+	curAvg := cur.Mean()
 
-	var histVals []float64
-	for d := 1; d <= pa.HistoryDays; d++ {
-		to := now.Add(-time.Duration(d) * 24 * time.Hour)
-		histVals = append(histVals, values(pa.store.Range(series, to.Add(-window), to))...)
+	bucket := pa.bucketStart(now)
+	pa.mu.Lock()
+	e, ok := pa.hists[job]
+	if ok && e.bucket == bucket && e.days == pa.HistoryDays {
+		pa.hits++
+		pa.mu.Unlock()
+	} else {
+		pa.mu.Unlock()
+		e = histEntry{bucket: bucket, days: pa.HistoryDays}
+		for d := 1; d <= pa.HistoryDays; d++ {
+			to := now.Add(-time.Duration(d) * 24 * time.Hour)
+			a := pa.store.RangeAgg(series, to.Add(-window), to)
+			e.sum += a.Sum
+			e.count += a.Count
+		}
+		pa.mu.Lock()
+		pa.hists[job] = e
+		pa.mu.Unlock()
 	}
-	if len(histVals) == 0 {
+	if e.count == 0 {
 		return false
 	}
-	histAvg := metrics.Mean(histVals)
+	histAvg := e.sum / float64(e.count)
 	if histAvg <= 0 {
 		return curAvg > 0
 	}
@@ -107,10 +209,11 @@ func (pa *PatternAnalyzer) RecentPeak(job string, window time.Duration) (float64
 	return pa.store.WindowMax(InputRateSeries(job), window)
 }
 
-func values(pts []metrics.Point) []float64 {
-	out := make([]float64, len(pts))
-	for i, p := range pts {
-		out[i] = p.Value
-	}
-	return out
+// Forget drops cached history aggregates for a job (e.g. after its series
+// was deleted). Safe to call for unknown jobs.
+func (pa *PatternAnalyzer) Forget(job string) {
+	pa.mu.Lock()
+	delete(pa.peaks, job)
+	delete(pa.hists, job)
+	pa.mu.Unlock()
 }

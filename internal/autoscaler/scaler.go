@@ -3,7 +3,10 @@ package autoscaler
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
@@ -55,7 +58,14 @@ type Options struct {
 	// ContainerCapacity is the Turbine container size the vertical cap is
 	// computed against.
 	ContainerCapacity config.Resources
-	// OnAlert receives operator alerts.
+	// ScanParallelism bounds the worker pool a Scan spreads per-job
+	// decisions over (default: GOMAXPROCS, capped at 16). Signal
+	// gathering and deciding are independent per job; shared scaler state
+	// stays behind the scaler's lock. 1 scans sequentially.
+	ScanParallelism int
+	// OnAlert receives operator alerts. With ScanParallelism > 1 it may
+	// be called from multiple scan workers concurrently; handlers must be
+	// safe for concurrent use.
 	OnAlert func(Alert)
 	// HistoryHorizonHours is the Pattern Analyzer's x: a downscale must
 	// have sustained traffic for the next x hours on each recorded past
@@ -106,6 +116,12 @@ func (o *Options) fillDefaults() {
 	}
 	if o.ContainerCapacity.IsZero() {
 		o.ContainerCapacity = config.Resources{CPUCores: 40, MemoryBytes: 200 << 30}
+	}
+	if o.ScanParallelism <= 0 {
+		o.ScanParallelism = runtime.GOMAXPROCS(0)
+		if o.ScanParallelism > 16 {
+			o.ScanParallelism = 16
+		}
 	}
 }
 
@@ -207,21 +223,76 @@ func (s *Scaler) PEstimate(job string) (float64, bool) {
 // Scan runs one decision pass over every job and returns the actions
 // taken. This is Algorithm 2 extended with the proactive estimators and
 // the preactive pattern analyzer.
+//
+// Jobs are decided by a bounded worker pool (Options.ScanParallelism):
+// signal gathering and the decision are per-job, mirroring how the State
+// Syncer parallelizes complex plans, while the per-job state map and the
+// cumulative stats stay behind the scaler's lock. The returned actions
+// are in JobNames order regardless of worker interleaving, so scans stay
+// deterministic for a given fleet state.
 func (s *Scaler) Scan() []Action {
+	jobs := s.source.JobNames()
+	workers := s.opts.ScanParallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
 	var actions []Action
-	for _, job := range s.source.JobNames() {
-		sig, ok := s.source.JobSignals(job)
-		if !ok {
-			continue
+	if workers <= 1 {
+		for _, job := range jobs {
+			if a := s.scanJob(job); a.Type != ActionNone {
+				actions = append(actions, a)
+			}
 		}
-		if a := s.decide(job, sig); a.Type != ActionNone {
-			actions = append(actions, a)
+	} else {
+		// Workers keep sparse (index, action) results so a mostly-healthy
+		// fleet allocates nothing per job; the merge re-establishes
+		// JobNames order.
+		type indexed struct {
+			i int
+			a Action
+		}
+		perWorker := make([][]indexed, workers)
+		var next int64 = -1 // work-stealing index: decisions vary in cost
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(jobs) {
+						return
+					}
+					if a := s.scanJob(jobs[i]); a.Type != ActionNone {
+						perWorker[w] = append(perWorker[w], indexed{i: i, a: a})
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		var all []indexed
+		for _, rs := range perWorker {
+			all = append(all, rs...)
+		}
+		sort.Slice(all, func(x, y int) bool { return all[x].i < all[y].i })
+		for _, r := range all {
+			actions = append(actions, r.a)
 		}
 	}
 	s.mu.Lock()
 	s.stats.Scans++
 	s.mu.Unlock()
 	return actions
+}
+
+// scanJob gathers one job's signals and decides on them.
+func (s *Scaler) scanJob(job string) Action {
+	sig, ok := s.source.JobSignals(job)
+	if !ok {
+		return Action{Job: job, Type: ActionNone}
+	}
+	return s.decide(job, sig)
 }
 
 func (s *Scaler) decide(job string, sig Signals) Action {
@@ -344,14 +415,11 @@ func (s *Scaler) handleLag(job string, sig Signals, st *jobState, timeLag float6
 	})
 
 	// Imbalanced input: rebalance rather than scale (Algorithm 2 line 4).
-	if n > 1 && len(sig.TaskRates) > 1 {
-		mean := metrics.Mean(sig.TaskRates)
-		if mean > 0 && metrics.StdDev(sig.TaskRates)/mean > s.opts.ImbalanceThreshold {
-			if s.rebalancer != nil {
-				if err := s.rebalancer.RebalanceInput(job); err == nil {
-					s.withLock(func() { s.stats.Rebalances++ })
-					return Action{Job: job, Type: ActionRebalance, Reason: "imbalanced input"}
-				}
+	if n > 1 && sig.ImbalanceRatio() > s.opts.ImbalanceThreshold {
+		if s.rebalancer != nil {
+			if err := s.rebalancer.RebalanceInput(job); err == nil {
+				s.withLock(func() { s.stats.Rebalances++ })
+				return Action{Job: job, Type: ActionRebalance, Reason: "imbalanced input"}
 			}
 		}
 	}

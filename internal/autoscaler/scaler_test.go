@@ -3,6 +3,7 @@ package autoscaler
 import (
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -36,10 +37,15 @@ func (f *fakeSource) JobSignals(job string) (Signals, bool) {
 	return s, ok
 }
 
-type fakeRebalancer struct{ calls []string }
+type fakeRebalancer struct {
+	mu    sync.Mutex // RebalanceInput may fire from parallel scan workers
+	calls []string
+}
 
 func (f *fakeRebalancer) RebalanceInput(job string) error {
+	f.mu.Lock()
 	f.calls = append(f.calls, job)
+	f.mu.Unlock()
 	return nil
 }
 
@@ -55,7 +61,9 @@ type harness struct {
 	source *fakeSource
 	scaler *Scaler
 	reb    *fakeRebalancer
-	alerts []Alert
+
+	alertMu sync.Mutex // OnAlert may fire from parallel scan workers
+	alerts  []Alert
 }
 
 func newHarness(t *testing.T, opts Options, auth Authorizer) *harness {
@@ -67,7 +75,11 @@ func newHarness(t *testing.T, opts Options, auth Authorizer) *harness {
 		reb:    &fakeRebalancer{},
 	}
 	h.store = metrics.NewStore(h.clk, 15*24*time.Hour)
-	opts.OnAlert = func(a Alert) { h.alerts = append(h.alerts, a) }
+	opts.OnAlert = func(a Alert) {
+		h.alertMu.Lock()
+		h.alerts = append(h.alerts, a)
+		h.alertMu.Unlock()
+	}
 	h.scaler = New(h.jobs, h.source, h.store, h.clk, h.reb, auth, opts)
 	return h
 }

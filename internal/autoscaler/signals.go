@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/metrics"
 )
 
 // Signals are the per-job observations the scaler works from. A
@@ -90,6 +91,21 @@ func (s Signals) TimeLagged(fallbackRate float64) float64 {
 		return 3600
 	}
 	return float64(s.BacklogBytes) / rate
+}
+
+// ImbalanceRatio is the §V-A input-imbalance symptom: the standard
+// deviation of the per-task rates over their mean. It returns 0 when
+// fewer than two task rates are known or the mean is not positive, so
+// callers compare it directly against the imbalance threshold.
+func (s Signals) ImbalanceRatio() float64 {
+	if len(s.TaskRates) < 2 {
+		return 0
+	}
+	mean := metrics.Mean(s.TaskRates)
+	if mean <= 0 {
+		return 0
+	}
+	return metrics.StdDev(s.TaskRates) / mean
 }
 
 // SignalSource provides job observations to the scaler.

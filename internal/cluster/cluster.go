@@ -163,8 +163,25 @@ type Cluster struct {
 	lastWritten map[string]int64 // input category -> bytes at last monitor
 	lastOOMs    map[string]int   // job -> cumulative OOMs at last monitor
 	decoded     map[string]decodedCfg
+	jobSeries   map[string]jobSeries // cached metric-store handles per job
 	started     bool
 	alerts      []string
+
+	// Cluster-level series handles, resolved once: the monitor appends to
+	// them every interval, so it skips the store's name lookup.
+	seriesTaskCount *metrics.Series
+	seriesInputRate *metrics.Series
+	seriesDropped   *metrics.Series
+}
+
+// jobSeries caches the metric-store handles for one job's per-minute
+// series, so the monitor's hot write path appends through the striped
+// store without re-resolving four names per job per tick.
+type jobSeries struct {
+	input           *metrics.Series
+	backlog         *metrics.Series
+	taskCount       *metrics.Series
+	configuredTasks *metrics.Series
 }
 
 // decodedCfg caches the typed decode of a running configuration, keyed by
@@ -233,9 +250,13 @@ func New(cfg Config) (*Cluster, error) {
 		lastWritten: make(map[string]int64),
 		lastOOMs:    make(map[string]int),
 		decoded:     make(map[string]decodedCfg),
+		jobSeries:   make(map[string]jobSeries),
 	}
 	c.Jobs = jobservice.New(c.Store)
 	c.Metrics = metrics.NewStore(c.Clk, cfg.MetricsRetention)
+	c.seriesTaskCount = c.Metrics.Handle("cluster/taskCount")
+	c.seriesInputRate = c.Metrics.Handle("cluster/inputRate")
+	c.seriesDropped = c.Metrics.Handle("cluster/metricsDropped")
 	// The Task Service's snapshot index buckets specs by shard; it must be
 	// built with the same shard-space size the Shard Manager assigns.
 	c.TaskSvc = taskservice.New(c.Store, c.Clk, 90*time.Second, cfg.NumShards)
@@ -386,6 +407,7 @@ func (c *Cluster) RemoveJob(name string) error {
 		delete(c.generators, name)
 	}
 	delete(c.profiles, name)
+	delete(c.jobSeries, name)
 	c.mu.Unlock()
 	return c.Jobs.Delete(name)
 }
@@ -549,18 +571,44 @@ func (c *Cluster) monitorTick() {
 		totalTasks += a.running
 		totalInput += inputRate
 
-		c.Metrics.Record(autoscaler.InputRateSeries(job), inputRate)
-		c.Metrics.Record("job/"+job+"/backlog", float64(backlog))
-		c.Metrics.Record("job/"+job+"/taskCount", float64(a.running))
-		c.Metrics.Record("job/"+job+"/configuredTasks", float64(cfg.TaskCount))
+		js := c.seriesFor(job)
+		js.input.Record(inputRate)
+		js.backlog.Record(float64(backlog))
+		js.taskCount.Record(float64(a.running))
+		js.configuredTasks.Record(float64(cfg.TaskCount))
 	}
 
 	c.mu.Lock()
 	c.signals = newSignals
 	c.mu.Unlock()
 
-	c.Metrics.Record("cluster/taskCount", float64(totalTasks))
-	c.Metrics.Record("cluster/inputRate", totalInput)
+	c.seriesTaskCount.Record(float64(totalTasks))
+	c.seriesInputRate.Record(totalInput)
+	// Points silently discarded by the store's out-of-order guard signal a
+	// buggy reporter; surface the counter as a series so experiments and
+	// operators see it move.
+	c.seriesDropped.Record(float64(c.Metrics.Dropped()))
+}
+
+// seriesFor returns the cached metric-series handles of a job, resolving
+// them on first use.
+func (c *Cluster) seriesFor(job string) jobSeries {
+	c.mu.Lock()
+	js, ok := c.jobSeries[job]
+	c.mu.Unlock()
+	if ok {
+		return js
+	}
+	js = jobSeries{
+		input:           c.Metrics.Handle(autoscaler.InputRateSeries(job)),
+		backlog:         c.Metrics.Handle("job/" + job + "/backlog"),
+		taskCount:       c.Metrics.Handle("job/" + job + "/taskCount"),
+		configuredTasks: c.Metrics.Handle("job/" + job + "/configuredTasks"),
+	}
+	c.mu.Lock()
+	c.jobSeries[job] = js
+	c.mu.Unlock()
+	return js
 }
 
 // jobOfTaskID recovers the job name from a task ID "job#index".

@@ -128,9 +128,10 @@ func tailerConfig(name string, tasks, partitions, maxTasks, priority int) *confi
 	}
 }
 
-// percentiles extracts p5/p50/p95 from a value set.
+// percentiles extracts p5/p50/p95 from a value set. The slice is sorted
+// in place; every caller builds it locally for this call.
 func percentiles(vs []float64) (p5, p50, p95 float64) {
-	return metrics.Percentile(vs, 5), metrics.Percentile(vs, 50), metrics.Percentile(vs, 95)
+	return metrics.PercentileInPlace(vs, 5), metrics.PercentileInPlace(vs, 50), metrics.PercentileInPlace(vs, 95)
 }
 
 // gb formats bytes as GB with 2 decimals.

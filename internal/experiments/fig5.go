@@ -80,20 +80,20 @@ func Fig5TaskFootprint(p Params) *Result {
 	for _, pc := range []float64{10, 25, 50, 75, 80, 90, 95, 99, 99.9} {
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("p%g", pc),
-			fmt.Sprintf("%.2f", metrics.Percentile(cpus, pc)),
-			fmt.Sprintf("%.2f", metrics.Percentile(mems, pc)/(1<<30)),
+			fmt.Sprintf("%.2f", metrics.PercentileInPlace(cpus, pc)),
+			fmt.Sprintf("%.2f", metrics.PercentileInPlace(mems, pc)/(1<<30)),
 		})
 	}
 
 	below1Core := fraction(cpus, func(v float64) bool { return v < 1 })
-	memFloor := metrics.Percentile(mems, 0)
+	memFloor := metrics.PercentileInPlace(mems, 0)
 	below2GB := fraction(mems, func(v float64) bool { return v < 2<<30 })
 	res.Summary = map[string]float64{
 		"tasks":                float64(len(cpus)),
 		"frac_cpu_below_1core": below1Core,
 		"memory_floor_MB":      memFloor / (1 << 20),
 		"frac_mem_below_2GB":   below2GB,
-		"max_cpu_cores":        metrics.Percentile(cpus, 100),
+		"max_cpu_cores":        metrics.PercentileInPlace(cpus, 100),
 		"violations":           float64(c.Violations()),
 	}
 	res.Notes = append(res.Notes,

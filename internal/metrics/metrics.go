@@ -4,15 +4,36 @@
 // Turbine's control loops are metric-driven: Task Managers report per-task
 // resource usage, the load aggregator turns those into shard loads, and the
 // Auto Scaler's Pattern Analyzer consults 14 days of per-minute workload
-// history before approving a scaling plan. The store keeps one append-only
-// series per name, trims beyond a retention horizon, and answers the window
-// and range queries those loops need.
+// history before approving a scaling plan. At fleet scale that is tens of
+// thousands of writers appending every minute while the scaler reads, so
+// the store is built for that shape:
+//
+//   - Series are spread over lock-striped buckets keyed by a hash of the
+//     series name, so concurrent Record calls on different series never
+//     contend on one global mutex. Each stripe's RWMutex guards only the
+//     name→series map; the points themselves sit behind a per-series
+//     mutex, making the write path a single uncontended lock in the
+//     common case.
+//   - Each series is an append buffer of (unix-nanos, value) pairs with a
+//     head offset. Retention trims by advancing the head — an integer
+//     compare per append, amortized O(1) — and the buffer is compacted in
+//     place only when more than half of it is dead, so steady-state
+//     appends allocate nothing.
+//   - Reads come in two flavors: the legacy copying Range, and the
+//     allocation-free folds (RangeFold, RangeAgg, WindowAgg) that visit
+//     points in place under the series lock. The folds are what the
+//     control loops use; Range remains for callers that need a snapshot.
+//
+// Hot writers (the Task Manager fleet, the cluster job monitor) can
+// resolve a series once with Handle and append through it, skipping the
+// per-call name lookup entirely.
 package metrics
 
 import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/simclock"
@@ -24,182 +45,384 @@ type Point struct {
 	Value float64
 }
 
+// point is the internal representation: timestamps are canonical UTC
+// unix-nanoseconds, so ordering and retention checks are integer
+// compares and a point is 16 bytes instead of 32.
+type point struct {
+	at int64
+	v  float64
+}
+
+func (p point) toPoint() Point { return Point{At: time.Unix(0, p.at).UTC(), Value: p.v} }
+
+// numStripes is the lock-stripe fan-out. Power of two so the stripe index
+// is a mask. 64 stripes keep the collision probability negligible for the
+// few hundred goroutines a simulated fleet runs.
+const numStripes = 64
+
 // Store holds named time series with a shared retention horizon.
 // It is safe for concurrent use.
 type Store struct {
 	clock     simclock.Clock
 	retention time.Duration
+	retNanos  int64
+	dropped   atomic.Uint64
 
-	mu     sync.RWMutex
-	series map[string]*series
+	stripes [numStripes]stripe
 }
 
-type series struct {
-	pts []Point // ascending by At
+type stripe struct {
+	mu     sync.RWMutex
+	series map[string]*Series
+}
+
+// Series is a handle to one named series. Hot writers obtain it once via
+// Store.Handle and append through it, skipping the name lookup that
+// Record pays on every call. A handle stays valid forever; if the series
+// is Deleted from the store, writes through an old handle land in the
+// detached series and are no longer visible to name-based reads.
+type Series struct {
+	store    *Store
+	retNanos int64
+
+	mu   sync.Mutex
+	buf  []point // buf[head:] are the live points, ascending by at
+	head int
 }
 
 // NewStore returns a Store that timestamps observations with clock and
 // retains at least retention of history per series. A non-positive
 // retention keeps everything.
 func NewStore(clock simclock.Clock, retention time.Duration) *Store {
-	return &Store{clock: clock, retention: retention, series: make(map[string]*series)}
+	s := &Store{clock: clock, retention: retention}
+	if retention > 0 {
+		s.retNanos = retention.Nanoseconds()
+	}
+	for i := range s.stripes {
+		s.stripes[i].series = make(map[string]*Series)
+	}
+	return s
+}
+
+// stripeFor hashes a series name (FNV-1a) onto its stripe.
+func (s *Store) stripeFor(name string) *stripe {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &s.stripes[h&(numStripes-1)]
+}
+
+// lookup returns the named series or nil, touching only the stripe's
+// read lock.
+func (s *Store) lookup(name string) *Series {
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	sr := st.series[name]
+	st.mu.RUnlock()
+	return sr
+}
+
+// Handle returns the named series, creating it if needed.
+func (s *Store) Handle(name string) *Series {
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	sr := st.series[name]
+	st.mu.RUnlock()
+	if sr != nil {
+		return sr
+	}
+	st.mu.Lock()
+	if sr = st.series[name]; sr == nil {
+		sr = &Series{store: s, retNanos: s.retNanos}
+		st.series[name] = sr
+	}
+	st.mu.Unlock()
+	return sr
 }
 
 // Record appends value to the named series at the current clock time.
 func (s *Store) Record(name string, value float64) {
-	s.RecordAt(name, s.clock.Now(), value)
+	s.Handle(name).append(s.clock.Now().UnixNano(), value)
 }
 
 // RecordAt appends value at an explicit timestamp. Out-of-order points
-// (older than the series tail) are dropped: Turbine's reporters are
-// monotonic, and a deterministic store is worth more than a sorted insert.
+// (older than the series tail) are dropped and counted (see Dropped):
+// Turbine's reporters are monotonic, and a deterministic store is worth
+// more than a sorted insert.
 func (s *Store) RecordAt(name string, at time.Time, value float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sr := s.series[name]
-	if sr == nil {
-		sr = &series{}
-		s.series[name] = sr
-	}
-	if n := len(sr.pts); n > 0 && at.Before(sr.pts[n-1].At) {
+	s.Handle(name).append(at.UnixNano(), value)
+}
+
+// Record appends value at the store clock's current time.
+func (sr *Series) Record(value float64) {
+	sr.append(sr.store.clock.Now().UnixNano(), value)
+}
+
+// RecordAt appends value at an explicit timestamp, with the same
+// out-of-order drop rule as Store.RecordAt.
+func (sr *Series) RecordAt(at time.Time, value float64) {
+	sr.append(at.UnixNano(), value)
+}
+
+func (sr *Series) append(at int64, value float64) {
+	sr.mu.Lock()
+	if n := len(sr.buf); n > 0 && at < sr.buf[n-1].at {
+		sr.mu.Unlock()
+		sr.store.dropped.Add(1)
 		return
 	}
-	sr.pts = append(sr.pts, Point{At: at, Value: value})
-	if s.retention > 0 {
-		cutoff := at.Add(-s.retention)
-		// Trim lazily but keep amortized O(1): only compact when more
-		// than half the slice is expired.
-		i := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(cutoff) })
-		if i > len(sr.pts)/2 {
-			sr.pts = append(sr.pts[:0], sr.pts[i:]...)
+	sr.buf = append(sr.buf, point{at: at, v: value})
+	if sr.retNanos > 0 {
+		// Advance the head past expired points — usually one integer
+		// compare. Compact (in place, reusing the buffer) only once more
+		// than half the slice is dead, keeping appends amortized O(1)
+		// with zero steady-state allocation.
+		cutoff := at - sr.retNanos
+		for sr.head < len(sr.buf) && sr.buf[sr.head].at < cutoff {
+			sr.head++
+		}
+		if sr.head > len(sr.buf)/2 {
+			n := copy(sr.buf, sr.buf[sr.head:])
+			sr.buf = sr.buf[:n]
+			sr.head = 0
 		}
 	}
+	sr.mu.Unlock()
 }
+
+// Dropped reports how many points have been silently discarded by the
+// out-of-order guard since the store was created. A growing value means a
+// reporter is emitting non-monotonic timestamps — a bug that would
+// otherwise be invisible.
+func (s *Store) Dropped() uint64 { return s.dropped.Load() }
 
 // Latest returns the most recent value of the named series.
 func (s *Store) Latest(name string) (float64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sr := s.series[name]
-	if sr == nil || len(sr.pts) == 0 {
+	sr := s.lookup(name)
+	if sr == nil {
 		return 0, false
 	}
-	return sr.pts[len(sr.pts)-1].Value, true
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if len(sr.buf) == sr.head {
+		return 0, false
+	}
+	return sr.buf[len(sr.buf)-1].v, true
 }
 
 // LatestPoint returns the most recent point of the named series.
 func (s *Store) LatestPoint(name string) (Point, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sr := s.series[name]
-	if sr == nil || len(sr.pts) == 0 {
+	sr := s.lookup(name)
+	if sr == nil {
 		return Point{}, false
 	}
-	return sr.pts[len(sr.pts)-1], true
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if len(sr.buf) == sr.head {
+		return Point{}, false
+	}
+	return sr.buf[len(sr.buf)-1].toPoint(), true
 }
 
-// Range returns a copy of all points with from <= At <= to.
+// bounds returns the half-open index range [lo, hi) of live points with
+// fromN <= at <= toN. Caller holds sr.mu.
+func (sr *Series) bounds(fromN, toN int64) (int, int) {
+	// Manual binary searches: no closure, no allocation, int compares.
+	lo, hi := sr.head, len(sr.buf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sr.buf[mid].at < fromN {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	first := lo
+	lo, hi = first, len(sr.buf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sr.buf[mid].at <= toN {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return first, lo
+}
+
+// Range returns a copy of all points with from <= At <= to. This is the
+// legacy snapshot read: it allocates a fresh slice per call. Control
+// loops on the hot path should use RangeFold / RangeAgg instead.
 func (s *Store) Range(name string, from, to time.Time) []Point {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sr := s.series[name]
+	sr := s.lookup(name)
 	if sr == nil {
 		return nil
 	}
-	lo := sort.Search(len(sr.pts), func(i int) bool { return !sr.pts[i].At.Before(from) })
-	hi := sort.Search(len(sr.pts), func(i int) bool { return sr.pts[i].At.After(to) })
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	lo, hi := sr.bounds(from.UnixNano(), to.UnixNano())
 	if lo >= hi {
 		return nil
 	}
 	out := make([]Point, hi-lo)
-	copy(out, sr.pts[lo:hi])
+	for i := lo; i < hi; i++ {
+		out[i-lo] = sr.buf[i].toPoint()
+	}
 	return out
+}
+
+// RangeFold calls fn for every point with from <= At <= to, in ascending
+// time order, without copying. fn returning false stops the fold early.
+// It returns false if the fold was stopped, true otherwise (including an
+// empty range). fn runs under the series lock: it must be fast and must
+// not call back into the store.
+func (s *Store) RangeFold(name string, from, to time.Time, fn func(Point) bool) bool {
+	sr := s.lookup(name)
+	if sr == nil {
+		return true
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	lo, hi := sr.bounds(from.UnixNano(), to.UnixNano())
+	for i := lo; i < hi; i++ {
+		if !fn(sr.buf[i].toPoint()) {
+			return false
+		}
+	}
+	return true
+}
+
+// Agg is the set of streaming aggregates a single in-place pass produces.
+// Min and Max are only meaningful when Count > 0.
+type Agg struct {
+	Count    int
+	Sum      float64
+	Min, Max float64
+}
+
+// Mean returns Sum/Count, or 0 when the window was empty.
+func (a Agg) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// RangeAgg folds all points with from <= At <= to into streaming
+// aggregates in one pass under the series lock, allocating nothing. The
+// accumulation order is ascending time, identical to aggregating the
+// slice Range returns.
+func (s *Store) RangeAgg(name string, from, to time.Time) Agg {
+	sr := s.lookup(name)
+	if sr == nil {
+		return Agg{}
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	lo, hi := sr.bounds(from.UnixNano(), to.UnixNano())
+	var a Agg
+	for i := lo; i < hi; i++ {
+		v := sr.buf[i].v
+		if a.Count == 0 {
+			a.Min, a.Max = v, v
+		} else {
+			if v > a.Max {
+				a.Max = v
+			}
+			if v < a.Min {
+				a.Min = v
+			}
+		}
+		a.Sum += v
+		a.Count++
+	}
+	return a
+}
+
+// WindowAgg folds the trailing window (measured back from the current
+// clock time) into streaming aggregates, allocation-free.
+func (s *Store) WindowAgg(name string, window time.Duration) Agg {
+	now := s.clock.Now()
+	return s.RangeAgg(name, now.Add(-window), now)
 }
 
 // WindowAvg returns the mean of the named series over the trailing window,
 // measured back from the current clock time.
 func (s *Store) WindowAvg(name string, window time.Duration) (float64, bool) {
-	return s.windowAgg(name, window, Mean)
+	a := s.WindowAgg(name, window)
+	if a.Count == 0 {
+		return 0, false
+	}
+	return a.Mean(), true
 }
 
 // WindowMax returns the maximum over the trailing window.
 func (s *Store) WindowMax(name string, window time.Duration) (float64, bool) {
-	return s.windowAgg(name, window, func(vs []float64) float64 {
-		m := vs[0]
-		for _, v := range vs[1:] {
-			if v > m {
-				m = v
-			}
-		}
-		return m
-	})
+	a := s.WindowAgg(name, window)
+	if a.Count == 0 {
+		return 0, false
+	}
+	return a.Max, true
 }
 
 // WindowMin returns the minimum over the trailing window.
 func (s *Store) WindowMin(name string, window time.Duration) (float64, bool) {
-	return s.windowAgg(name, window, func(vs []float64) float64 {
-		m := vs[0]
-		for _, v := range vs[1:] {
-			if v < m {
-				m = v
-			}
-		}
-		return m
-	})
+	a := s.WindowAgg(name, window)
+	if a.Count == 0 {
+		return 0, false
+	}
+	return a.Min, true
 }
 
 // WindowSum returns the sum over the trailing window.
 func (s *Store) WindowSum(name string, window time.Duration) (float64, bool) {
-	return s.windowAgg(name, window, func(vs []float64) float64 {
-		sum := 0.0
-		for _, v := range vs {
-			sum += v
-		}
-		return sum
-	})
-}
-
-func (s *Store) windowAgg(name string, window time.Duration, agg func([]float64) float64) (float64, bool) {
-	now := s.clock.Now()
-	pts := s.Range(name, now.Add(-window), now)
-	if len(pts) == 0 {
+	a := s.WindowAgg(name, window)
+	if a.Count == 0 {
 		return 0, false
 	}
-	vs := make([]float64, len(pts))
-	for i, p := range pts {
-		vs[i] = p.Value
-	}
-	return agg(vs), true
+	return a.Sum, true
 }
 
 // Names returns all series names, sorted.
 func (s *Store) Names() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.series))
-	for name := range s.series {
-		out = append(out, name)
+	var out []string
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for name := range st.series {
+			out = append(out, name)
+		}
+		st.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Delete removes the named series.
+// Delete removes the named series. Handles obtained before the delete
+// keep writing into the detached series; name-based reads miss.
 func (s *Store) Delete(name string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.series, name)
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	delete(st.series, name)
+	st.mu.Unlock()
 }
 
-// Len reports the number of points retained in the named series.
+// Len reports the number of live (unexpired) points retained in the
+// named series.
 func (s *Store) Len(name string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sr := s.series[name]
+	sr := s.lookup(name)
 	if sr == nil {
 		return 0
 	}
-	return len(sr.pts)
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return len(sr.buf) - sr.head
 }
 
 // Mean returns the arithmetic mean of vs, or 0 for an empty slice.
@@ -231,26 +454,40 @@ func StdDev(vs []float64) float64 {
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of vs using linear
 // interpolation between closest ranks. It returns 0 for an empty slice.
-// The input is not modified.
+// The input is not modified; hot paths where the caller owns the slice
+// should use PercentileInPlace.
 func Percentile(vs []float64, p float64) float64 {
 	if len(vs) == 0 {
 		return 0
 	}
 	sorted := make([]float64, len(vs))
 	copy(sorted, vs)
-	sort.Float64s(sorted)
+	return PercentileInPlace(sorted, p)
+}
+
+// PercentileInPlace is Percentile without the defensive copy: it sorts vs
+// in place. For callers that own the slice (or call repeatedly with
+// several p values — the slice stays sorted), this removes the per-call
+// allocation and re-sort.
+func PercentileInPlace(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	if !sort.Float64sAreSorted(vs) {
+		sort.Float64s(vs)
+	}
 	if p <= 0 {
-		return sorted[0]
+		return vs[0]
 	}
 	if p >= 100 {
-		return sorted[len(sorted)-1]
+		return vs[len(vs)-1]
 	}
-	rank := p / 100 * float64(len(sorted)-1)
+	rank := p / 100 * float64(len(vs)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return sorted[lo]
+		return vs[lo]
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return vs[lo]*(1-frac) + vs[hi]*frac
 }

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Full benchmark pass over the repo, with machine-readable output: parses
+# `go test -bench` lines into BENCH_PR2.json as an array of
+# {"op": name, "ns_per_op": n, "allocs_per_op": n} records so successive
+# PRs can diff performance without re-reading prose tables.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${BENCH_OUT:-BENCH_PR2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test ./... -run 'XXXNONE' -bench . -benchmem -benchtime "$BENCHTIME" | tee "$RAW"
+
+# Benchmark lines look like:
+#   BenchmarkRecordParallel16-1   123456   55.95 ns/op   0 B/op   0 allocs/op
+awk '
+BEGIN { print "["; n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (allocs == "") allocs = "null"
+    if (n++) printf ",\n"
+    printf "  {\"op\": \"%s\", \"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs
+}
+END { print "\n]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
