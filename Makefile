@@ -9,5 +9,5 @@ build:
 test:
 	go test ./...
 
-bench: ## full benchmark pass; writes machine-readable BENCH_PR2.json
+bench: ## full benchmark pass; writes machine-readable BENCH_PR3.json
 	./scripts/bench.sh

@@ -199,12 +199,14 @@ func ClaimPlacement(p Params) *Result {
 	assignStart := time.Now()
 	m.AssignUnassigned()
 	assignWall := time.Since(assignStart)
+	loads := make(map[shardmanager.ShardID]config.Resources, shards)
 	for s := shardmanager.ShardID(0); s < shardmanager.ShardID(shards); s++ {
-		m.ReportShardLoad(s, config.Resources{
+		loads[s] = config.Resources{
 			CPUCores:    float64(s%13) * 0.15,
 			MemoryBytes: int64(s%7) << 28,
-		})
+		}
 	}
+	m.ReportShardLoads(loads)
 	balanceStart := time.Now()
 	result := m.Rebalance()
 	balanceWall := time.Since(balanceStart)

@@ -18,16 +18,29 @@
 //     keeps each container's total load within a utilization band (e.g.
 //     ±10%) of the mean while satisfying capacity and headroom constraints
 //     (§IV-B).
+//
+// Internally the manager is organised around incrementally-maintained
+// state so the fleet-wide fan-in paths scale (DESIGN.md §11):
+//
+//   - heartbeats land in a lock-striped liveness table and load reports in
+//     a lock-striped shard-load table, so neither serializes on the
+//     assignment lock;
+//   - the assignment carries a persistent reverse index (container →
+//     shard set) plus per-container running load, updated on every
+//     placement, move, and fail-over — balancing never rebuilds them;
+//   - readers (Owner, Mapping) go through an immutable copy-on-write
+//     snapshot republished after each mutating pass, so the degraded-mode
+//     read path (§IV-D) never contends with balancing.
 package shardmanager
 
 import (
-	"container/heap"
 	"crypto/md5"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
@@ -65,6 +78,10 @@ type Handler interface {
 	DropShard(ShardID) error
 }
 
+// HeadroomNone is the Options.Headroom sentinel for an explicit zero
+// headroom (any negative value works): "0" means "default 10%".
+const HeadroomNone = -1
+
 // Options tune the manager. Zero values take the paper's defaults.
 type Options struct {
 	// NumShards is the size of the shard space (default 1024).
@@ -73,7 +90,9 @@ type Options struct {
 	// load from the mean (default 0.10 = ±10%, §IV-B).
 	UtilizationBand float64
 	// Headroom is the fraction of each container's capacity kept free to
-	// absorb workload spikes (default 0.10, §VI-A).
+	// absorb workload spikes (default 0.10, §VI-A). Because the zero
+	// value takes the default, pass HeadroomNone (or any negative value)
+	// to request an explicit zero headroom.
 	Headroom float64
 	// FailoverInterval is how long a container may miss heartbeats before
 	// its shards are failed over (default 60 s, §IV-C).
@@ -96,8 +115,10 @@ func (o *Options) fillDefaults() {
 	if o.UtilizationBand <= 0 {
 		o.UtilizationBand = 0.10
 	}
-	if o.Headroom < 0 {
+	if o.Headroom == 0 {
 		o.Headroom = 0.10
+	} else if o.Headroom < 0 {
+		o.Headroom = 0
 	}
 	if o.FailoverInterval <= 0 {
 		o.FailoverInterval = 60 * time.Second
@@ -111,11 +132,10 @@ func (o *Options) fillDefaults() {
 }
 
 type containerState struct {
-	id            string
-	capacity      config.Resources
-	handler       Handler
-	region        string
-	lastHeartbeat time.Time
+	id       string
+	capacity config.Resources
+	handler  Handler
+	region   string
 }
 
 // Stats are cumulative counters.
@@ -128,18 +148,53 @@ type Stats struct {
 	LastBalance time.Duration // wall-clock cost of the last mapping pass
 }
 
+// hbStripeCount is the heartbeat-table stripe fan-out: power of two so
+// the stripe index is a mask; 16 stripes keep a 10K-container fleet's
+// 10-second heartbeat fan-in off any single mutex.
+const hbStripeCount = 16
+
+// hbStripe holds last-heartbeat times for the container IDs that hash to
+// it. Presence in the table is what makes a heartbeat legal: Register
+// inserts, Unregister and fail-over delete.
+type hbStripe struct {
+	mu   sync.Mutex
+	last map[string]time.Time
+}
+
 // Manager is the Shard Manager. Safe for concurrent use.
+//
+// Lock order (for paths that take more than one): mu, then a heartbeat or
+// load stripe. Heartbeat and ReportShardLoad(s) take only their stripe;
+// Owner and Mapping take no lock at all (atomic snapshot).
 type Manager struct {
 	clock simclock.Clock
 	opts  Options
 
-	mu               sync.Mutex
-	containers       map[string]*containerState
-	assignment       map[ShardID]string
-	loads            map[ShardID]config.Resources
+	unavailable atomic.Bool
+	hb          [hbStripeCount]hbStripe
+	ld          [loadStripeCount]loadStripe
+	snap        atomic.Pointer[mappingSnapshot]
+
+	mu         sync.RWMutex
+	containers map[string]*containerState
+	assignment map[ShardID]string
+	// contShards is the persistent reverse index: container → set of
+	// shards it owns. Maintained by every placement, move and fail-over
+	// so ShardsOf and balancing never scan the full assignment.
+	contShards map[string]map[ShardID]struct{}
+	// contLoad is the running per-container resource load: the sum of
+	// applied[s] over contShards. Updated incrementally on placement,
+	// move, fail-over and load-fold.
+	contLoad map[string]config.Resources
+	// applied is the per-shard load currently folded into contLoad;
+	// foldLoadsLocked syncs it from the striped report table.
+	applied map[ShardID]config.Resources
+	// unassigned is the explicit set of shards without an owner, so
+	// placement never iterates the whole shard space.
+	unassigned       map[ShardID]struct{}
 	regions          map[ShardID]string // shard -> required region ("" = any)
 	balancingEnabled bool
-	unavailable      bool
+	snapDirty        bool
 	stats            Stats
 	tickers          []simclock.Ticker
 }
@@ -147,15 +202,30 @@ type Manager struct {
 // New returns a Manager with the given options.
 func New(clock simclock.Clock, opts Options) *Manager {
 	opts.fillDefaults()
-	return &Manager{
+	m := &Manager{
 		clock:            clock,
 		opts:             opts,
 		containers:       make(map[string]*containerState),
 		assignment:       make(map[ShardID]string),
-		loads:            make(map[ShardID]config.Resources),
+		contShards:       make(map[string]map[ShardID]struct{}),
+		contLoad:         make(map[string]config.Resources),
+		applied:          make(map[ShardID]config.Resources),
+		unassigned:       make(map[ShardID]struct{}, opts.NumShards),
 		regions:          make(map[ShardID]string),
 		balancingEnabled: true,
 	}
+	for s := ShardID(0); s < ShardID(opts.NumShards); s++ {
+		m.unassigned[s] = struct{}{}
+	}
+	for i := range m.hb {
+		m.hb[i].last = make(map[string]time.Time)
+	}
+	for i := range m.ld {
+		m.ld[i].loads = make(map[ShardID]config.Resources)
+		m.ld[i].dirty = make(map[ShardID]struct{})
+	}
+	m.snap.Store(&mappingSnapshot{owners: map[ShardID]string{}})
+	return m
 }
 
 // NumShards returns the shard-space size.
@@ -207,12 +277,18 @@ func (m *Manager) RegisterInRegion(id, region string, capacity config.Resources,
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.containers[id] = &containerState{
-		id:            id,
-		capacity:      capacity,
-		handler:       h,
-		region:        region,
-		lastHeartbeat: m.clock.Now(),
+		id:       id,
+		capacity: capacity,
+		handler:  h,
+		region:   region,
 	}
+	if m.contShards[id] == nil {
+		m.contShards[id] = make(map[ShardID]struct{})
+	}
+	st := m.hbStripeFor(id)
+	st.mu.Lock()
+	st.last[id] = m.clock.Now()
+	st.mu.Unlock()
 }
 
 // SetShardRegion constrains a shard to containers of the given region
@@ -228,7 +304,7 @@ func (m *Manager) SetShardRegion(shard ShardID, region string) {
 	m.regions[shard] = region
 }
 
-// regionOK reports whether a container may host a shard.
+// regionOKLocked reports whether a container may host a shard.
 func (m *Manager) regionOKLocked(shard ShardID, c *containerState) bool {
 	want := m.regions[shard]
 	return want == "" || want == c.region
@@ -236,10 +312,13 @@ func (m *Manager) regionOKLocked(shard ShardID, c *containerState) bool {
 
 // Unregister removes a container without failing over its shards; callers
 // that need failover semantics use CheckFailures or FailoverContainer.
+// The shards stay mapped to the departed ID (and its reverse-index entry
+// is kept consistent) until a fail-over or re-register.
 func (m *Manager) Unregister(id string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.containers, id)
+	m.hbDeleteLocked(id)
 }
 
 // SetAvailable simulates the Shard Manager service going down or coming
@@ -249,14 +328,16 @@ func (m *Manager) Unregister(id string) {
 // heartbeat deadlines reset, so the outage itself does not trigger a mass
 // failover.
 func (m *Manager) SetAvailable(available bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	wasDown := m.unavailable
-	m.unavailable = !available
+	wasDown := m.unavailable.Swap(!available)
 	if available && wasDown {
 		now := m.clock.Now()
-		for _, c := range m.containers {
-			c.lastHeartbeat = now
+		for i := range m.hb {
+			st := &m.hb[i]
+			st.mu.Lock()
+			for id := range st.last {
+				st.last[id] = now
+			}
+			st.mu.Unlock()
 		}
 	}
 }
@@ -265,79 +346,149 @@ func (m *Manager) SetAvailable(available bool) {
 // while the service is down, or an error if the container is unknown
 // (e.g. already failed over) — the Task Manager must then re-register as
 // a new, empty container.
+//
+// Heartbeats touch only their liveness stripe: a fleet-wide heartbeat
+// fan-in never waits behind balancing or other containers' stripes.
 func (m *Manager) Heartbeat(id string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.unavailable {
+	if m.unavailable.Load() {
 		return ErrUnavailable
 	}
-	c, ok := m.containers[id]
-	if !ok {
+	st := m.hbStripeFor(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.last[id]; !ok {
 		return fmt.Errorf("shardmanager: unknown container %q", id)
 	}
-	c.lastHeartbeat = m.clock.Now()
+	st.last[id] = m.clock.Now()
 	return nil
 }
 
-// ReportShardLoad records the latest aggregated load of a shard, as
-// computed by the load-aggregator thread in a Task Manager (§IV-B).
-func (m *Manager) ReportShardLoad(shard ShardID, load config.Resources) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.loads[shard] = load
-}
-
-// Owner returns the container currently assigned a shard.
-func (m *Manager) Owner(shard ShardID) (string, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	id, ok := m.assignment[shard]
-	return id, ok
-}
-
-// ShardsOf returns the shards assigned to a container, sorted.
-func (m *Manager) ShardsOf(containerID string) []ShardID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var out []ShardID
-	for s, c := range m.assignment {
-		if c == containerID {
-			out = append(out, s)
-		}
+// hbStripeFor hashes a container ID (FNV-1a) onto its liveness stripe.
+func (m *Manager) hbStripeFor(id string) *hbStripe {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return &m.hb[h&(hbStripeCount-1)]
 }
 
-// Mapping returns a copy of the full shard→container mapping: the stored
-// mapping Task Managers can fall back to when the Shard Manager is
-// unavailable (degraded mode, §IV-D).
-func (m *Manager) Mapping() map[ShardID]string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[ShardID]string, len(m.assignment))
-	for s, c := range m.assignment {
-		out[s] = c
-	}
-	return out
+// hbDeleteLocked drops a container from the liveness table (m.mu held).
+func (m *Manager) hbDeleteLocked(id string) {
+	st := m.hbStripeFor(id)
+	st.mu.Lock()
+	delete(st.last, id)
+	st.mu.Unlock()
 }
 
 // Stats returns cumulative counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.stats
 }
 
 // ContainerIDs returns registered containers, sorted.
 func (m *Manager) ContainerIDs() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]string, 0, len(m.containers))
 	for id := range m.containers {
 		out = append(out, id)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// CheckFailures scans heartbeats and fails over every container that has
+// been silent for a full fail-over interval: its shards move to the
+// least-loaded surviving containers and the container is forgotten. It
+// returns the IDs of failed-over containers.
+//
+// The scan reads only the liveness stripes; the assignment lock is taken
+// just for the (normally empty) set of dead containers, with a per-ID
+// re-check so a heartbeat racing the scan wins.
+func (m *Manager) CheckFailures() []string {
+	if m.unavailable.Load() {
+		return nil
+	}
+	now := m.clock.Now()
+	var candidates []string
+	for i := range m.hb {
+		st := &m.hb[i]
+		st.mu.Lock()
+		for id, last := range st.last {
+			if now.Sub(last) >= m.opts.FailoverInterval {
+				candidates = append(candidates, id)
+			}
+		}
+		st.mu.Unlock()
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	sort.Strings(candidates)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var dead []string
+	for _, id := range candidates {
+		if _, ok := m.containers[id]; !ok {
+			continue
+		}
+		st := m.hbStripeFor(id)
+		st.mu.Lock()
+		last, ok := st.last[id]
+		st.mu.Unlock()
+		if !ok || now.Sub(last) < m.opts.FailoverInterval {
+			continue // a heartbeat raced the scan; the container lives
+		}
+		m.failoverLocked(id)
+		dead = append(dead, id)
+	}
+	m.publishLocked()
+	return dead
+}
+
+// FailoverContainer forces immediate fail-over of one container
+// (experiments use it to model maintenance events, §VI-A).
+func (m *Manager) FailoverContainer(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.containers[id]; ok {
+		m.failoverLocked(id)
+		m.publishLocked()
+	}
+}
+
+func (m *Manager) failoverLocked(id string) {
+	delete(m.containers, id)
+	m.hbDeleteLocked(id)
+	m.stats.Failovers++
+	// Orphan the dead container's shards via the reverse index, then
+	// place them like fresh shards. The dead handler is never called (it
+	// cannot respond); the Task Manager's own proactive timeout
+	// guarantees it already stopped processing before this point (§IV-C).
+	for s := range m.contShards[id] {
+		delete(m.assignment, s)
+		m.unassigned[s] = struct{}{}
+		m.snapDirty = true
+	}
+	delete(m.contShards, id)
+	delete(m.contLoad, id)
+	moved := m.assignUnassignedLocked()
+	m.stats.Moves += moved
+}
+
+func (m *Manager) sortedContainersLocked() []*containerState {
+	out := make([]*containerState, 0, len(m.containers))
+	for _, c := range m.containers {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
 }
 
@@ -361,339 +512,27 @@ func score(load, ref config.Resources) float64 {
 	return s
 }
 
-// AssignUnassigned places every unassigned shard on the currently
-// least-loaded container. New clusters call it once after registering the
-// initial container fleet; it also runs at the start of every rebalance so
-// fresh or failed-over shards never wait for a full balancing pass.
-func (m *Manager) AssignUnassigned() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.assignUnassignedLocked()
-}
-
-func (m *Manager) assignUnassignedLocked() int {
-	alive := m.sortedContainersLocked()
-	if len(alive) == 0 {
-		return 0
+// placeLocked assigns an unowned shard to a container, maintaining the
+// reverse index, running load, unassigned set and snapshot dirtiness,
+// and notifies the container (ADD_SHARD).
+func (m *Manager) placeLocked(s ShardID, c *containerState) {
+	m.assignment[s] = c.id
+	set := m.contShards[c.id]
+	if set == nil {
+		set = make(map[ShardID]struct{})
+		m.contShards[c.id] = set
 	}
-	var unassigned []ShardID
-	for s := ShardID(0); s < ShardID(m.opts.NumShards); s++ {
-		if _, ok := m.assignment[s]; !ok {
-			unassigned = append(unassigned, s)
+	set[s] = struct{}{}
+	if l, ok := m.applied[s]; ok {
+		m.contLoad[c.id] = m.contLoad[c.id].Add(l)
+	}
+	delete(m.unassigned, s)
+	m.snapDirty = true
+	if c.handler != nil {
+		if err := c.handler.AddShard(s); err != nil {
+			m.stats.AddErrors++
 		}
 	}
-	if len(unassigned) == 0 {
-		return 0
-	}
-	counts := make(map[string]int, len(alive))
-	for _, c := range m.assignment {
-		counts[c]++
-	}
-	// Spread by current shard count via a min-heap: cheap even at 100K
-	// shards, and load-based balancing refines placement once loads are
-	// reported. Region-constrained shards fall back to a linear scan of
-	// eligible containers (constraints are rare).
-	h := make(countHeap, len(alive))
-	counts2 := make(map[string]*int, len(alive))
-	for i, c := range alive {
-		n := counts[c.id]
-		h[i] = countEntry{container: c, count: n}
-		cnt := n
-		counts2[c.id] = &cnt
-	}
-	heap.Init(&h)
-	assigned := 0
-	for _, s := range unassigned {
-		var best *containerState
-		if _, constrained := m.regions[s]; !constrained {
-			best = h[0].container
-			h[0].count++
-			heap.Fix(&h, 0)
-		} else {
-			for _, c := range alive {
-				if !m.regionOKLocked(s, c) {
-					continue
-				}
-				if best == nil || *counts2[c.id] < *counts2[best.id] {
-					best = c
-				}
-			}
-			if best == nil {
-				continue // no eligible container; retry next pass
-			}
-			*counts2[best.id]++
-		}
-		m.assignment[s] = best.id
-		assigned++
-		if best.handler != nil {
-			if err := best.handler.AddShard(s); err != nil {
-				m.stats.AddErrors++
-			}
-		}
-	}
-	return assigned
-}
-
-// countEntry / countHeap implement a min-heap of containers by shard
-// count (ties broken by ID for determinism).
-type countEntry struct {
-	container *containerState
-	count     int
-}
-
-type countHeap []countEntry
-
-func (h countHeap) Len() int { return len(h) }
-func (h countHeap) Less(i, j int) bool {
-	if h[i].count != h[j].count {
-		return h[i].count < h[j].count
-	}
-	return h[i].container.id < h[j].container.id
-}
-func (h countHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *countHeap) Push(x any)   { *h = append(*h, x.(countEntry)) }
-func (h *countHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-
-func (m *Manager) sortedContainersLocked() []*containerState {
-	out := make([]*containerState, 0, len(m.containers))
-	for _, c := range m.containers {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
-	return out
-}
-
-// CheckFailures scans heartbeats and fails over every container that has
-// been silent for a full fail-over interval: its shards move to the
-// least-loaded surviving containers and the container is forgotten. It
-// returns the IDs of failed-over containers.
-func (m *Manager) CheckFailures() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.unavailable {
-		return nil
-	}
-	now := m.clock.Now()
-	var dead []string
-	for id, c := range m.containers {
-		if now.Sub(c.lastHeartbeat) >= m.opts.FailoverInterval {
-			dead = append(dead, id)
-		}
-	}
-	sort.Strings(dead)
-	for _, id := range dead {
-		m.failoverLocked(id)
-	}
-	return dead
-}
-
-// FailoverContainer forces immediate fail-over of one container
-// (experiments use it to model maintenance events, §VI-A).
-func (m *Manager) FailoverContainer(id string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.containers[id]; ok {
-		m.failoverLocked(id)
-	}
-}
-
-func (m *Manager) failoverLocked(id string) {
-	delete(m.containers, id)
-	m.stats.Failovers++
-	// Orphan the dead container's shards, then place them like fresh
-	// shards. The dead handler is never called (it cannot respond); the
-	// Task Manager's own proactive timeout guarantees it already stopped
-	// processing before this point (§IV-C).
-	for s, c := range m.assignment {
-		if c == id {
-			delete(m.assignment, s)
-		}
-	}
-	moved := m.assignUnassignedLocked()
-	m.stats.Moves += moved
-}
-
-// RebalanceResult describes one balancing pass.
-type RebalanceResult struct {
-	Moves      int
-	Assigned   int // previously unassigned shards placed
-	MeanScore  float64
-	MaxScore   float64
-	MinScore   float64
-	Containers int
-}
-
-// Rebalance regenerates the shard→container mapping from the latest shard
-// loads (§IV-B): it first places unassigned shards, then — if balancing is
-// enabled — moves shards from containers above the utilization band to
-// containers below it, largest-loaded shards first, honoring container
-// capacity minus headroom.
-func (m *Manager) Rebalance() RebalanceResult {
-	start := time.Now()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	var res RebalanceResult
-	if m.unavailable {
-		return res
-	}
-	res.Assigned = m.assignUnassignedLocked()
-	alive := m.sortedContainersLocked()
-	res.Containers = len(alive)
-	if len(alive) == 0 {
-		return res
-	}
-	if !m.balancingEnabled {
-		return res
-	}
-	m.stats.Rebalances++
-
-	// Repatriate shards whose region constraint is violated (constraint
-	// added or container re-tagged after placement). Skipped entirely in
-	// unconstrained clusters so the pass stays O(1) extra.
-	if len(m.regions) > 0 {
-		for sh, cid := range m.assignment {
-			c := m.containers[cid]
-			if c == nil || m.regionOKLocked(sh, c) {
-				continue
-			}
-			for _, cand := range alive {
-				if m.regionOKLocked(sh, cand) {
-					m.moveLocked(sh, cid, cand.id)
-					res.Moves++
-					break
-				}
-			}
-		}
-	}
-
-	// Reference capacity for score normalization: the mean container
-	// capacity, so "1.0" means one average container fully loaded.
-	var ref config.Resources
-	for _, c := range alive {
-		ref = ref.Add(c.capacity)
-	}
-	ref = ref.Scale(1 / float64(len(alive)))
-
-	// Current load per container, plus per-shard scores.
-	type shardLoad struct {
-		id    ShardID
-		load  config.Resources
-		score float64
-	}
-	contLoad := make(map[string]config.Resources, len(alive))
-	contShards := make(map[string][]shardLoad, len(alive))
-	for s, cid := range m.assignment {
-		l := m.loads[s]
-		contLoad[cid] = contLoad[cid].Add(l)
-		contShards[cid] = append(contShards[cid], shardLoad{id: s, load: l, score: score(l, ref)})
-	}
-
-	scores := make(map[string]float64, len(alive))
-	var total float64
-	for _, c := range alive {
-		scores[c.id] = score(contLoad[c.id], ref)
-		total += scores[c.id]
-	}
-	mean := total / float64(len(alive))
-	band := m.opts.UtilizationBand
-	high := mean * (1 + band)
-	low := mean * (1 - band)
-
-	// Donors above the band, sorted by score descending (worst first).
-	donors := make([]string, 0)
-	for _, c := range alive {
-		if scores[c.id] > high {
-			donors = append(donors, c.id)
-		}
-	}
-	sort.Slice(donors, func(i, j int) bool {
-		if scores[donors[i]] != scores[donors[j]] {
-			return scores[donors[i]] > scores[donors[j]]
-		}
-		return donors[i] < donors[j]
-	})
-
-	capScore := make(map[string]float64, len(alive))
-	for _, c := range alive {
-		capScore[c.id] = score(c.capacity, ref) * (1 - m.opts.Headroom)
-	}
-
-	for _, donor := range donors {
-		shards := contShards[donor]
-		// Move largest shards first: fewest moves to re-enter the band.
-		sort.Slice(shards, func(i, j int) bool {
-			if shards[i].score != shards[j].score {
-				return shards[i].score > shards[j].score
-			}
-			return shards[i].id < shards[j].id
-		})
-		for _, sh := range shards {
-			if scores[donor] <= high {
-				break
-			}
-			if m.opts.MaxMovesPerRebalance > 0 && res.Moves >= m.opts.MaxMovesPerRebalance {
-				break
-			}
-			if sh.score == 0 {
-				break // only zero-load shards left; moving them is churn
-			}
-			// Receiver: the lowest-scored container that can take the
-			// shard without leaving the band or violating capacity or
-			// its region constraint.
-			recv := ""
-			recvScore := 0.0
-			for _, c := range alive {
-				if c.id == donor {
-					continue
-				}
-				if !m.regionOKLocked(sh.id, c) {
-					continue
-				}
-				cs := scores[c.id]
-				if cs >= low && recv != "" {
-					continue
-				}
-				if cs+sh.score > high {
-					continue
-				}
-				if cs+sh.score > capScore[c.id] {
-					continue
-				}
-				if recv == "" || cs < recvScore {
-					recv, recvScore = c.id, cs
-				}
-			}
-			if recv == "" {
-				continue
-			}
-			m.moveLocked(sh.id, donor, recv)
-			scores[donor] -= sh.score
-			scores[recv] += sh.score
-			res.Moves++
-		}
-	}
-
-	// Report distribution after the pass.
-	res.MeanScore = mean
-	first := true
-	for _, c := range alive {
-		s := scores[c.id]
-		if first {
-			res.MinScore, res.MaxScore = s, s
-			first = false
-			continue
-		}
-		if s < res.MinScore {
-			res.MinScore = s
-		}
-		if s > res.MaxScore {
-			res.MaxScore = s
-		}
-	}
-	m.stats.Moves += res.Moves
-	m.stats.LastBalance = time.Since(start)
-	return res
 }
 
 // moveLocked executes the shard movement protocol (§IV-A2): DROP_SHARD on
@@ -707,7 +546,20 @@ func (m *Manager) moveLocked(shard ShardID, from, to string) {
 			m.stats.DropErrors++
 		}
 	}
+	l := m.applied[shard]
+	if set := m.contShards[from]; set != nil {
+		delete(set, shard)
+		m.contLoad[from] = m.contLoad[from].Sub(l)
+	}
 	m.assignment[shard] = to
+	set := m.contShards[to]
+	if set == nil {
+		set = make(map[ShardID]struct{})
+		m.contShards[to] = set
+	}
+	set[shard] = struct{}{}
+	m.contLoad[to] = m.contLoad[to].Add(l)
+	m.snapDirty = true
 	if c := m.containers[to]; c != nil && c.handler != nil {
 		if err := c.handler.AddShard(shard); err != nil {
 			m.stats.AddErrors++

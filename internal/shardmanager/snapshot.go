@@ -1,0 +1,75 @@
+package shardmanager
+
+import "sort"
+
+// mappingSnapshot is an immutable copy-on-write view of the
+// shard→container assignment. A new snapshot is published after every
+// mutating pass (placement, move batch, fail-over), so Owner and Mapping
+// are plain atomic-pointer reads: the degraded-mode read path (§IV-D)
+// never contends with balancing, and readers racing a pass see the last
+// consistent epoch rather than a half-applied one.
+type mappingSnapshot struct {
+	epoch  uint64
+	owners map[ShardID]string
+}
+
+// publishLocked replaces the published snapshot with a copy of the live
+// assignment if anything changed since the last publish. Called once per
+// mutating public operation — O(assigned shards) amortized over a whole
+// pass of moves, not per move. Caller holds m.mu.
+func (m *Manager) publishLocked() {
+	if !m.snapDirty {
+		return
+	}
+	m.snapDirty = false
+	owners := make(map[ShardID]string, len(m.assignment))
+	for s, c := range m.assignment {
+		owners[s] = c
+	}
+	m.snap.Store(&mappingSnapshot{epoch: m.snap.Load().epoch + 1, owners: owners})
+}
+
+// Owner returns the container currently assigned a shard. Lock-free: it
+// reads the published snapshot, which lags an in-flight balancing pass by
+// at most one epoch.
+func (m *Manager) Owner(shard ShardID) (string, bool) {
+	id, ok := m.snap.Load().owners[shard]
+	return id, ok
+}
+
+// Mapping returns a copy of the full shard→container mapping: the stored
+// mapping Task Managers can fall back to when the Shard Manager is
+// unavailable (degraded mode, §IV-D). Lock-free, like Owner.
+func (m *Manager) Mapping() map[ShardID]string {
+	snap := m.snap.Load()
+	out := make(map[ShardID]string, len(snap.owners))
+	for s, c := range snap.owners {
+		out[s] = c
+	}
+	return out
+}
+
+// MappingEpoch returns the monotonically increasing version of the
+// published mapping; it bumps once per mutating pass that changed any
+// assignment.
+func (m *Manager) MappingEpoch() uint64 {
+	return m.snap.Load().epoch
+}
+
+// ShardsOf returns the shards assigned to a container, sorted. Served
+// from the persistent reverse index — O(shards of the container), not
+// O(shard space).
+func (m *Manager) ShardsOf(containerID string) []ShardID {
+	m.mu.RLock()
+	set := m.contShards[containerID]
+	out := make([]ShardID, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

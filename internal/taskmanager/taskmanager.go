@@ -49,6 +49,9 @@ type ShardManagerClient interface {
 	RegisterInRegion(id, region string, capacity config.Resources, h shardmanager.Handler)
 	Heartbeat(id string) error
 	ReportShardLoad(s shardmanager.ShardID, load config.Resources)
+	// ReportShardLoads publishes a whole load-aggregation cycle in one
+	// call — one Shard Manager round-trip instead of one per shard.
+	ReportShardLoads(loads map[shardmanager.ShardID]config.Resources)
 	NumShards() int
 	// Mapping returns the stored shard→container mapping. It stays
 	// readable while the Shard Manager service is unavailable — the
@@ -582,9 +585,7 @@ func (m *Manager) ReportLoads() {
 		loads[s] = l
 	}
 	m.mu.Unlock()
-	for s, l := range loads {
-		m.sm.ReportShardLoad(s, l)
-	}
+	m.sm.ReportShardLoads(loads)
 }
 
 // Stats returns cumulative counters.

@@ -1,13 +1,14 @@
 #!/bin/sh
 # Full benchmark pass over the repo, with machine-readable output: parses
-# `go test -bench` lines into BENCH_PR2.json as an array of
+# `go test -bench` lines into BENCH_PR3.json as an array of
 # {"op": name, "ns_per_op": n, "allocs_per_op": n} records so successive
-# PRs can diff performance without re-reading prose tables.
+# PRs can diff performance without re-reading prose tables. Earlier PRs'
+# snapshots (BENCH_PR2.json) stay in the repo for comparison.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
-OUT="${BENCH_OUT:-BENCH_PR2.json}"
+OUT="${BENCH_OUT:-BENCH_PR3.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
