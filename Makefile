@@ -9,5 +9,5 @@ build:
 test:
 	go test ./...
 
-bench: ## full benchmark pass; writes machine-readable BENCH_PR3.json
+bench: ## full benchmark pass; writes machine-readable BENCH_PR4.json
 	./scripts/bench.sh

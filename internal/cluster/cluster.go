@@ -289,6 +289,11 @@ func New(cfg Config) (*Cluster, error) {
 			if len(cfg.Regions) > 0 {
 				tmOpts.Region = cfg.Regions[h%len(cfg.Regions)]
 			}
+			if tmOpts.Metrics == nil {
+				// Shard-load reports fold a windowed mean off the cluster
+				// metrics store instead of instantaneous samples.
+				tmOpts.Metrics = c.Metrics
+			}
 			tm := taskmanager.New(ct, c.Clk, c.TaskSvc, c.SM, c.Bus, c.Ckpt, profileFn, tmOpts)
 			c.tms = append(c.tms, tmEntry{tm: tm, container: ct, host: host})
 		}

@@ -171,7 +171,6 @@ func (d Doc) SetPath(path string, value any) Doc {
 			next = Doc{}
 			cur[part] = next
 		}
-		cur[part] = next
 		cur = next
 	}
 	cur[parts[len(parts)-1]] = value
@@ -220,31 +219,45 @@ type Change struct {
 func Diff(a, b Doc) []Change {
 	var out []Change
 	diffInto("", a, b, &out)
+	// The per-level walk emits in key order, which can differ from full
+	// dotted-path order when keys contain characters below '.' — keep the
+	// final sort so output ordering is defined by Path alone.
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out
 }
 
 func diffInto(prefix string, a, b Doc, out *[]Change) {
-	keys := make(map[string]struct{}, len(a)+len(b))
-	for k := range a {
-		keys[k] = struct{}{}
-	}
-	for k := range b {
-		keys[k] = struct{}{}
-	}
-	for k := range keys {
+	// Two-pointer walk over each side's sorted keys: no per-level key-set
+	// map on the State Syncer's per-job diff path.
+	ak := sortedKeysOf(a)
+	bk := sortedKeysOf(b)
+	i, j := 0, 0
+	for i < len(ak) || j < len(bk) {
+		var k string
+		var inA, inB bool
+		switch {
+		case j >= len(bk) || (i < len(ak) && ak[i] < bk[j]):
+			k, inA = ak[i], true
+			i++
+		case i >= len(ak) || ak[i] > bk[j]:
+			k, inB = bk[j], true
+			j++
+		default:
+			k, inA, inB = ak[i], true, true
+			i++
+			j++
+		}
 		path := k
 		if prefix != "" {
 			path = prefix + "." + k
 		}
-		av, inA := a[k]
-		bv, inB := b[k]
 		switch {
 		case !inA:
-			*out = append(*out, Change{Path: path, From: nil, To: bv})
+			*out = append(*out, Change{Path: path, From: nil, To: b[k]})
 		case !inB:
-			*out = append(*out, Change{Path: path, From: av, To: nil})
+			*out = append(*out, Change{Path: path, From: a[k], To: nil})
 		default:
+			av, bv := a[k], b[k]
 			am, aIsMap := asDoc(av)
 			bm, bIsMap := asDoc(bv)
 			if aIsMap && bIsMap {
@@ -256,6 +269,18 @@ func diffInto(prefix string, a, b Doc, out *[]Change) {
 			}
 		}
 	}
+}
+
+func sortedKeysOf(d Doc) []string {
+	if len(d) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func leafEqual(a, b any) bool {
@@ -274,11 +299,24 @@ func leafEqual(a, b any) bool {
 			return av == bv
 		case int:
 			return av == float64(bv)
+		case int64:
+			return av == float64(bv)
 		}
 	case int:
 		switch bv := b.(type) {
 		case int:
 			return av == bv
+		case float64:
+			return float64(av) == bv
+		case int64:
+			return int64(av) == bv
+		}
+	case int64:
+		switch bv := b.(type) {
+		case int64:
+			return av == bv
+		case int:
+			return av == int64(bv)
 		case float64:
 			return float64(av) == bv
 		}

@@ -1,0 +1,165 @@
+package config
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// legacyDiff is the map-based key-union walk Diff used before the
+// two-pointer rewrite, kept as the reference implementation.
+func legacyDiff(a, b Doc) []Change {
+	var out []Change
+	legacyDiffInto("", a, b, &out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+func legacyDiffInto(prefix string, a, b Doc, out *[]Change) {
+	keys := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		keys[k] = struct{}{}
+	}
+	for k := range b {
+		keys[k] = struct{}{}
+	}
+	for k := range keys {
+		path := k
+		if prefix != "" {
+			path = prefix + "." + k
+		}
+		av, inA := a[k]
+		bv, inB := b[k]
+		switch {
+		case !inA:
+			*out = append(*out, Change{Path: path, From: nil, To: bv})
+		case !inB:
+			*out = append(*out, Change{Path: path, From: av, To: nil})
+		default:
+			am, aIsMap := asDoc(av)
+			bm, bIsMap := asDoc(bv)
+			if aIsMap && bIsMap {
+				legacyDiffInto(path, am, bm, out)
+				continue
+			}
+			if !leafEqual(av, bv) {
+				*out = append(*out, Change{Path: path, From: av, To: bv})
+			}
+		}
+	}
+}
+
+// randomDoc builds a random nested document. Keys deliberately include
+// characters sorting below '.' ("!", "#") so per-segment emit order and
+// full dotted-path order disagree and the final sort is exercised.
+func randomDoc(rng *rand.Rand, depth int) Doc {
+	keys := []string{"a", "b", "c", "a!x", "a#y", "taskCount", "package", "input", "z.z"}
+	d := Doc{}
+	n := 1 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		k := keys[rng.Intn(len(keys))]
+		switch r := rng.Intn(8); {
+		case r < 3 && depth < 3:
+			d[k] = randomDoc(rng, depth+1)
+		case r == 3:
+			d[k] = fmt.Sprintf("s%d", rng.Intn(4))
+		case r == 4:
+			d[k] = rng.Intn(4)
+		case r == 5:
+			d[k] = int64(rng.Intn(4))
+		case r == 6:
+			d[k] = float64(rng.Intn(4))
+		default:
+			d[k] = rng.Intn(2) == 0
+		}
+	}
+	return d
+}
+
+func TestDiffMatchesLegacyOnRandomDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		a := randomDoc(rng, 0)
+		b := randomDoc(rng, 0)
+		if i%3 == 0 {
+			b = Merge(a, b) // overlapping structure, partial overrides
+		}
+		got := Diff(a, b)
+		want := legacyDiff(a, b)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("diff #%d diverged:\na=%v\nb=%v\ngot  %v\nwant %v", i, a, b, got, want)
+		}
+	}
+}
+
+func TestDiffAllocsLeanOnEqualDocs(t *testing.T) {
+	a := Doc{
+		"name": "j", "taskCount": 4,
+		"package": Doc{"name": "tailer", "version": "v1"},
+		"input":   Doc{"category": "c", "partitions": 16},
+	}
+	b := a.Clone()
+	if got := Diff(a, b); len(got) != 0 {
+		t.Fatalf("Diff(equal docs) = %v", got)
+	}
+	allocs := testing.AllocsPerRun(200, func() { Diff(a, b) })
+	// A sorted-key slice per side per level (root + two nested, plus sort
+	// scratch) and nothing else: the old key-set map version paid a map
+	// with its internal buckets per level on top.
+	if allocs > 12 {
+		t.Fatalf("Diff(equal docs) allocates %v per run", allocs)
+	}
+}
+
+func TestLeafEqualInt64FastPaths(t *testing.T) {
+	cases := []struct {
+		a, b any
+		want bool
+	}{
+		{int64(5), int64(5), true},
+		{int64(5), int64(6), false},
+		{int64(5), 5, true},
+		{5, int64(5), true},
+		{int64(5), float64(5), true},
+		{float64(5), int64(5), true},
+		{int64(5), float64(5.5), false},
+		{int64(5), "5", false},
+	}
+	for _, c := range cases {
+		if got := leafEqual(c.a, c.b); got != c.want {
+			t.Errorf("leafEqual(%T(%v), %T(%v)) = %v, want %v", c.a, c.a, c.b, c.b, got, c.want)
+		}
+	}
+	// int64 leaves must not allocate (no JSON round trip).
+	if allocs := testing.AllocsPerRun(100, func() { leafEqual(int64(7), int64(7)) }); allocs != 0 {
+		t.Fatalf("leafEqual(int64, int64) allocates %v per run", allocs)
+	}
+}
+
+func TestSetPathReusesExistingMaps(t *testing.T) {
+	d := Doc{"package": Doc{"name": "tailer"}}
+	inner := d["package"].(Doc)
+	d.SetPath("package.version", "v2")
+	if got := d["package"].(Doc); reflect.ValueOf(got).Pointer() != reflect.ValueOf(inner).Pointer() {
+		t.Fatal("SetPath must descend into the existing nested map, not replace it")
+	}
+	if v, _ := d.GetPath("package.version"); v != "v2" {
+		t.Fatalf("package.version = %v", v)
+	}
+	if v, _ := d.GetPath("package.name"); v != "tailer" {
+		t.Fatalf("package.name = %v", v)
+	}
+	// Creation through a missing intermediate still works.
+	d.SetPath("output.category", "cat")
+	if v, _ := d.GetPath("output.category"); v != "cat" {
+		t.Fatalf("output.category = %v", v)
+	}
+	// Setting through a scalar replaces it with an object.
+	d.SetPath("name", "j")
+	d.SetPath("name.alias", "k")
+	if v, _ := d.GetPath("name.alias"); v != "k" {
+		t.Fatalf("name.alias = %v", v)
+	}
+}

@@ -17,6 +17,15 @@
 // based on, and the store rejects stale writes (ErrVersionMismatch). This
 // is the consistency guarantee the Job Service relies on when, e.g., two
 // oncalls update the oncall configuration simultaneously (§III-A).
+//
+// Concurrency layout: entries live in 64 lock stripes keyed by an FNV-1a
+// hash of the job name, so per-job reads, CAS writes, and running-entry
+// commits on different jobs never contend on one mutex. Fleet-wide name
+// listings are copy-on-write sorted snapshots rebuilt lazily after a name
+// set change — steady-state reads are allocation-free pointer loads. The
+// store also tracks which jobs changed (expected-side writes, deletes,
+// quarantine lifts) in per-stripe dirty sets the State Syncer drains, so
+// a synchronization round visits only jobs that can possibly need work.
 package jobstore
 
 import (
@@ -43,6 +52,12 @@ var ErrNotFound = errors.New("jobstore: job not found")
 // must not be lost to races (oncall emergency overrides).
 const AnyVersion int64 = -1
 
+// numStripes is the lock-stripe count. Like the metrics store's series
+// stripes and the Shard Manager's load stripes, 64 keeps the probability
+// of two concurrent writers hashing onto one mutex low at fleet scale
+// while the fixed array stays cache-friendly.
+const numStripes = 64
+
 // Expected is a read snapshot of a job's expected configuration stack.
 type Expected struct {
 	Layers  [4]config.Doc // indexed by config.Layer; nil layers unset
@@ -50,7 +65,9 @@ type Expected struct {
 
 	// merged caches the precedence merge of Layers as of mergedVersion.
 	// Maintained only on the store's canonical entries (not on snapshots
-	// handed to callers); invisible to JSON serialization.
+	// handed to callers); invisible to JSON serialization. The cached doc
+	// is immutable: it is replaced, never modified, so it can be handed
+	// out by MergedExpectedShared without cloning.
 	merged        config.Doc
 	mergedVersion int64
 }
@@ -79,13 +96,63 @@ type Quarantine struct {
 	Reason string
 }
 
-// Store is the in-memory Job Store. Safe for concurrent use.
-type Store struct {
+// stripe holds the entries of the jobs hashing onto it. Each stripe has
+// its own mutex; cross-job operations never serialize on a global lock.
+type stripe struct {
 	mu          sync.RWMutex
 	expected    map[string]*Expected
 	running     map[string]*Running
 	quarantined map[string]Quarantine
-	revSeq      int64 // source of Running.revision values
+	// dirty is the stripe's slice of the store-wide change set: jobs
+	// whose expected entry was created, rewritten, or deleted (or whose
+	// quarantine was lifted) since the State Syncer last drained.
+	dirty map[string]struct{}
+}
+
+// nameIndex maintains a copy-on-write sorted name snapshot over the
+// striped maps. Readers load the published snapshot with one atomic read
+// and zero allocations; mutations only mark the index dirty, and the
+// first read after a mutation (or burst of mutations) rebuilds once.
+type nameIndex struct {
+	dirty atomic.Bool
+	mu    sync.Mutex // serializes rebuilds
+	snap  atomic.Pointer[[]string]
+}
+
+func (ni *nameIndex) invalidate() { ni.dirty.Store(true) }
+
+// names returns the current sorted snapshot, rebuilding via collect if a
+// mutation invalidated it. The returned slice is shared and must not be
+// modified by callers.
+func (ni *nameIndex) names(collect func() []string) []string {
+	if !ni.dirty.Load() {
+		if p := ni.snap.Load(); p != nil {
+			return *p
+		}
+	}
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	if !ni.dirty.Load() {
+		if p := ni.snap.Load(); p != nil {
+			return *p
+		}
+	}
+	// Clear the flag BEFORE collecting: a mutation that lands mid-rebuild
+	// re-marks the index and the next read rebuilds again, so a rebuilt
+	// snapshot can never silently miss a concurrent name change.
+	ni.dirty.Store(false)
+	s := collect()
+	sort.Strings(s)
+	ni.snap.Store(&s)
+	return s
+}
+
+// Store is the in-memory Job Store. Safe for concurrent use.
+type Store struct {
+	stripes  [numStripes]stripe
+	revSeq   atomic.Int64 // source of Running.revision values
+	expNames nameIndex
+	runNames nameIndex
 
 	mergedHits   atomic.Int64 // MergedExpected served from cache
 	mergedMisses atomic.Int64 // MergedExpected recomputed the merge
@@ -93,24 +160,48 @@ type Store struct {
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{
-		expected:    make(map[string]*Expected),
-		running:     make(map[string]*Running),
-		quarantined: make(map[string]Quarantine),
+	s := &Store{}
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.expected = make(map[string]*Expected)
+		st.running = make(map[string]*Running)
+		st.quarantined = make(map[string]Quarantine)
+		st.dirty = make(map[string]struct{})
 	}
+	empty := []string{}
+	s.expNames.snap.Store(&empty)
+	s.runNames.snap.Store(&empty)
+	return s
+}
+
+// stripeFor hashes a job name onto its stripe (FNV-1a).
+func (s *Store) stripeFor(name string) *stripe {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return &s.stripes[h&(numStripes-1)]
 }
 
 // Create registers a new job whose Base layer is base. It fails if the job
 // already exists.
 func (s *Store) Create(name string, base config.Doc) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.expected[name]; ok {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.expected[name]; ok {
 		return fmt.Errorf("jobstore: job %q already exists", name)
 	}
 	e := &Expected{Version: 1}
 	e.Layers[config.LayerBase] = base.Clone()
-	s.expected[name] = e
+	st.expected[name] = e
+	st.dirty[name] = struct{}{}
+	s.expNames.invalidate()
 	return nil
 }
 
@@ -118,21 +209,25 @@ func (s *Store) Create(name string, base config.Doc) error {
 // the State Syncer has stopped the job's tasks and calls DropRunning; the
 // syncer detects deletion as "running without expected".
 func (s *Store) Delete(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.expected[name]; !ok {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.expected[name]; !ok {
 		return ErrNotFound
 	}
-	delete(s.expected, name)
-	delete(s.quarantined, name)
+	delete(st.expected, name)
+	delete(st.quarantined, name)
+	st.dirty[name] = struct{}{}
+	s.expNames.invalidate()
 	return nil
 }
 
 // GetExpected returns a snapshot of the job's expected stack.
 func (s *Store) GetExpected(name string) (Expected, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.expected[name]
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	e, ok := st.expected[name]
 	if !ok {
 		return Expected{}, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
@@ -149,14 +244,16 @@ func snapshotExpected(e *Expected) Expected {
 
 // SetLayer replaces one expected layer under CAS: the write succeeds only
 // if the job's version still equals baseVersion (or baseVersion is
-// AnyVersion). On success the job's version is bumped and returned.
+// AnyVersion). On success the job's version is bumped and returned, and
+// the job is marked dirty for the State Syncer's next change-driven round.
 func (s *Store) SetLayer(name string, layer config.Layer, doc config.Doc, baseVersion int64) (int64, error) {
 	if !layer.Valid() {
 		return 0, fmt.Errorf("jobstore: invalid layer %v", layer)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.expected[name]
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.expected[name]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
@@ -165,34 +262,47 @@ func (s *Store) SetLayer(name string, layer config.Layer, doc config.Doc, baseVe
 	}
 	e.Layers[layer] = doc.Clone()
 	e.Version++
+	st.dirty[name] = struct{}{}
 	return e.Version, nil
 }
 
 // MergedExpected returns the effective desired configuration — the
 // precedence merge of all expected layers — and the version it reflects.
-//
-// The merge (Algorithm 1) is cached per version on the store's entry: the
-// first read after a layer write pays for the 4-layer merge, every later
-// read of the same version clones the cached document. State Syncer
-// rounds examining tens of thousands of unchanged jobs therefore stop
-// re-running the merge. The returned Doc is the caller's to mutate.
+// The returned Doc is the caller's to mutate; readers that only inspect
+// the document should use MergedExpectedShared and skip the clone.
 func (s *Store) MergedExpected(name string) (config.Doc, int64, error) {
-	s.mu.RLock()
-	e, ok := s.expected[name]
+	doc, v, err := s.MergedExpectedShared(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return doc.Clone(), v, nil
+}
+
+// MergedExpectedShared returns the cached merged document itself, without
+// cloning. The merge (Algorithm 1) is cached per version on the store's
+// entry: the first read after a layer write pays for the 4-layer merge;
+// every later read of the same version is a map lookup. The returned Doc
+// is IMMUTABLE and shared — callers must not modify it (or anything
+// reachable from it). This is the State Syncer's per-round read path: a
+// round over tens of thousands of jobs neither re-merges nor re-clones.
+func (s *Store) MergedExpectedShared(name string) (config.Doc, int64, error) {
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	e, ok := st.expected[name]
 	if ok && e.merged != nil && e.mergedVersion == e.Version {
-		out, v := e.merged.Clone(), e.Version
-		s.mu.RUnlock()
+		out, v := e.merged, e.Version
+		st.mu.RUnlock()
 		s.mergedHits.Add(1)
 		return out, v, nil
 	}
-	s.mu.RUnlock()
+	st.mu.RUnlock()
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok = s.expected[name] // re-check: the job may have been deleted
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok = st.expected[name] // re-check: the job may have been deleted
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
@@ -206,7 +316,7 @@ func (s *Store) MergedExpected(name string) (config.Doc, int64, error) {
 	} else {
 		s.mergedHits.Add(1)
 	}
-	return e.merged.Clone(), e.Version, nil
+	return e.merged, e.Version, nil
 }
 
 // MergedCacheStats reports how many MergedExpected calls were served from
@@ -215,23 +325,37 @@ func (s *Store) MergedCacheStats() (hits, misses int64) {
 	return s.mergedHits.Load(), s.mergedMisses.Load()
 }
 
-// GetRunning returns a snapshot of the job's running configuration.
+// GetRunning returns a snapshot of the job's running configuration. The
+// returned Config is the caller's to mutate.
 func (s *Store) GetRunning(name string) (Running, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.running[name]
+	r, ok := s.GetRunningShared(name)
 	if !ok {
 		return Running{}, false
 	}
 	return Running{Config: r.Config.Clone(), Version: r.Version}, true
 }
 
+// GetRunningShared returns the job's running entry without cloning its
+// configuration. The returned Config is IMMUTABLE and shared — callers
+// must not modify it. The State Syncer diffs against it every round.
+func (s *Store) GetRunningShared(name string) (Running, bool) {
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	r, ok := st.running[name]
+	if !ok {
+		return Running{}, false
+	}
+	return Running{Config: r.Config, Version: r.Version, revision: r.revision}, true
+}
+
 // ExpectedVersion returns just the version of a job's expected entry,
 // without snapshotting its layers.
 func (s *Store) ExpectedVersion(name string) (int64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.expected[name]
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	e, ok := st.expected[name]
 	if !ok {
 		return 0, false
 	}
@@ -241,9 +365,10 @@ func (s *Store) ExpectedVersion(name string) (int64, bool) {
 // RunningVersion returns just the version of a job's running entry,
 // without cloning its configuration — the State Syncer's fast path.
 func (s *Store) RunningVersion(name string) (int64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.running[name]
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	r, ok := st.running[name]
 	if !ok {
 		return 0, false
 	}
@@ -256,9 +381,10 @@ func (s *Store) RunningVersion(name string) (int64, bool) {
 // regeneration rebuilds only the jobs whose running entry was actually
 // rewritten since the last snapshot.
 func (s *Store) RunningRevision(name string) (int64, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.running[name]
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	r, ok := st.running[name]
 	if !ok {
 		return 0, false
 	}
@@ -268,72 +394,179 @@ func (s *Store) RunningRevision(name string) (int64, bool) {
 // CommitRunning records that the cluster now runs cfg, which realizes
 // expected version version. Only the State Syncer calls this, and only
 // after the execution plan completed — the atomic commit point of a job
-// update (§III-B).
+// update (§III-B). The store keeps its own deep copy of cfg.
 func (s *Store) CommitRunning(name string, cfg config.Doc, version int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.revSeq++
-	s.running[name] = &Running{Config: cfg.Clone(), Version: version, revision: s.revSeq}
+	s.commitRunning(name, cfg.Clone(), version)
+}
+
+// CommitRunningShared is CommitRunning without the defensive copy: the
+// store keeps cfg itself. The caller must treat cfg as immutable from
+// this point on. The State Syncer commits the shared merged document it
+// read via MergedExpectedShared — which is already immutable — so the
+// batched simple-sync path copies nothing.
+func (s *Store) CommitRunningShared(name string, cfg config.Doc, version int64) {
+	s.commitRunning(name, cfg, version)
+}
+
+func (s *Store) commitRunning(name string, cfg config.Doc, version int64) {
+	rev := s.revSeq.Add(1)
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	_, existed := st.running[name]
+	st.running[name] = &Running{Config: cfg, Version: version, revision: rev}
+	st.mu.Unlock()
+	if !existed {
+		s.runNames.invalidate()
+	}
 }
 
 // DropRunning removes the running entry after a deleted job's tasks have
 // been stopped.
 func (s *Store) DropRunning(name string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.running, name)
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	_, existed := st.running[name]
+	delete(st.running, name)
+	st.mu.Unlock()
+	if existed {
+		s.runNames.invalidate()
+	}
 }
 
-// ExpectedNames returns all jobs with an expected entry, sorted.
+// ExpectedNames returns all jobs with an expected entry, sorted. The
+// returned slice is a shared copy-on-write snapshot: callers must not
+// modify it. Steady-state calls are a single atomic load.
 func (s *Store) ExpectedNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return sortedKeys(s.expected)
+	return s.expNames.names(func() []string {
+		return s.collectNames(func(st *stripe) int { return len(st.expected) }, func(st *stripe, out []string) []string {
+			for k := range st.expected {
+				out = append(out, k)
+			}
+			return out
+		})
+	})
 }
 
-// RunningNames returns all jobs with a running entry, sorted.
+// RunningNames returns all jobs with a running entry, sorted. The
+// returned slice is a shared copy-on-write snapshot: callers must not
+// modify it.
 func (s *Store) RunningNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return sortedKeys(s.running)
+	return s.runNames.names(func() []string {
+		return s.collectNames(func(st *stripe) int { return len(st.running) }, func(st *stripe, out []string) []string {
+			for k := range st.running {
+				out = append(out, k)
+			}
+			return out
+		})
+	})
 }
 
-func sortedKeys[V any](m map[string]V) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+// collectNames gathers names across stripes, taking each stripe's read
+// lock only while copying its keys.
+func (s *Store) collectNames(size func(*stripe) int, appendKeys func(*stripe, []string) []string) []string {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		n += size(st)
+		st.mu.RUnlock()
+	}
+	out := make([]string, 0, n)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		out = appendKeys(st, out)
+		st.mu.RUnlock()
+	}
+	return out
+}
+
+// MarkDirty flags a job for the State Syncer's next change-driven round
+// even though none of its store entries changed — an operator's manual
+// re-sync nudge.
+func (s *Store) MarkDirty(name string) {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	st.dirty[name] = struct{}{}
+	st.mu.Unlock()
+}
+
+// DrainDirty atomically takes the set of jobs marked changed since the
+// last drain and returns it sorted. Jobs are marked by Create, SetLayer,
+// Delete, ClearQuarantine, Restore, and MarkDirty — every write that can
+// make a job need synchronization. A write landing concurrently with the
+// drain is either included now or left marked for the next drain, never
+// lost.
+func (s *Store) DrainDirty() []string {
+	var out []string
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		if len(st.dirty) > 0 {
+			for name := range st.dirty {
+				out = append(out, name)
+			}
+			st.dirty = make(map[string]struct{})
+		}
+		st.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
 }
 
-// SetQuarantine marks a job quarantined with a reason.
-func (s *Store) SetQuarantine(name, reason string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.quarantined[name] = Quarantine{Reason: reason}
+// DirtyCount reports how many jobs are currently marked dirty.
+func (s *Store) DirtyCount() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		n += len(st.dirty)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
-// ClearQuarantine lifts a job's quarantine.
+// SetQuarantine marks a job quarantined with a reason.
+func (s *Store) SetQuarantine(name, reason string) {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.quarantined[name] = Quarantine{Reason: reason}
+}
+
+// ClearQuarantine lifts a job's quarantine and marks the job dirty, so
+// the State Syncer re-examines it on its next change-driven round.
 func (s *Store) ClearQuarantine(name string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.quarantined, name)
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.quarantined[name]; !ok {
+		return
+	}
+	delete(st.quarantined, name)
+	st.dirty[name] = struct{}{}
 }
 
 // Quarantined reports whether a job is quarantined, and why.
 func (s *Store) Quarantined(name string) (Quarantine, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	q, ok := s.quarantined[name]
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	q, ok := st.quarantined[name]
 	return q, ok
 }
 
-// QuarantinedNames returns all quarantined job names, sorted.
+// QuarantinedNames returns all quarantined job names, sorted. Quarantine
+// is rare, so this collects per call rather than maintaining a snapshot.
 func (s *Store) QuarantinedNames() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return sortedKeys(s.quarantined)
+	out := s.collectNames(func(st *stripe) int { return len(st.quarantined) }, func(st *stripe, out []string) []string {
+		for k := range st.quarantined {
+			out = append(out, k)
+		}
+		return out
+	})
+	sort.Strings(out)
+	return out
 }
 
 // snapshot is the serialized form of the whole store.
@@ -344,45 +577,79 @@ type snapshot struct {
 }
 
 // Snapshot serializes the full store to JSON, for durability and for
-// offline inspection by turbinectl.
+// offline inspection by turbinectl. Stripe locks are taken in index
+// order, so the snapshot is a consistent point-in-time view.
 func (s *Store) Snapshot() ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return json.MarshalIndent(snapshot{
-		Expected:    s.expected,
-		Running:     s.running,
-		Quarantined: s.quarantined,
-	}, "", "  ")
+	for i := range s.stripes {
+		s.stripes[i].mu.RLock()
+	}
+	defer func() {
+		for i := range s.stripes {
+			s.stripes[i].mu.RUnlock()
+		}
+	}()
+	snap := snapshot{
+		Expected:    make(map[string]*Expected),
+		Running:     make(map[string]*Running),
+		Quarantined: make(map[string]Quarantine),
+	}
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		for k, v := range st.expected {
+			snap.Expected[k] = v
+		}
+		for k, v := range st.running {
+			snap.Running[k] = v
+		}
+		for k, v := range st.quarantined {
+			snap.Quarantined[k] = v
+		}
+	}
+	return json.MarshalIndent(snap, "", "  ")
 }
 
-// Restore replaces the store's contents from a Snapshot.
+// Restore replaces the store's contents from a Snapshot. Every restored
+// job is marked dirty (and every running entry restamped with a fresh
+// revision), so post-restore State Syncer rounds and spec caches rebuild
+// rather than trust pre-restore state.
 func (s *Store) Restore(data []byte) error {
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return fmt.Errorf("jobstore: restore: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.expected = snap.Expected
-	s.running = snap.Running
-	s.quarantined = snap.Quarantined
-	// Serialized snapshots carry neither revisions nor merge caches (both
-	// are unexported): restamp every running entry with a fresh revision so
-	// downstream caches keyed on (job, revision) rebuild rather than serve
-	// pre-restore content.
-	for _, r := range snap.Running {
-		s.revSeq++
-		r.revision = s.revSeq
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
 	}
-	if s.expected == nil {
-		s.expected = make(map[string]*Expected)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.expected = make(map[string]*Expected)
+		st.running = make(map[string]*Running)
+		st.quarantined = make(map[string]Quarantine)
+		st.dirty = make(map[string]struct{})
 	}
-	if s.running == nil {
-		s.running = make(map[string]*Running)
+	for k, v := range snap.Expected {
+		st := s.stripeFor(k)
+		st.expected[k] = v
+		st.dirty[k] = struct{}{}
 	}
-	if s.quarantined == nil {
-		s.quarantined = make(map[string]Quarantine)
+	for k, v := range snap.Running {
+		// Serialized snapshots carry neither revisions nor merge caches
+		// (both are unexported): restamp every running entry with a fresh
+		// revision so downstream caches keyed on (job, revision) rebuild
+		// rather than serve pre-restore content.
+		v.revision = s.revSeq.Add(1)
+		st := s.stripeFor(k)
+		st.running[k] = v
+		st.dirty[k] = struct{}{} // deleted-while-down jobs must tear down
 	}
+	for k, v := range snap.Quarantined {
+		s.stripeFor(k).quarantined[k] = v
+	}
+	for i := range s.stripes {
+		s.stripes[i].mu.Unlock()
+	}
+	s.expNames.invalidate()
+	s.runNames.invalidate()
 	return nil
 }
 

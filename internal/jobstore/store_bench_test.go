@@ -1,0 +1,111 @@
+package jobstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func benchStore(b *testing.B, n int) *Store {
+	b.Helper()
+	s := New()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("j%05d", i)
+		doc := config.Doc{
+			"name": name, "taskCount": 4,
+			"package":       config.Doc{"name": "tailer", "version": "v1"},
+			"taskResources": config.Doc{"cpuCores": 0.5, "memoryBytes": 1 << 29},
+			"input":         config.Doc{"category": name + "_in", "partitions": 16},
+		}
+		if err := s.Create(name, doc); err != nil {
+			b.Fatal(err)
+		}
+		merged, v, err := s.MergedExpected(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.CommitRunning(name, merged, v)
+	}
+	return s
+}
+
+// BenchmarkCommitRunningFanIn measures concurrent CommitRunning calls
+// across distinct jobs — the State Syncer's batched simple-sync commit
+// path under parallelism.
+func BenchmarkCommitRunningFanIn(b *testing.B) {
+	s := benchStore(b, 50_000)
+	cfg := config.Doc{"taskCount": 4, "package": config.Doc{"version": "v2"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.CommitRunning(fmt.Sprintf("j%05d", i%50_000), cfg, 1)
+			i++
+		}
+	})
+}
+
+// BenchmarkMergedExpectedHit measures the per-version cache hit path of
+// MergedExpected (clones the cached doc for the caller).
+func BenchmarkMergedExpectedHit(b *testing.B) {
+	s := benchStore(b, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.MergedExpected(fmt.Sprintf("j%05d", i%1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommitRunningSharedFanIn is the fan-in without the defensive
+// copy — the syncer's batched simple-commit write as it actually runs.
+func BenchmarkCommitRunningSharedFanIn(b *testing.B) {
+	s := benchStore(b, 50_000)
+	names := make([]string, 50_000)
+	for i := range names {
+		names[i] = fmt.Sprintf("j%05d", i)
+	}
+	cfg := config.Doc{"taskCount": 4, "package": config.Doc{"version": "v2"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.CommitRunningShared(names[i%50_000], cfg, 1)
+			i++
+		}
+	})
+}
+
+// BenchmarkMergedExpectedSharedHit measures the clone-free cache-hit read
+// the State Syncer performs per examined job.
+func BenchmarkMergedExpectedSharedHit(b *testing.B) {
+	s := benchStore(b, 1024)
+	names := make([]string, 1024)
+	for i := range names {
+		names[i] = fmt.Sprintf("j%05d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.MergedExpectedShared(names[i%1024]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpectedNames50k measures listing every job name — the per
+// round fleet enumeration on the State Syncer's read path.
+func BenchmarkExpectedNames50k(b *testing.B) {
+	s := benchStore(b, 50_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(s.ExpectedNames()); got != 50_000 {
+			b.Fatalf("names = %d", got)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package jobstore
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestDirtySetSemantics(t *testing.T) {
+	s := New()
+	if err := s.Create("b", config.Doc{"taskCount": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("a", config.Doc{"taskCount": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DrainDirty(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("DrainDirty after Create = %v, want [a b]", got)
+	}
+	if got := s.DrainDirty(); len(got) != 0 {
+		t.Fatalf("second DrainDirty = %v, want empty", got)
+	}
+
+	// SetLayer marks dirty; CommitRunning does not.
+	if _, err := s.SetLayer("a", config.LayerScaler, config.Doc{"taskCount": 2}, AnyVersion); err != nil {
+		t.Fatal(err)
+	}
+	s.CommitRunning("b", config.Doc{"taskCount": 1}, 1)
+	if got := s.DrainDirty(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("DrainDirty after SetLayer+CommitRunning = %v, want [a]", got)
+	}
+
+	// Delete marks dirty so teardown happens without a sweep.
+	if err := s.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DrainDirty(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("DrainDirty after Delete = %v, want [b]", got)
+	}
+
+	// ClearQuarantine marks dirty only when a quarantine was lifted.
+	s.ClearQuarantine("a") // not quarantined: no-op
+	if got := s.DirtyCount(); got != 0 {
+		t.Fatalf("DirtyCount after no-op ClearQuarantine = %d, want 0", got)
+	}
+	s.SetQuarantine("a", "boom")
+	if got := s.DirtyCount(); got != 0 {
+		t.Fatalf("SetQuarantine must not mark dirty, DirtyCount = %d", got)
+	}
+	s.ClearQuarantine("a")
+	if got := s.DrainDirty(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("DrainDirty after ClearQuarantine = %v, want [a]", got)
+	}
+
+	s.MarkDirty("a")
+	if got := s.DrainDirty(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("DrainDirty after MarkDirty = %v, want [a]", got)
+	}
+}
+
+func TestNameSnapshotsAreCopyOnWrite(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		if err := s.Create(fmt.Sprintf("j%03d", i), config.Doc{"taskCount": 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := s.ExpectedNames()
+	bnames := s.ExpectedNames()
+	if &a[0] != &bnames[0] {
+		t.Fatal("consecutive ExpectedNames calls must share one snapshot")
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.ExpectedNames() }); allocs != 0 {
+		t.Fatalf("steady-state ExpectedNames allocates %v per call, want 0", allocs)
+	}
+	if err := s.Create("zzz", config.Doc{"taskCount": 1}); err != nil {
+		t.Fatal(err)
+	}
+	c := s.ExpectedNames()
+	if len(c) != 101 || c[100] != "zzz" {
+		t.Fatalf("snapshot after Create = len %d, last %q", len(c), c[len(c)-1])
+	}
+	if len(a) != 100 {
+		t.Fatalf("old snapshot mutated: len %d, want 100", len(a))
+	}
+
+	// RunningNames follows the same discipline.
+	s.CommitRunning("j000", config.Doc{"taskCount": 1}, 1)
+	r1 := s.RunningNames()
+	if !reflect.DeepEqual(r1, []string{"j000"}) {
+		t.Fatalf("RunningNames = %v", r1)
+	}
+	s.CommitRunning("j000", config.Doc{"taskCount": 2}, 2) // re-commit: name set unchanged
+	r2 := s.RunningNames()
+	if &r1[0] != &r2[0] {
+		t.Fatal("re-commit of an existing job must not invalidate the name snapshot")
+	}
+	s.DropRunning("j000")
+	if got := s.RunningNames(); len(got) != 0 {
+		t.Fatalf("RunningNames after DropRunning = %v", got)
+	}
+}
+
+func TestSharedDocsAvoidCloning(t *testing.T) {
+	s := New()
+	if err := s.Create("j", config.Doc{"taskCount": 4, "package": config.Doc{"version": "v1"}}); err != nil {
+		t.Fatal(err)
+	}
+	d1, v1, err := s.MergedExpectedShared("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, v2, err := s.MergedExpectedShared("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 || reflect.ValueOf(d1).Pointer() != reflect.ValueOf(d2).Pointer() {
+		t.Fatal("MergedExpectedShared must return the cached doc itself on a hit")
+	}
+
+	// A layer write replaces (never mutates) the cached doc.
+	if _, err := s.SetLayer("j", config.LayerOncall, config.Doc{}.SetPath("package.version", "v2"), AnyVersion); err != nil {
+		t.Fatal(err)
+	}
+	d3, _, err := s.MergedExpectedShared("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.ValueOf(d3).Pointer() == reflect.ValueOf(d1).Pointer() {
+		t.Fatal("stale cached doc returned after layer write")
+	}
+	if got, _ := d1.GetPath("package.version"); got != "v1" {
+		t.Fatalf("old shared doc mutated: package.version = %v", got)
+	}
+	if got, _ := d3.GetPath("package.version"); got != "v2" {
+		t.Fatalf("new shared doc = %v, want v2", got)
+	}
+
+	// CommitRunningShared stores the doc itself; GetRunningShared hands it back.
+	s.CommitRunningShared("j", d3, 2)
+	r, ok := s.GetRunningShared("j")
+	if !ok {
+		t.Fatal("running entry missing")
+	}
+	if reflect.ValueOf(r.Config).Pointer() != reflect.ValueOf(d3).Pointer() {
+		t.Fatal("GetRunningShared must return the committed doc without cloning")
+	}
+	// GetRunning still isolates callers.
+	rc, _ := s.GetRunning("j")
+	if reflect.ValueOf(rc.Config).Pointer() == reflect.ValueOf(d3).Pointer() {
+		t.Fatal("GetRunning must clone")
+	}
+}
+
+func TestRestoreMarksEverythingDirtyAndRestampsRevisions(t *testing.T) {
+	s := New()
+	if err := s.Create("keep", config.Doc{"taskCount": 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.CommitRunning("keep", config.Doc{"taskCount": 1}, 1)
+	s.CommitRunning("orphan", config.Doc{"taskCount": 1}, 1) // deleted-while-down shape
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New()
+	s2.DrainDirty()
+	if err := s2.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.DrainDirty(); !reflect.DeepEqual(got, []string{"keep", "orphan"}) {
+		t.Fatalf("DrainDirty after Restore = %v, want [keep orphan]", got)
+	}
+	rev1, ok1 := s2.RunningRevision("keep")
+	rev2, ok2 := s2.RunningRevision("orphan")
+	if !ok1 || !ok2 || rev1 == rev2 || rev1 <= 0 || rev2 <= 0 {
+		t.Fatalf("restored revisions = %d,%d; want distinct positive", rev1, rev2)
+	}
+}
+
+func TestStripeDistribution(t *testing.T) {
+	s := New()
+	hit := make(map[*stripe]int)
+	for i := 0; i < 50_000; i++ {
+		hit[s.stripeFor(fmt.Sprintf("j%05d", i))]++
+	}
+	if len(hit) != numStripes {
+		t.Fatalf("50k names hit %d/%d stripes", len(hit), numStripes)
+	}
+	for st, n := range hit {
+		if n > 50_000/numStripes*4 {
+			t.Fatalf("stripe %p overloaded: %d names", st, n)
+		}
+	}
+}
+
+// TestConcurrentFanIn exercises the striped store under the race detector:
+// concurrent CAS writes, shared merged reads, commits, name listings, and
+// dirty drains across overlapping jobs.
+func TestConcurrentFanIn(t *testing.T) {
+	s := New()
+	const jobs = 256
+	for i := 0; i < jobs; i++ {
+		if err := s.Create(fmt.Sprintf("j%03d", i), config.Doc{"taskCount": 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				name := fmt.Sprintf("j%03d", (w*137+i)%jobs)
+				switch i % 5 {
+				case 0:
+					s.SetLayer(name, config.LayerScaler, config.Doc{"taskCount": i}, AnyVersion)
+				case 1:
+					if doc, v, err := s.MergedExpectedShared(name); err == nil {
+						s.CommitRunningShared(name, doc, v)
+					}
+				case 2:
+					s.ExpectedNames()
+					s.RunningNames()
+				case 3:
+					s.GetRunningShared(name)
+					s.RunningRevision(name)
+				case 4:
+					s.DrainDirty()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(s.ExpectedNames()); got != jobs {
+		t.Fatalf("ExpectedNames = %d, want %d", got, jobs)
+	}
+}

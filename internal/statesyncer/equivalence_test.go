@@ -1,0 +1,497 @@
+package statesyncer
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/jobstore"
+	"repro/internal/simclock"
+)
+
+// This file pins the change-driven round implementation against a
+// verbatim port of the pre-change-tracking full-scan round: randomized
+// fleets run through both side by side, and after every round the two
+// Job Stores must serialize byte-identically, with matching plan-kind
+// counts, failure/quarantine accounting, and pendingAfter retry state.
+
+// legacySyncer is the full-scan RunRound as it was before dirty-set
+// rounds, ported verbatim (clone-based store reads, per-round full
+// enumeration, sequential simple batch).
+type legacySyncer struct {
+	store        *jobstore.Store
+	act          Actuator
+	clock        simclock.Clock
+	opts         Options
+	failures     map[string]int
+	stats        Stats
+	pendingAfter map[string][]Action
+}
+
+func newLegacy(store *jobstore.Store, act Actuator, clock simclock.Clock, opts Options) *legacySyncer {
+	if opts.QuarantineAfter <= 0 {
+		opts.QuarantineAfter = 5
+	}
+	if opts.MaxParallelComplex <= 0 {
+		opts.MaxParallelComplex = 16
+	}
+	return &legacySyncer{
+		store:        store,
+		act:          act,
+		clock:        clock,
+		opts:         opts,
+		failures:     make(map[string]int),
+		pendingAfter: make(map[string][]Action),
+	}
+}
+
+func (s *legacySyncer) buildPlan(job string, merged config.Doc, version int64) Plan {
+	if rv, ok := s.store.RunningVersion(job); ok && rv == version {
+		return Plan{Job: job, Kind: PlanNoop}
+	}
+	running, hasRunning := s.store.GetRunning(job)
+	var changes []config.Change
+	if hasRunning {
+		changes = config.Diff(running.Config, merged)
+		if len(changes) == 0 {
+			s.store.CommitRunning(job, merged, version)
+			return Plan{Job: job, Kind: PlanNoop}
+		}
+	}
+	commit := func() { s.store.CommitRunning(job, merged, version) }
+	complex := false
+	for _, ch := range changes {
+		if isComplexChange(ch.Path) {
+			complex = true
+			break
+		}
+	}
+	if !hasRunning || !complex {
+		return Plan{Job: job, Kind: PlanSimple, Changes: changes, commit: commit}
+	}
+	oldCount := intAt(running.Config, "taskCount")
+	newCount := intAt(merged, "taskCount")
+	partitions := intAt(merged, "input.partitions")
+	actions := []Action{
+		{Name: fmt.Sprintf("stop %d old tasks", oldCount), Run: func() error { return s.act.StopJobTasks(job) }},
+		{Name: fmt.Sprintf("redistribute checkpoints %d->%d tasks", oldCount, newCount), Run: func() error {
+			return s.act.RedistributeCheckpoints(job, partitions, oldCount, newCount)
+		}},
+	}
+	after := []Action{{Name: "resume job (start new tasks)", Run: func() error { return s.act.ResumeJob(job) }}}
+	rollback := []Action{{Name: "roll back: resume job in its previous configuration", Run: func() error { return s.act.ResumeJob(job) }}}
+	return Plan{Job: job, Kind: PlanComplex, Changes: changes, Actions: actions, commit: commit, after: after, rollback: rollback}
+}
+
+func (s *legacySyncer) runRound() RoundResult {
+	var res RoundResult
+
+	// Sorted for cross-implementation failure-order determinism; the
+	// original iterated the map directly (order-insensitive accounting).
+	retryJobs := make([]string, 0, len(s.pendingAfter))
+	for job := range s.pendingAfter {
+		retryJobs = append(retryJobs, job)
+	}
+	sort.Strings(retryJobs)
+	for _, job := range retryJobs {
+		acts := s.pendingAfter[job]
+		done := 0
+		var err error
+		for _, a := range acts {
+			if err = a.Run(); err != nil {
+				break
+			}
+			done++
+		}
+		if err == nil {
+			delete(s.pendingAfter, job)
+		} else {
+			s.pendingAfter[job] = acts[done:]
+			s.recordFailure(job, err, &res)
+		}
+	}
+
+	var simple, complexPlans []Plan
+	expected := s.store.ExpectedNames()
+	for _, job := range expected {
+		if _, quarantined := s.store.Quarantined(job); quarantined {
+			continue
+		}
+		if ev, ok := s.store.ExpectedVersion(job); ok {
+			if rv, ok := s.store.RunningVersion(job); ok && rv == ev {
+				continue
+			}
+		}
+		merged, version, err := s.store.MergedExpected(job)
+		if err != nil {
+			continue
+		}
+		s.stats.JobsExamined++
+		plan := s.buildPlan(job, merged, version)
+		switch plan.Kind {
+		case PlanSimple:
+			simple = append(simple, plan)
+		case PlanComplex:
+			complexPlans = append(complexPlans, plan)
+		}
+	}
+
+	for _, p := range simple {
+		if err := executePlan(p); err != nil {
+			s.handlePlanError(p.Job, err, &res)
+			continue
+		}
+		delete(s.failures, p.Job)
+		s.stats.JobsConverged++
+		res.Simple++
+	}
+	for _, p := range complexPlans {
+		if err := executePlan(p); err != nil {
+			s.handlePlanError(p.Job, err, &res)
+			continue
+		}
+		delete(s.failures, p.Job)
+		s.stats.JobsConverged++
+		res.Complex++
+	}
+
+	expectedSet := make(map[string]struct{}, len(expected))
+	for _, j := range expected {
+		expectedSet[j] = struct{}{}
+	}
+	for _, job := range s.store.RunningNames() {
+		if _, ok := expectedSet[job]; ok {
+			continue
+		}
+		if err := s.act.StopJobTasks(job); err != nil {
+			s.recordFailure(job, err, &res)
+			continue
+		}
+		s.store.DropRunning(job)
+		_ = s.act.ResumeJob(job)
+		s.stats.Deletes++
+		res.Deleted++
+	}
+
+	s.stats.Rounds++
+	s.stats.SimpleSyncs += res.Simple
+	s.stats.ComplexSyncs += res.Complex
+	return res
+}
+
+func (s *legacySyncer) handlePlanError(job string, err error, res *RoundResult) {
+	var ae *afterError
+	if errors.As(err, &ae) {
+		s.pendingAfter[job] = ae.remaining
+	}
+	s.recordFailure(job, err, res)
+}
+
+func (s *legacySyncer) recordFailure(job string, err error, res *RoundResult) {
+	s.failures[job]++
+	s.stats.Failures++
+	n := s.failures[job]
+	res.Failed = append(res.Failed, job)
+	if n >= s.opts.QuarantineAfter {
+		s.stats.Quarantines++
+		delete(s.failures, job)
+		s.store.SetQuarantine(job, fmt.Sprintf("quarantined after %d consecutive sync failures; last: %v", n, err))
+	}
+}
+
+// flakyActuator fails deterministically by job-name hash: some jobs fail
+// their first stop attempts transiently, some fail long enough to cross
+// the quarantine threshold, some fail redistribution or resume. Two
+// instances driven by equivalent syncers observe identical sequences.
+type flakyActuator struct {
+	stopFails   map[string]int
+	redistFails map[string]int
+	resumeFails map[string]int
+}
+
+func newFlaky() *flakyActuator {
+	return &flakyActuator{
+		stopFails:   make(map[string]int),
+		redistFails: make(map[string]int),
+		resumeFails: make(map[string]int),
+	}
+}
+
+func jobHash(job string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(job))
+	return h.Sum32()
+}
+
+func (f *flakyActuator) StopJobTasks(job string) error {
+	h := jobHash(job)
+	var budget int
+	switch {
+	case h%13 == 0:
+		budget = 10 // persistent: crosses the quarantine threshold
+	case h%5 == 0:
+		budget = 2 // transient
+	}
+	if f.stopFails[job] < budget {
+		f.stopFails[job]++
+		return fmt.Errorf("stop %s: injected failure %d", job, f.stopFails[job])
+	}
+	return nil
+}
+
+func (f *flakyActuator) RedistributeCheckpoints(job string, _, _, _ int) error {
+	if jobHash(job)%17 == 0 && f.redistFails[job] < 1 {
+		f.redistFails[job]++
+		return fmt.Errorf("redistribute %s: injected failure", job)
+	}
+	return nil
+}
+
+func (f *flakyActuator) ResumeJob(job string) error {
+	if jobHash(job)%11 == 0 && f.resumeFails[job] < 2 {
+		f.resumeFails[job]++
+		return fmt.Errorf("resume %s: injected failure %d", job, f.resumeFails[job])
+	}
+	return nil
+}
+
+// op is one scripted store mutation, applied identically to both stores.
+type op struct {
+	kind string // create, simple, complex, revert, delete, clearq
+	job  string
+	arg  int
+}
+
+func applyOp(t *testing.T, store *jobstore.Store, o op) {
+	t.Helper()
+	switch o.kind {
+	case "create":
+		doc := config.Doc{
+			"name": o.job, "taskCount": 4,
+			"package": config.Doc{"name": "tailer", "version": "v1"},
+			"input":   config.Doc{"category": o.job + "_in", "partitions": 16},
+		}
+		if err := store.Create(o.job, doc); err != nil {
+			t.Fatal(err)
+		}
+	case "simple":
+		doc := config.Doc{}.SetPath("package.version", fmt.Sprintf("v%d", o.arg))
+		if _, err := store.SetLayer(o.job, config.LayerProvisioner, doc, jobstore.AnyVersion); err != nil {
+			t.Fatal(err)
+		}
+	case "complex":
+		doc := config.Doc{}.SetPath("taskCount", 4+o.arg%8)
+		if _, err := store.SetLayer(o.job, config.LayerScaler, doc, jobstore.AnyVersion); err != nil {
+			t.Fatal(err)
+		}
+	case "revert":
+		if _, err := store.SetLayer(o.job, config.LayerScaler, config.Doc{}, jobstore.AnyVersion); err != nil {
+			t.Fatal(err)
+		}
+	case "delete":
+		if err := store.Delete(o.job); err != nil {
+			t.Fatal(err)
+		}
+	case "clearq":
+		// Clears every quarantined job — identical across stores as long
+		// as the implementations quarantined identically so far.
+		for _, q := range store.QuarantinedNames() {
+			store.ClearQuarantine(q)
+		}
+	}
+}
+
+// genScript builds a deterministic multi-round mutation script.
+func genScript(seed int64, rounds int) [][]op {
+	rng := rand.New(rand.NewSource(seed))
+	var alive []string
+	nameSeq := 0
+	script := make([][]op, rounds)
+	for r := 0; r < rounds; r++ {
+		var ops []op
+		n := rng.Intn(8)
+		if r == 0 {
+			n = 30 // initial fleet
+		}
+		for i := 0; i < n; i++ {
+			roll := rng.Intn(10)
+			switch {
+			case roll < 4 || len(alive) == 0:
+				job := fmt.Sprintf("eq%04d", nameSeq)
+				nameSeq++
+				alive = append(alive, job)
+				ops = append(ops, op{kind: "create", job: job})
+			case roll < 6:
+				ops = append(ops, op{kind: "simple", job: alive[rng.Intn(len(alive))], arg: r + 2})
+			case roll < 8:
+				ops = append(ops, op{kind: "complex", job: alive[rng.Intn(len(alive))], arg: rng.Intn(100)})
+			case roll < 9:
+				ops = append(ops, op{kind: "revert", job: alive[rng.Intn(len(alive))]})
+			default:
+				k := rng.Intn(len(alive))
+				ops = append(ops, op{kind: "delete", job: alive[k]})
+				alive = append(alive[:k], alive[k+1:]...)
+			}
+		}
+		if r%4 == 3 {
+			ops = append(ops, op{kind: "clearq"})
+		}
+		script[r] = ops
+	}
+	return script
+}
+
+func snapshotOf(t *testing.T, store *jobstore.Store) []byte {
+	t.Helper()
+	data, err := store.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// liveFailureCounts returns failure counts restricted to jobs that still
+// have a store entry. (The legacy implementation leaks counts for fully
+// torn-down jobs; the change-driven one clears them so they don't stay
+// round candidates forever. Jobs with live entries must agree exactly.)
+func liveFailureCounts(store *jobstore.Store, counts map[string]int) map[string]int {
+	out := make(map[string]int)
+	for job, n := range counts {
+		_, hasExp := store.ExpectedVersion(job)
+		_, hasRun := store.RunningVersion(job)
+		if hasExp || hasRun {
+			out[job] = n
+		}
+	}
+	return out
+}
+
+func sortedCopy(s []string) []string {
+	c := append([]string(nil), s...)
+	sort.Strings(c)
+	return c
+}
+
+func equalStringMaps(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func runEquivalence(t *testing.T, seed int64, newOpts Options) {
+	const rounds = 40
+	script := genScript(seed, rounds)
+	clk := simclock.NewSim(time.Unix(0, 0))
+
+	legacyStore := jobstore.New()
+	newStore := jobstore.New()
+	legacy := newLegacy(legacyStore, newFlaky(), clk, Options{QuarantineAfter: 3})
+	newOpts.QuarantineAfter = 3
+	syncer := New(newStore, newFlaky(), clk, newOpts)
+
+	for r := 0; r < rounds; r++ {
+		for _, o := range script[r] {
+			applyOp(t, legacyStore, o)
+			applyOp(t, newStore, o)
+		}
+		lres := legacy.runRound()
+		nres := syncer.RunRound()
+
+		if lres.Simple != nres.Simple || lres.Complex != nres.Complex || lres.Deleted != nres.Deleted {
+			t.Fatalf("round %d: result diverged: legacy simple=%d complex=%d deleted=%d, new simple=%d complex=%d deleted=%d",
+				r, lres.Simple, lres.Complex, lres.Deleted, nres.Simple, nres.Complex, nres.Deleted)
+		}
+		lf, nf := sortedCopy(lres.Failed), sortedCopy(nres.Failed)
+		if fmt.Sprint(lf) != fmt.Sprint(nf) {
+			t.Fatalf("round %d: failed sets diverged: legacy %v, new %v", r, lf, nf)
+		}
+
+		ls, ns := snapshotOf(t, legacyStore), snapshotOf(t, newStore)
+		if !bytes.Equal(ls, ns) {
+			t.Fatalf("round %d: store snapshots diverged:\nlegacy:\n%s\nnew:\n%s", r, ls, ns)
+		}
+
+		lstats, nstats := legacy.stats, syncer.Stats()
+		lstats.Sweeps, nstats.Sweeps = 0, 0 // legacy swept every round by definition
+		if lstats != nstats {
+			t.Fatalf("round %d: stats diverged:\nlegacy: %+v\nnew:    %+v", r, lstats, nstats)
+		}
+
+		syncer.mu.Lock()
+		newFailures := make(map[string]int, len(syncer.failures))
+		for k, v := range syncer.failures {
+			newFailures[k] = v
+		}
+		newPending := make([]string, 0, len(syncer.pendingAfter))
+		for k := range syncer.pendingAfter {
+			newPending = append(newPending, k)
+		}
+		syncer.mu.Unlock()
+		if !equalStringMaps(liveFailureCounts(legacyStore, legacy.failures), liveFailureCounts(newStore, newFailures)) {
+			t.Fatalf("round %d: live failure counts diverged:\nlegacy: %v\nnew:    %v", r, legacy.failures, newFailures)
+		}
+		legacyPending := make([]string, 0, len(legacy.pendingAfter))
+		for k := range legacy.pendingAfter {
+			legacyPending = append(legacyPending, k)
+		}
+		sort.Strings(legacyPending)
+		sort.Strings(newPending)
+		if fmt.Sprint(legacyPending) != fmt.Sprint(newPending) {
+			t.Fatalf("round %d: pendingAfter diverged: legacy %v, new %v", r, legacyPending, newPending)
+		}
+	}
+}
+
+func TestRoundEquivalenceRandomized(t *testing.T) {
+	for _, sweepEvery := range []int{1, 3, 1000} {
+		sweepEvery := sweepEvery
+		t.Run(fmt.Sprintf("sweepEvery=%d", sweepEvery), func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				runEquivalence(t, seed, Options{FullSweepEvery: sweepEvery})
+			}
+		})
+	}
+}
+
+// TestRoundEquivalenceParallelDeterminism runs the same script twice
+// through the change-driven implementation with a wide worker pool and a
+// serial one: parallel plan build and commit batching must not change any
+// observable outcome.
+func TestRoundEquivalenceParallelDeterminism(t *testing.T) {
+	const rounds = 40
+	script := genScript(7, rounds)
+	clk := simclock.NewSim(time.Unix(0, 0))
+
+	storeA, storeB := jobstore.New(), jobstore.New()
+	serial := New(storeA, newFlaky(), clk, Options{QuarantineAfter: 3, FullSweepEvery: 5, SyncParallelism: 1})
+	wide := New(storeB, newFlaky(), clk, Options{QuarantineAfter: 3, FullSweepEvery: 5, SyncParallelism: 16})
+	// Force the parallel path even on small fleets.
+	for r := 0; r < rounds; r++ {
+		for _, o := range script[r] {
+			applyOp(t, storeA, o)
+			applyOp(t, storeB, o)
+		}
+		ra, rb := serial.RunRound(), wide.RunRound()
+		if ra.Simple != rb.Simple || ra.Complex != rb.Complex || ra.Deleted != rb.Deleted {
+			t.Fatalf("round %d: serial/wide diverged: %+v vs %+v", r, ra, rb)
+		}
+		if sa, sb := snapshotOf(t, storeA), snapshotOf(t, storeB); !bytes.Equal(sa, sb) {
+			t.Fatalf("round %d: snapshots diverged", r)
+		}
+	}
+	if sa, sb := serial.Stats(), wide.Stats(); sa != sb {
+		t.Fatalf("stats diverged: serial %+v, wide %+v", sa, sb)
+	}
+}

@@ -1,0 +1,93 @@
+package statesyncer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/jobstore"
+	"repro/internal/simclock"
+)
+
+// benchFleet builds a store with n jobs and a syncer, and converges the
+// fleet once so subsequent rounds measure steady-state cost.
+func benchFleet(b *testing.B, n int, opts Options) (*jobstore.Store, *Syncer) {
+	b.Helper()
+	store := jobstore.New()
+	clk := simclock.NewSim(time.Unix(0, 0))
+	syncer := New(store, NopActuator{}, clk, opts)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("j%05d", i)
+		doc := config.Doc{
+			"name": name, "taskCount": 4,
+			"package":       config.Doc{"name": "tailer", "version": "v1"},
+			"taskResources": config.Doc{"cpuCores": 0.5, "memoryBytes": 1 << 29},
+			"input":         config.Doc{"category": name + "_in", "partitions": 16},
+		}
+		if err := store.Create(name, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res := syncer.RunRound(); res.Simple != n {
+		b.Fatalf("setup round synced %d/%d jobs", res.Simple, n)
+	}
+	return store, syncer
+}
+
+// churn bumps the Provisioner layer of every k-th job, making n/k jobs
+// divergent (simple package releases).
+func churn(b *testing.B, store *jobstore.Store, n, k, round int) {
+	b.Helper()
+	v := fmt.Sprintf("v%d", round)
+	for i := 0; i < n; i += k {
+		name := fmt.Sprintf("j%05d", i)
+		doc := config.Doc{}.SetPath("package.version", v)
+		if _, err := store.SetLayer(name, config.LayerProvisioner, doc, jobstore.AnyVersion); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyncerRound50kConverged is the headline steady-state number:
+// one synchronization round over 50 000 jobs that are all converged.
+func BenchmarkSyncerRound50kConverged(b *testing.B) {
+	_, syncer := benchFleet(b, 50_000, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syncer.RunRound()
+	}
+}
+
+// BenchmarkSyncerRound50kChurn1pct measures a round in which 1% of the
+// fleet (500 jobs) received a package release since the last round.
+func BenchmarkSyncerRound50kChurn1pct(b *testing.B) {
+	store, syncer := benchFleet(b, 50_000, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		churn(b, store, 50_000, 100, i+2)
+		b.StartTimer()
+		if res := syncer.RunRound(); res.Simple != 500 {
+			b.Fatalf("round synced %d jobs, want 500", res.Simple)
+		}
+	}
+}
+
+// BenchmarkSyncerRound50kChurn10pct measures a round with 10% divergence
+// (5 000 package releases).
+func BenchmarkSyncerRound50kChurn10pct(b *testing.B) {
+	store, syncer := benchFleet(b, 50_000, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		churn(b, store, 50_000, 10, i+2)
+		b.StartTimer()
+		if res := syncer.RunRound(); res.Simple != 5_000 {
+			b.Fatalf("round synced %d jobs, want 5000", res.Simple)
+		}
+	}
+}

@@ -16,6 +16,15 @@
 //   - Durability: running eventually converges to expected even if the
 //     syncer itself crashes between rounds — rounds are stateless.
 //
+// Rounds are change-driven: writers to the Job Store mark jobs dirty, and
+// a round examines only the drained dirty set plus jobs with outstanding
+// failures or post-commit retries, so a converged fleet costs almost
+// nothing per round. Every FullSweepEvery-th round is a full-fleet sweep —
+// the safety net that preserves the stateless-round durability argument:
+// even if a dirty mark were ever lost, the next sweep rediscovers the
+// divergence from the expected/running difference alone, exactly as the
+// original full-scan design did every round.
+//
 // Synchronizations come in two classes (§III-B): simple ones are a direct
 // copy of the merged expected configuration into the running table (e.g. a
 // package release — the new version propagates to tasks via the Task
@@ -29,8 +38,11 @@ package statesyncer
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
@@ -160,6 +172,7 @@ type Stats struct {
 	Quarantines   int
 	JobsExamined  int
 	JobsConverged int // syncs successfully applied
+	Sweeps        int // rounds that ran as full-fleet sweeps
 }
 
 // Options tune the syncer.
@@ -174,6 +187,15 @@ type Options struct {
 	// MaxParallelComplex bounds concurrently executed complex plans per
 	// round ("parallelize the complex ones", §III-B); defaults to 16.
 	MaxParallelComplex int
+	// FullSweepEvery makes every Nth round a full-fleet sweep instead of a
+	// change-driven round; defaults to 10. The first round is always a
+	// sweep. Set to 1 to sweep every round (the pre-change-tracking
+	// behavior).
+	FullSweepEvery int
+	// SyncParallelism bounds the worker pool that builds plans and applies
+	// the batched simple commits; defaults to GOMAXPROCS capped at 16
+	// (mirroring the Auto Scaler's scan pool).
+	SyncParallelism int
 }
 
 // Syncer drives expected→running convergence.
@@ -204,6 +226,15 @@ func New(store *jobstore.Store, act Actuator, clock simclock.Clock, opts Options
 	}
 	if opts.MaxParallelComplex <= 0 {
 		opts.MaxParallelComplex = 16
+	}
+	if opts.FullSweepEvery <= 0 {
+		opts.FullSweepEvery = 10
+	}
+	if opts.SyncParallelism <= 0 {
+		opts.SyncParallelism = runtime.GOMAXPROCS(0)
+		if opts.SyncParallelism > 16 {
+			opts.SyncParallelism = 16
+		}
 	}
 	if act == nil {
 		act = NopActuator{}
@@ -247,7 +278,9 @@ func (s *Syncer) Stats() Stats {
 
 // BuildPlan computes the execution plan for one job given its merged
 // expected configuration. It is exported for tests and for turbinectl's
-// dry-run mode.
+// dry-run mode. merged is treated as immutable from this point on: the
+// syncer passes the store's shared cached doc, and a committed plan
+// publishes that same doc into the running table without cloning.
 func (s *Syncer) BuildPlan(job string, merged config.Doc, version int64) Plan {
 	// Version short-circuit: the running entry records which expected
 	// version it realizes. If that hasn't moved, there is nothing to
@@ -255,7 +288,9 @@ func (s *Syncer) BuildPlan(job string, merged config.Doc, version int64) Plan {
 	if rv, ok := s.store.RunningVersion(job); ok && rv == version {
 		return Plan{Job: job, Kind: PlanNoop}
 	}
-	running, hasRunning := s.store.GetRunning(job)
+	// Shared read: Diff only inspects the docs, so the running config
+	// needs no defensive copy.
+	running, hasRunning := s.store.GetRunningShared(job)
 	var changes []config.Change
 	if hasRunning {
 		changes = config.Diff(running.Config, merged)
@@ -263,12 +298,12 @@ func (s *Syncer) BuildPlan(job string, merged config.Doc, version int64) Plan {
 			// Content equal even though the version moved (e.g. an
 			// override written and reverted): commit the version so
 			// future rounds take the fast path.
-			s.store.CommitRunning(job, merged, version)
+			s.store.CommitRunningShared(job, merged, version)
 			return Plan{Job: job, Kind: PlanNoop}
 		}
 	}
 
-	commit := func() { s.store.CommitRunning(job, merged, version) }
+	commit := func() { s.store.CommitRunningShared(job, merged, version) }
 
 	complex := false
 	for _, ch := range changes {
@@ -372,11 +407,55 @@ type RoundResult struct {
 	Deleted  int
 	Failed   []string
 	Duration time.Duration
+	// Swept reports whether this round was a full-fleet sweep rather than
+	// a change-driven round.
+	Swept bool
 }
 
-// RunRound performs one synchronization pass over every job: batch-apply
-// the simple plans, execute complex plans (bounded parallelism), tear
-// down deleted jobs, and update failure/quarantine accounting.
+// planned is one candidate's outcome from the parallel plan-build phase.
+type planned struct {
+	plan     Plan
+	examined bool
+	// gone marks a candidate with neither expected nor running entry: a
+	// stale dirty mark or failure record for a fully torn-down job.
+	gone bool
+}
+
+// planJob classifies one candidate job and builds its plan if divergent.
+// Pure reads plus the content-equal inline commit — safe to run on many
+// jobs concurrently over the striped store.
+func (s *Syncer) planJob(job string) planned {
+	ev, hasExp := s.store.ExpectedVersion(job)
+	if !hasExp {
+		// Deleted job: tear down if tasks may still run. Quarantine does
+		// not shield teardown (it never did in the full-scan design).
+		if _, hasRun := s.store.RunningVersion(job); hasRun {
+			return planned{plan: Plan{Job: job, Kind: PlanDelete}}
+		}
+		return planned{plan: Plan{Job: job, Kind: PlanNoop}, gone: true}
+	}
+	if _, quarantined := s.store.Quarantined(job); quarantined {
+		return planned{plan: Plan{Job: job, Kind: PlanNoop}}
+	}
+	// Cheap convergence check before merging the full layer stack.
+	if rv, ok := s.store.RunningVersion(job); ok && rv == ev {
+		return planned{plan: Plan{Job: job, Kind: PlanNoop}}
+	}
+	merged, version, err := s.store.MergedExpectedShared(job)
+	if err != nil {
+		// Deleted between the version read and the merge: the delete
+		// re-marked the job dirty, so the next round tears it down.
+		return planned{plan: Plan{Job: job, Kind: PlanNoop}}
+	}
+	return planned{plan: s.BuildPlan(job, merged, version), examined: true}
+}
+
+// RunRound performs one synchronization pass: assemble the candidate set
+// (changed jobs, or the whole fleet on sweep rounds), build plans on a
+// bounded worker pool, batch-apply the simple commits in parallel, execute
+// complex plans (bounded parallelism), tear down deleted jobs, and update
+// failure/quarantine accounting. All bookkeeping merges in sorted job
+// order, so results are deterministic regardless of worker interleaving.
 func (s *Syncer) RunRound() RoundResult {
 	start := time.Now() // wall time: measures real sync cost, not sim time
 	var res RoundResult
@@ -384,12 +463,18 @@ func (s *Syncer) RunRound() RoundResult {
 	// Retry post-commit follow-ups left over from earlier rounds first:
 	// these jobs are converged by version but still held (e.g. quiesced).
 	s.mu.Lock()
-	retries := make(map[string][]Action, len(s.pendingAfter))
-	for job, acts := range s.pendingAfter {
-		retries[job] = acts
+	retryJobs := make([]string, 0, len(s.pendingAfter))
+	for job := range s.pendingAfter {
+		retryJobs = append(retryJobs, job)
+	}
+	sort.Strings(retryJobs)
+	retries := make([][]Action, len(retryJobs))
+	for i, job := range retryJobs {
+		retries[i] = s.pendingAfter[job]
 	}
 	s.mu.Unlock()
-	for job, acts := range retries {
+	for i, job := range retryJobs {
+		acts := retries[i]
 		done := 0
 		var err error
 		for _, a := range acts {
@@ -410,105 +495,197 @@ func (s *Syncer) RunRound() RoundResult {
 		}
 	}
 
-	type pending struct {
-		plan    Plan
-		version int64
+	// Candidate assembly. Change-driven rounds visit the drained dirty
+	// set plus every job with outstanding failures; sweep rounds visit
+	// the whole fleet (expected ∪ running) as the durability safety net.
+	s.mu.Lock()
+	round := s.stats.Rounds
+	s.mu.Unlock()
+	sweep := s.opts.FullSweepEvery <= 1 || round%s.opts.FullSweepEvery == 0
+	var candidates []string
+	if sweep {
+		s.store.DrainDirty() // subsumed by the sweep
+		candidates = unionSorted(s.store.ExpectedNames(), s.store.RunningNames())
+	} else {
+		dirty := s.store.DrainDirty()
+		s.mu.Lock()
+		failed := make([]string, 0, len(s.failures))
+		for job := range s.failures {
+			failed = append(failed, job)
+		}
+		s.mu.Unlock()
+		sort.Strings(failed)
+		candidates = unionSorted(dirty, failed)
 	}
-	var simple, complexPlans []pending
+	res.Swept = sweep
 
-	expected := s.store.ExpectedNames()
-	for _, job := range expected {
-		if _, quarantined := s.store.Quarantined(job); quarantined {
-			continue
+	// Build plans in parallel. Workers write disjoint slots, and the
+	// merge below walks them in sorted-job order.
+	results := make([]planned, len(candidates))
+	forEachIndexed(len(candidates), s.opts.SyncParallelism, 32, func(i int) {
+		results[i] = s.planJob(candidates[i])
+	})
+
+	var simple, complexPlans []Plan
+	var teardown []string
+	s.mu.Lock()
+	for i := range results {
+		r := &results[i]
+		if r.examined {
+			s.stats.JobsExamined++
 		}
-		// Cheap convergence check before snapshotting and merging the
-		// full layer stack.
-		if ev, ok := s.store.ExpectedVersion(job); ok {
-			if rv, ok := s.store.RunningVersion(job); ok && rv == ev {
-				continue
-			}
+		if r.gone {
+			// Fully gone job: drop its failure record, or it would stay a
+			// candidate forever.
+			delete(s.failures, r.plan.Job)
 		}
-		merged, version, err := s.store.MergedExpected(job)
-		if err != nil {
-			continue // deleted between listing and read; handled below
-		}
-		s.bumpExamined()
-		plan := s.BuildPlan(job, merged, version)
-		switch plan.Kind {
-		case PlanNoop:
-			continue
+		switch r.plan.Kind {
 		case PlanSimple:
-			simple = append(simple, pending{plan, version})
+			simple = append(simple, r.plan)
 		case PlanComplex:
-			complexPlans = append(complexPlans, pending{plan, version})
+			complexPlans = append(complexPlans, r.plan)
+		case PlanDelete:
+			teardown = append(teardown, r.plan.Job)
 		}
 	}
+	s.mu.Unlock()
 
 	// Batch the simple synchronizations: direct copies, no actions. Tens
 	// of thousands of jobs complete in one pass within seconds (§III-B).
-	for _, p := range simple {
-		if err := executePlan(p.plan); err != nil {
-			s.handlePlanError(p.plan.Job, err, &res)
-			continue
-		}
-		s.recordSuccess(p.plan.Job)
-		res.Simple++
-	}
-
-	// Parallelize the complex synchronizations, bounded.
-	if len(complexPlans) > 0 {
-		sem := make(chan struct{}, s.opts.MaxParallelComplex)
-		errs := make([]error, len(complexPlans))
-		var wg sync.WaitGroup
-		for i, p := range complexPlans {
-			i, p := i, p
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				errs[i] = executePlan(p.plan)
-			}()
-		}
-		wg.Wait()
-		for i, p := range complexPlans {
+	// The commits are independent per-job striped writes, so large
+	// batches fan out across the worker pool.
+	if len(simple) > 0 {
+		errs := make([]error, len(simple))
+		forEachIndexed(len(simple), s.opts.SyncParallelism, 256, func(i int) {
+			errs[i] = executePlan(simple[i])
+		})
+		for i := range simple {
 			if errs[i] != nil {
-				s.handlePlanError(p.plan.Job, errs[i], &res)
+				s.handlePlanError(simple[i].Job, errs[i], &res)
 				continue
 			}
-			s.recordSuccess(p.plan.Job)
+			s.recordSuccess(simple[i].Job)
+			res.Simple++
+		}
+	}
+
+	// Parallelize the complex synchronizations, bounded: each worker runs
+	// one plan at a time, so at most MaxParallelComplex are in flight.
+	if len(complexPlans) > 0 {
+		errs := make([]error, len(complexPlans))
+		forEachIndexed(len(complexPlans), s.opts.MaxParallelComplex, 2, func(i int) {
+			errs[i] = executePlan(complexPlans[i])
+		})
+		for i := range complexPlans {
+			if errs[i] != nil {
+				s.handlePlanError(complexPlans[i].Job, errs[i], &res)
+				continue
+			}
+			s.recordSuccess(complexPlans[i].Job)
 			res.Complex++
 		}
 	}
 
 	// Tear down jobs whose expected entry is gone: stop tasks, then drop
 	// the running entry. Errors retry next round like any failed plan.
-	expectedSet := make(map[string]struct{}, len(expected))
-	for _, j := range expected {
-		expectedSet[j] = struct{}{}
-	}
-	for _, job := range s.store.RunningNames() {
-		if _, ok := expectedSet[job]; ok {
-			continue
-		}
+	for _, job := range teardown {
 		if err := s.act.StopJobTasks(job); err != nil {
 			s.recordFailure(job, err, &res)
+			// Stay a candidate next round even if the failure crossed the
+			// quarantine threshold (which clears the failure record).
+			s.store.MarkDirty(job)
 			continue
 		}
 		s.store.DropRunning(job)
 		_ = s.act.ResumeJob(job) // clear any hold; no specs remain anyway
-		s.bumpDeleted()
+		s.mu.Lock()
+		delete(s.failures, job) // teardown resolved any failure streak
+		s.stats.Deletes++
+		s.mu.Unlock()
 		res.Deleted++
 	}
 
 	s.mu.Lock()
 	s.stats.Rounds++
+	if sweep {
+		s.stats.Sweeps++
+	}
 	s.stats.SimpleSyncs += res.Simple
 	s.stats.ComplexSyncs += res.Complex
 	s.mu.Unlock()
 
 	res.Duration = time.Since(start)
 	return res
+}
+
+// unionSorted merges two sorted, duplicate-free name slices. When b is a
+// subset of a — the converged steady state, where every running job also
+// has an expected entry — it returns a itself without allocating.
+func unionSorted(a, b []string) []string {
+	i, subset := 0, true
+	for _, x := range b {
+		for i < len(a) && a[i] < x {
+			i++
+		}
+		if i >= len(a) || a[i] != x {
+			subset = false
+			break
+		}
+	}
+	if subset {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// forEachIndexed runs fn(i) for every i in [0, n) on up to par workers,
+// stealing indices off a shared atomic counter (the Auto Scaler's scan
+// pattern). Workloads below minParallel run inline: goroutine fan-out
+// only pays for itself on large batches or slow (actuator-bound) items.
+func forEachIndexed(n, par, minParallel int, fn func(int)) {
+	if par > n {
+		par = n
+	}
+	if par <= 1 || n < minParallel {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // handlePlanError routes a plan failure: post-commit failures park their
@@ -522,18 +699,6 @@ func (s *Syncer) handlePlanError(job string, err error, res *RoundResult) {
 		s.mu.Unlock()
 	}
 	s.recordFailure(job, err, res)
-}
-
-func (s *Syncer) bumpExamined() {
-	s.mu.Lock()
-	s.stats.JobsExamined++
-	s.mu.Unlock()
-}
-
-func (s *Syncer) bumpDeleted() {
-	s.mu.Lock()
-	s.stats.Deletes++
-	s.mu.Unlock()
 }
 
 func (s *Syncer) recordSuccess(job string) {

@@ -20,12 +20,14 @@ package taskmanager
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/scribe"
 	"repro/internal/shardmanager"
 	"repro/internal/simclock"
@@ -80,6 +82,13 @@ type Options struct {
 	// Region tags this container for regional placement constraints
 	// (§IV-B); empty means unconstrained.
 	Region string
+	// Metrics, when set, turns shard-load reporting into windowed
+	// aggregation (§IV-B's load-aggregator, smoothed the way the Auto
+	// Scaler reads its signals): Advance records per-shard usage samples
+	// into the store, and ReportLoads reports each shard's mean over
+	// LoadReportInterval instead of the instantaneous point sample. Nil
+	// keeps the instantaneous behavior.
+	Metrics *metrics.Store
 }
 
 func (o *Options) fillDefaults() {
@@ -142,6 +151,18 @@ type Manager struct {
 	dirty               bool
 	lastSnapshotVersion int
 	lastStartErrors     int
+
+	// loadSeries caches per-shard metric series handles (and their names
+	// for window reads) so the per-tick load sampling allocates nothing
+	// after the first sample of a shard.
+	loadSeries map[shardmanager.ShardID]*shardLoadSeries
+}
+
+// shardLoadSeries holds one owned shard's load series: handles for the
+// per-tick appends and names for the windowed reads.
+type shardLoadSeries struct {
+	cpu, mem, disk, net     *metrics.Series
+	cpuN, memN, diskN, netN string
 }
 
 // New builds a Task Manager for a container. Call Start to register with
@@ -517,6 +538,55 @@ func (m *Manager) Advance(dt time.Duration) {
 			m.oomsByJob[rt.task.Spec().Job]++
 		}
 	}
+	if m.opts.Metrics != nil {
+		m.sampleShardLoadsLocked()
+	}
+}
+
+// sampleShardLoadsLocked records each owned shard's current usage into the
+// metrics store — the samples ReportLoads later folds into a windowed
+// mean. Shards with no running tasks record zeros, so idle periods pull
+// the window average down instead of being invisible.
+func (m *Manager) sampleShardLoadsLocked() {
+	for s := range m.shards {
+		var u config.Resources
+		for _, rt := range m.tasks {
+			if rt.shard != s {
+				continue
+			}
+			u.CPUCores += rt.stats.CPUCores
+			u.MemoryBytes += rt.stats.MemoryBytes
+			u.DiskBytes += rt.stats.DiskBytes
+			u.NetworkBps += rt.stats.NetworkBps
+		}
+		ls := m.shardSeriesLocked(s)
+		ls.cpu.Record(u.CPUCores)
+		ls.mem.Record(float64(u.MemoryBytes))
+		ls.disk.Record(float64(u.DiskBytes))
+		ls.net.Record(float64(u.NetworkBps))
+	}
+}
+
+func (m *Manager) shardSeriesLocked(s shardmanager.ShardID) *shardLoadSeries {
+	if ls, ok := m.loadSeries[s]; ok {
+		return ls
+	}
+	if m.loadSeries == nil {
+		m.loadSeries = make(map[shardmanager.ShardID]*shardLoadSeries)
+	}
+	prefix := fmt.Sprintf("tm.%s.shard.%d.", m.id, s)
+	ls := &shardLoadSeries{
+		cpuN:  prefix + "cpu",
+		memN:  prefix + "mem",
+		diskN: prefix + "disk",
+		netN:  prefix + "net",
+	}
+	ls.cpu = m.opts.Metrics.Handle(ls.cpuN)
+	ls.mem = m.opts.Metrics.Handle(ls.memN)
+	ls.disk = m.opts.Metrics.Handle(ls.diskN)
+	ls.net = m.opts.Metrics.Handle(ls.netN)
+	m.loadSeries[s] = ls
+	return ls
 }
 
 // TaskStats returns the last-observed stats of every running task.
@@ -564,8 +634,12 @@ func (m *Manager) Usage() config.Resources {
 	return u
 }
 
-// ReportLoads aggregates per-task usage into per-shard loads and reports
-// them to the Shard Manager (the load-aggregator thread of §IV-B).
+// ReportLoads aggregates per-shard loads and reports them to the Shard
+// Manager in one batched call (the load-aggregator thread of §IV-B).
+// With a metrics store configured, each shard reports its windowed mean
+// over LoadReportInterval — balancing sees smoothed load, not whatever
+// instant the reporter happened to fire at. Shards with no samples in the
+// window (e.g. freshly adopted) fall back to the instantaneous sum.
 func (m *Manager) ReportLoads() {
 	if !m.container.Alive() {
 		return
@@ -584,7 +658,28 @@ func (m *Manager) ReportLoads() {
 		l.NetworkBps += rt.stats.NetworkBps
 		loads[s] = l
 	}
+	var windows map[shardmanager.ShardID]*shardLoadSeries
+	if m.opts.Metrics != nil {
+		windows = make(map[shardmanager.ShardID]*shardLoadSeries, len(m.shards))
+		for s := range m.shards {
+			windows[s] = m.shardSeriesLocked(s)
+		}
+	}
 	m.mu.Unlock()
+
+	if windows != nil {
+		mst, win := m.opts.Metrics, m.opts.LoadReportInterval
+		for s, ls := range windows {
+			if agg := mst.WindowAgg(ls.cpuN, win); agg.Count > 0 {
+				loads[s] = config.Resources{
+					CPUCores:    agg.Mean(),
+					MemoryBytes: int64(mst.WindowAgg(ls.memN, win).Mean()),
+					DiskBytes:   int64(mst.WindowAgg(ls.diskN, win).Mean()),
+					NetworkBps:  int64(mst.WindowAgg(ls.netN, win).Mean()),
+				}
+			}
+		}
+	}
 	m.sm.ReportShardLoads(loads)
 }
 

@@ -1,14 +1,17 @@
 #!/bin/sh
 # Full benchmark pass over the repo, with machine-readable output: parses
-# `go test -bench` lines into BENCH_PR3.json as an array of
+# `go test -bench` lines into BENCH_PR4.json as an array of
 # {"op": name, "ns_per_op": n, "allocs_per_op": n} records so successive
 # PRs can diff performance without re-reading prose tables. Earlier PRs'
-# snapshots (BENCH_PR2.json) stay in the repo for comparison.
+# snapshots (BENCH_PR2.json, BENCH_PR3.json) stay in the repo for
+# comparison. The pass includes the PR 4 State Syncer round suite:
+# SyncerRound50k{Converged,Churn1pct,Churn10pct}, CommitRunning fan-in
+# (cloned and shared), MergedExpected hit paths, and ExpectedNames50k.
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
-OUT="${BENCH_OUT:-BENCH_PR3.json}"
+OUT="${BENCH_OUT:-BENCH_PR4.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
