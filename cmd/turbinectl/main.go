@@ -116,14 +116,20 @@ func main() {
 		fmt.Printf("oncall layer cleared for %s\n", name)
 		mutated = true
 	case "quarantine":
-		for _, name := range store.QuarantinedNames() {
-			q, _ := store.Quarantined(name)
-			fmt.Printf("%s: %s\n", name, q.Reason)
+		qs := svc.Quarantined()
+		if len(qs) == 0 {
+			fmt.Println("no quarantined jobs")
+			break
+		}
+		for _, q := range qs {
+			fmt.Printf("%s: %s\n", q.Name, q.Reason)
 		}
 	case "unquarantine":
 		name := requireArg(args, 1, "job name")
-		store.ClearQuarantine(name)
-		fmt.Printf("quarantine cleared for %s\n", name)
+		if err := svc.ClearQuarantine(name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("quarantine cleared for %s; the State Syncer will retry it next round\n", name)
 		mutated = true
 	case "plan":
 		name := requireArg(args, 1, "job name")

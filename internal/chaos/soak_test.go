@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func soakSeed(t *testing.T) uint64 {
+	t.Helper()
+	env := os.Getenv("CHAOS_SEED")
+	if env == "" {
+		return 1
+	}
+	seed, err := strconv.ParseUint(env, 10, 64)
+	if err != nil {
+		t.Fatalf("bad CHAOS_SEED %q: %v", env, err)
+	}
+	return seed
+}
+
+// TestChaosSoak is the acceptance soak: a full fault schedule against a
+// live cluster, checked against a fault-free baseline. CI runs it under
+// -race once per seed in its matrix (CHAOS_SEED).
+func TestChaosSoak(t *testing.T) {
+	seed := soakSeed(t)
+	res, err := Run(Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("soak injected no faults — the schedule is not exercising anything")
+	}
+	if res.SyncerRestarts < 1 {
+		t.Fatalf("syncer crash-restarted %d times, want at least 1 (crash rules did not fire)", res.SyncerRestarts)
+	}
+	t.Logf("seed %d: %d faults injected, %d syncer restarts, store converged (%d bytes)",
+		seed, len(res.Trace), res.SyncerRestarts, len(res.FaultySnapshot))
+	for _, k := range res.TraceKeys {
+		t.Logf("  %s", k)
+	}
+}
+
+// TestChaosSoakReplayDeterminism: identical seeds must produce identical
+// failure sequences — event-for-event, including sim timestamps — and
+// identical final stores; a different seed must diverge.
+func TestChaosSoakReplayDeterminism(t *testing.T) {
+	a, err := Run(Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Trace, b.Trace) {
+		t.Fatalf("same seed, different fault traces:\n%v\nvs\n%v", a.TraceKeys, b.TraceKeys)
+	}
+	if string(a.FaultySnapshot) != string(b.FaultySnapshot) {
+		t.Fatal("same seed, different final stores")
+	}
+
+	c, err := Run(Options{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Trace, c.Trace) {
+		t.Fatal("seeds 42 and 43 produced identical fault traces")
+	}
+}

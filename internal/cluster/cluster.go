@@ -53,6 +53,11 @@ type Config struct {
 	MonitorInterval  time.Duration
 	MetricsRetention time.Duration
 	StartTime        time.Time
+	// Clock, when set, is used instead of a fresh simclock at StartTime —
+	// for harnesses (like the chaos soak) that must share one timeline
+	// between the cluster and an external component such as the fault
+	// injector. It must read StartTime when the cluster is built.
+	Clock *simclock.Sim
 
 	EnableScaler   bool
 	EnableCapacity bool
@@ -73,6 +78,16 @@ type Config struct {
 	// temporarily transfer resources between clusters during
 	// datacenter-wide events). The cluster's Name keys its adjustment.
 	CapacityPool *capacity.Pool
+
+	// WrapActuator, WrapSM, and WrapTaskSource interpose on the
+	// control-plane seams — the State Syncer's actuator boundary and each
+	// container's Shard Manager and task-spec links. The chaos harness
+	// installs the fault injector through them; nil means no wrapping.
+	// WrapSM and WrapTaskSource receive the container ID so per-container
+	// faults (e.g. one container's heartbeat blackout) can be keyed.
+	WrapActuator   func(inner statesyncer.Actuator) statesyncer.Actuator
+	WrapSM         func(id string, inner taskmanager.ShardManagerClient) taskmanager.ShardManagerClient
+	WrapTaskSource func(id string, inner taskmanager.TaskSource) taskmanager.TaskSource
 }
 
 func (c *Config) fillDefaults() {
@@ -155,6 +170,7 @@ type Cluster struct {
 	Health  *health.Reporter
 
 	tms []tmEntry
+	act statesyncer.Actuator // possibly wrapped; reused by RestartSyncer
 
 	mu          sync.Mutex
 	profiles    map[string]*engine.Profile
@@ -237,9 +253,13 @@ func (c *Cluster) SecondsSinceConfigChange(job string) float64 {
 // New builds (but does not start) a cluster.
 func New(cfg Config) (*Cluster, error) {
 	cfg.fillDefaults()
+	clk := cfg.Clock
+	if clk == nil {
+		clk = simclock.NewSim(cfg.StartTime)
+	}
 	c := &Cluster{
 		Cfg:         cfg,
-		Clk:         simclock.NewSim(cfg.StartTime),
+		Clk:         clk,
 		Bus:         scribe.NewBus(),
 		Ckpt:        engine.NewCheckpointStore(),
 		Store:       jobstore.New(),
@@ -262,8 +282,19 @@ func New(cfg Config) (*Cluster, error) {
 	c.TaskSvc = taskservice.New(c.Store, c.Clk, 90*time.Second, cfg.NumShards)
 	smOpts := cfg.ShardMgr
 	smOpts.NumShards = cfg.NumShards
+	// Refuse mis-ordered failover timing at construction (§IV-C): a
+	// ConnectionTimeout at or beyond the FailoverInterval would let the
+	// Shard Manager reassign a silent container's shards while it still
+	// runs their tasks.
+	if err := taskmanager.ValidateFailoverTiming(cfg.TaskMgr.ConnectionTimeout, smOpts.FailoverInterval); err != nil {
+		return nil, err
+	}
 	c.SM = shardmanager.New(c.Clk, smOpts)
-	c.Syncer = statesyncer.New(c.Store, &actuator{c}, c.Clk, cfg.Syncer)
+	c.act = statesyncer.Actuator(&actuator{c})
+	if cfg.WrapActuator != nil {
+		c.act = cfg.WrapActuator(c.act)
+	}
+	c.Syncer = statesyncer.New(c.Store, c.act, c.Clk, cfg.Syncer)
 
 	profileFn := func(spec engine.TaskSpec) *engine.Profile {
 		c.mu.Lock()
@@ -294,7 +325,15 @@ func New(cfg Config) (*Cluster, error) {
 				// metrics store instead of instantaneous samples.
 				tmOpts.Metrics = c.Metrics
 			}
-			tm := taskmanager.New(ct, c.Clk, c.TaskSvc, c.SM, c.Bus, c.Ckpt, profileFn, tmOpts)
+			var smc taskmanager.ShardManagerClient = c.SM
+			if cfg.WrapSM != nil {
+				smc = cfg.WrapSM(id, smc)
+			}
+			var src taskmanager.TaskSource = c.TaskSvc
+			if cfg.WrapTaskSource != nil {
+				src = cfg.WrapTaskSource(id, src)
+			}
+			tm := taskmanager.New(ct, c.Clk, src, smc, c.Bus, c.Ckpt, profileFn, tmOpts)
 			c.tms = append(c.tms, tmEntry{tm: tm, container: ct, host: host})
 		}
 	}
@@ -444,6 +483,34 @@ func (c *Cluster) KillHost(host string) error {
 // Shard Manager as fresh capacity on their next heartbeat.
 func (c *Cluster) RestoreHost(host string) error {
 	return c.TW.SetHostHealthy(host, true)
+}
+
+// RestartSyncer models the State Syncer process crash-restarting: the
+// old instance is killed (its periodic rounds stop, its in-memory state
+// is lost) and a fresh instance is built over the same durable Job Store
+// and actuator. With viaSnapshot the store is additionally round-tripped
+// through Snapshot/Restore first, modeling a replacement syncer booting
+// from the database's serialized state rather than warm memory. The new
+// instance starts its periodic rounds if the cluster is running.
+func (c *Cluster) RestartSyncer(viaSnapshot bool) error {
+	c.Syncer.Kill()
+	if viaSnapshot {
+		data, err := c.Store.Snapshot()
+		if err != nil {
+			return fmt.Errorf("cluster: snapshot for syncer restart: %w", err)
+		}
+		if err := c.Store.Restore(data); err != nil {
+			return fmt.Errorf("cluster: restore for syncer restart: %w", err)
+		}
+	}
+	c.Syncer = statesyncer.New(c.Store, c.act, c.Clk, c.Cfg.Syncer)
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		c.Syncer.Start()
+	}
+	return nil
 }
 
 // actuator implements statesyncer.Actuator over the Task Manager fleet.

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/shardmanager"
+	"repro/internal/taskmanager"
+)
+
+// TestNewRejectsBrokenFailoverTiming: a cluster whose Task Manager
+// connection timeout is not strictly shorter than the Shard Manager
+// failover interval must be refused at construction — the
+// misconfiguration TestWithoutProactiveTimeoutDuplicatesWouldOccur
+// (taskmanager package) shows produces real duplicate-task violations.
+func TestNewRejectsBrokenFailoverTiming(t *testing.T) {
+	_, err := New(Config{
+		Hosts:    2,
+		TaskMgr:  taskmanager.Options{ConnectionTimeout: 2 * time.Minute},
+		ShardMgr: shardmanager.Options{FailoverInterval: time.Minute},
+	})
+	if err == nil {
+		t.Fatal("New accepted ConnectionTimeout > FailoverInterval")
+	}
+	if !strings.Contains(err.Error(), "ConnectionTimeout") {
+		t.Fatalf("error does not name the broken knob: %v", err)
+	}
+
+	// Against defaults too: a 2-minute timeout beats the default 60s
+	// failover interval.
+	if _, err := New(Config{Hosts: 2, TaskMgr: taskmanager.Options{ConnectionTimeout: 2 * time.Minute}}); err == nil {
+		t.Fatal("New accepted ConnectionTimeout above the default failover interval")
+	}
+
+	// The valid shape still constructs.
+	if _, err := New(Config{
+		Hosts:    2,
+		TaskMgr:  taskmanager.Options{ConnectionTimeout: 40 * time.Second},
+		ShardMgr: shardmanager.Options{FailoverInterval: time.Minute},
+	}); err != nil {
+		t.Fatalf("valid timing refused: %v", err)
+	}
+}

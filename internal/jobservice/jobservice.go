@@ -171,6 +171,39 @@ func (s *Service) SetStopped(name string, stopped bool) error {
 	})
 }
 
+// QuarantinedJob is one quarantined job and the reason the State Syncer
+// parked it.
+type QuarantinedJob struct {
+	Name   string
+	Reason string
+}
+
+// Quarantined lists every quarantined job with its reason, sorted by
+// name — the oncall's view of what the State Syncer has given up on.
+func (s *Service) Quarantined() []QuarantinedJob {
+	names := s.store.QuarantinedNames()
+	out := make([]QuarantinedJob, 0, len(names))
+	for _, name := range names {
+		q, ok := s.store.Quarantined(name)
+		if !ok {
+			continue // cleared between list and read
+		}
+		out = append(out, QuarantinedJob{Name: name, Reason: q.Reason})
+	}
+	return out
+}
+
+// ClearQuarantine lifts a job's quarantine so the State Syncer retries
+// it on its next round. Clearing a job that is not quarantined is an
+// error — the oncall almost certainly mistyped the name.
+func (s *Service) ClearQuarantine(name string) error {
+	if _, ok := s.store.Quarantined(name); !ok {
+		return fmt.Errorf("jobservice: job %q is not quarantined", name)
+	}
+	s.store.ClearQuarantine(name)
+	return nil
+}
+
 // ClearLayer resets a layer to empty (e.g. removing an oncall override
 // once the incident is over).
 func (s *Service) ClearLayer(name string, layer config.Layer) error {

@@ -1,0 +1,229 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+)
+
+func TestDirtyMarksAndConditionalClear(t *testing.T) {
+	s := New()
+	if err := s.Create("a", config.Doc{"taskCount": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("b", config.Doc{"taskCount": 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	marks := s.DirtyMarks()
+	if len(marks) != 2 || marks[0].Name != "a" || marks[1].Name != "b" {
+		t.Fatalf("DirtyMarks = %+v", marks)
+	}
+	// Peeking does not consume: the marks are still there.
+	if n := s.DirtyCount(); n != 2 {
+		t.Fatalf("DirtyCount after peek = %d", n)
+	}
+
+	// A write landing after the peek re-stamps the mark; clearing with
+	// the stale seq must refuse.
+	if _, err := s.SetLayer("a", config.LayerOncall, config.Doc{"x": 1}, AnyVersion); err != nil {
+		t.Fatal(err)
+	}
+	if s.ClearDirtyIf("a", marks[0].Seq) {
+		t.Fatal("ClearDirtyIf cleared a re-marked job")
+	}
+	if n := s.DirtyCount(); n != 2 {
+		t.Fatalf("DirtyCount = %d, want 2 (mark must survive)", n)
+	}
+
+	// Clearing with the current seq succeeds.
+	if !s.ClearDirtyIf("b", marks[1].Seq) {
+		t.Fatal("ClearDirtyIf refused an un-re-marked job")
+	}
+	// Clearing an unmarked job is a no-op success.
+	if !s.ClearDirtyIf("b", marks[1].Seq) {
+		t.Fatal("ClearDirtyIf on an unmarked job should report cleared")
+	}
+	if got := s.DrainDirty(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("DrainDirty = %v, want [a]", got)
+	}
+}
+
+func TestSyncStateLifecycle(t *testing.T) {
+	s := New()
+	if _, ok := s.SyncStateOf("j"); ok {
+		t.Fatal("sync state present before any update")
+	}
+	deadline := time.Unix(1000, 0)
+	s.UpdateSyncState("j", func(ss *SyncState) {
+		ss.FailureStreak = 2
+		ss.NextRetryAt = deadline
+		ss.FollowUps = []string{"resume"}
+	})
+	ss, ok := s.SyncStateOf("j")
+	if !ok || ss.FailureStreak != 2 || !ss.NextRetryAt.Equal(deadline) || len(ss.FollowUps) != 1 {
+		t.Fatalf("SyncStateOf = %+v, %v", ss, ok)
+	}
+	// The returned copy is detached from the stored entry.
+	ss.FollowUps[0] = "mutated"
+	got, _ := s.SyncStateOf("j")
+	if got.FollowUps[0] != "resume" {
+		t.Fatal("SyncStateOf returned a shared slice")
+	}
+	if names := s.SyncStateNames(); !reflect.DeepEqual(names, []string{"j"}) {
+		t.Fatalf("SyncStateNames = %v", names)
+	}
+
+	// Emptying the entry removes it entirely.
+	s.UpdateSyncState("j", func(ss *SyncState) {
+		ss.FailureStreak = 0
+		ss.FollowUps = nil
+	})
+	if _, ok := s.SyncStateOf("j"); ok {
+		t.Fatal("empty sync state not removed")
+	}
+	if names := s.SyncStateNames(); len(names) != 0 {
+		t.Fatalf("SyncStateNames = %v, want empty", names)
+	}
+
+	s.UpdateSyncState("j", func(ss *SyncState) { ss.FailureStreak = 1 })
+	s.ClearSyncState("j")
+	if _, ok := s.SyncStateOf("j"); ok {
+		t.Fatal("ClearSyncState left the entry behind")
+	}
+}
+
+func TestSnapshotRestoreCarriesSyncerState(t *testing.T) {
+	s := New()
+	for _, job := range []string{"quiet", "pending", "streaky"} {
+		if err := s.Create(job, config.Doc{"taskCount": 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CommitRunning(job, config.Doc{"taskCount": 1}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "quiet" converged: its mark is consumed. The other two stay dirty.
+	for _, m := range s.DirtyMarks() {
+		if m.Name == "quiet" {
+			s.ClearDirtyIf(m.Name, m.Seq)
+		}
+	}
+	deadline := time.Unix(500, 0).UTC()
+	s.UpdateSyncState("pending", func(ss *SyncState) { ss.FollowUps = []string{"resume"} })
+	s.UpdateSyncState("streaky", func(ss *SyncState) {
+		ss.FailureStreak = 3
+		ss.NextRetryAt = deadline
+	})
+
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Schema-2 restore revives exactly the serialized change set: quiet
+	// must NOT come back dirty, so a restarted syncer's first round is an
+	// ordinary change-driven round, not an effective full sweep.
+	if got := s2.DrainDirty(); !reflect.DeepEqual(got, []string{"pending", "streaky"}) {
+		t.Fatalf("dirty after restore = %v, want [pending streaky]", got)
+	}
+	ss, ok := s2.SyncStateOf("pending")
+	if !ok || !reflect.DeepEqual(ss.FollowUps, []string{"resume"}) {
+		t.Fatalf("pending sync state = %+v, %v", ss, ok)
+	}
+	ss, ok = s2.SyncStateOf("streaky")
+	if !ok || ss.FailureStreak != 3 || !ss.NextRetryAt.Equal(deadline) {
+		t.Fatalf("streaky sync state = %+v, %v", ss, ok)
+	}
+	if names := s2.SyncStateNames(); !reflect.DeepEqual(names, []string{"pending", "streaky"}) {
+		t.Fatalf("SyncStateNames after restore = %v", names)
+	}
+}
+
+func TestRestoreLegacySnapshotMarksEverythingDirty(t *testing.T) {
+	s := New()
+	if err := s.Create("keep", config.Doc{"taskCount": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitRunning("keep", config.Doc{"taskCount": 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.DrainDirty() // converged: nothing dirty at snapshot time
+	data, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Strip the schema-2 fields, simulating a snapshot from before they
+	// existed: the restore must fall back to marking every job dirty.
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "schema")
+	delete(m, "dirty")
+	delete(m, "sync")
+	legacy, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New()
+	if err := s2.Restore(legacy); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.DrainDirty(); !reflect.DeepEqual(got, []string{"keep"}) {
+		t.Fatalf("legacy restore dirty = %v, want [keep]", got)
+	}
+}
+
+func TestCommitHooks(t *testing.T) {
+	s := New()
+	if err := s.Create("j", config.Doc{"taskCount": 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var before, after []string
+	s.SetCommitHooks(&CommitHooks{
+		Before: func(name string) error {
+			before = append(before, name)
+			if name == "blocked" {
+				return errors.New("injected: crash before commit")
+			}
+			return nil
+		},
+		After: func(name string) { after = append(after, name) },
+	})
+
+	if err := s.CommitRunning("j", config.Doc{"taskCount": 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, []string{"j"}) || !reflect.DeepEqual(after, []string{"j"}) {
+		t.Fatalf("hooks = before %v after %v", before, after)
+	}
+
+	// A Before error aborts the commit: no running entry appears.
+	if err := s.CommitRunning("blocked", config.Doc{"taskCount": 1}, 1); err == nil {
+		t.Fatal("commit succeeded despite Before error")
+	}
+	if _, ok := s.GetRunning("blocked"); ok {
+		t.Fatal("aborted commit still wrote the running entry")
+	}
+	if len(after) != 1 {
+		t.Fatalf("After ran for an aborted commit: %v", after)
+	}
+
+	// Removing the hooks restores plain commits.
+	s.SetCommitHooks(nil)
+	if err := s.CommitRunning("blocked", config.Doc{"taskCount": 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/config"
 )
@@ -96,6 +97,57 @@ type Quarantine struct {
 	Reason string
 }
 
+// SyncState is the State Syncer's crash-critical per-job bookkeeping,
+// persisted in the store so it survives a syncer restart (the paper's
+// durability leg of ACIDF). A syncer restored from a snapshot resumes
+// failure streaks, backoff deadlines, and pending post-commit follow-up
+// actions exactly where its predecessor died, instead of waiting for the
+// next full sweep to rediscover the work.
+type SyncState struct {
+	// FailureStreak counts consecutive failed synchronizations; the
+	// syncer quarantines the job when it reaches its threshold.
+	FailureStreak int `json:"failureStreak,omitempty"`
+	// NextRetryAt is the earliest time the syncer may retry the job
+	// (bounded exponential backoff). Zero means retry immediately.
+	NextRetryAt time.Time `json:"nextRetryAt"`
+	// FollowUps are the keys of post-commit actions (e.g. "resume") that
+	// were committed but not yet executed — the write-ahead record that
+	// lets a restarted syncer finish a half-done complex update.
+	FollowUps []string `json:"followUps,omitempty"`
+}
+
+func (ss *SyncState) empty() bool {
+	return ss.FailureStreak == 0 && len(ss.FollowUps) == 0
+}
+
+func (ss *SyncState) clone() *SyncState {
+	out := *ss
+	if ss.FollowUps != nil {
+		out.FollowUps = append([]string(nil), ss.FollowUps...)
+	}
+	return &out
+}
+
+// DirtyMark is one entry of the store's change set: a job that may need
+// synchronization, plus the change-sequence number current when the mark
+// was read. The State Syncer clears a mark only conditionally on the seq
+// it saw (ClearDirtyIf), so a write landing while a round is in flight
+// re-marks the job rather than being lost — and a syncer crash between
+// reading the marks and finishing the round leaves the marks in place.
+type DirtyMark struct {
+	Name string
+	Seq  uint64
+}
+
+// CommitHooks intercept CommitRunning: Before runs ahead of the write
+// (returning an error aborts the commit), After runs once the write is
+// visible. Both run outside the stripe locks. Used by the fault injector
+// to model crash-before-commit vs crash-after-commit.
+type CommitHooks struct {
+	Before func(name string) error
+	After  func(name string)
+}
+
 // stripe holds the entries of the jobs hashing onto it. Each stripe has
 // its own mutex; cross-job operations never serialize on a global lock.
 type stripe struct {
@@ -105,8 +157,14 @@ type stripe struct {
 	quarantined map[string]Quarantine
 	// dirty is the stripe's slice of the store-wide change set: jobs
 	// whose expected entry was created, rewritten, or deleted (or whose
-	// quarantine was lifted) since the State Syncer last drained.
-	dirty map[string]struct{}
+	// quarantine was lifted) since the State Syncer last cleared their
+	// marks. The value is the store-wide change sequence stamped when the
+	// job was (re)marked; ClearDirtyIf compares against it so concurrent
+	// writes are never un-marked.
+	dirty map[string]uint64
+	// sync holds the State Syncer's durable per-job bookkeeping (failure
+	// streaks, backoff deadlines, pending follow-up actions).
+	sync map[string]*SyncState
 }
 
 // nameIndex maintains a copy-on-write sorted name snapshot over the
@@ -150,9 +208,12 @@ func (ni *nameIndex) names(collect func() []string) []string {
 // Store is the in-memory Job Store. Safe for concurrent use.
 type Store struct {
 	stripes  [numStripes]stripe
-	revSeq   atomic.Int64 // source of Running.revision values
+	revSeq   atomic.Int64  // source of Running.revision values
+	dirtySeq atomic.Uint64 // source of DirtyMark.Seq values
 	expNames nameIndex
 	runNames nameIndex
+
+	commitHooks atomic.Pointer[CommitHooks]
 
 	mergedHits   atomic.Int64 // MergedExpected served from cache
 	mergedMisses atomic.Int64 // MergedExpected recomputed the merge
@@ -166,7 +227,8 @@ func New() *Store {
 		st.expected = make(map[string]*Expected)
 		st.running = make(map[string]*Running)
 		st.quarantined = make(map[string]Quarantine)
-		st.dirty = make(map[string]struct{})
+		st.dirty = make(map[string]uint64)
+		st.sync = make(map[string]*SyncState)
 	}
 	empty := []string{}
 	s.expNames.snap.Store(&empty)
@@ -188,6 +250,12 @@ func (s *Store) stripeFor(name string) *stripe {
 	return &s.stripes[h&(numStripes-1)]
 }
 
+// markLocked stamps a fresh change-sequence mark for name. The caller
+// holds st's write lock.
+func (s *Store) markLocked(st *stripe, name string) {
+	st.dirty[name] = s.dirtySeq.Add(1)
+}
+
 // Create registers a new job whose Base layer is base. It fails if the job
 // already exists.
 func (s *Store) Create(name string, base config.Doc) error {
@@ -200,7 +268,7 @@ func (s *Store) Create(name string, base config.Doc) error {
 	e := &Expected{Version: 1}
 	e.Layers[config.LayerBase] = base.Clone()
 	st.expected[name] = e
-	st.dirty[name] = struct{}{}
+	s.markLocked(st, name)
 	s.expNames.invalidate()
 	return nil
 }
@@ -217,7 +285,7 @@ func (s *Store) Delete(name string) error {
 	}
 	delete(st.expected, name)
 	delete(st.quarantined, name)
-	st.dirty[name] = struct{}{}
+	s.markLocked(st, name)
 	s.expNames.invalidate()
 	return nil
 }
@@ -262,7 +330,7 @@ func (s *Store) SetLayer(name string, layer config.Layer, doc config.Doc, baseVe
 	}
 	e.Layers[layer] = doc.Clone()
 	e.Version++
-	st.dirty[name] = struct{}{}
+	s.markLocked(st, name)
 	return e.Version, nil
 }
 
@@ -394,9 +462,10 @@ func (s *Store) RunningRevision(name string) (int64, bool) {
 // CommitRunning records that the cluster now runs cfg, which realizes
 // expected version version. Only the State Syncer calls this, and only
 // after the execution plan completed — the atomic commit point of a job
-// update (§III-B). The store keeps its own deep copy of cfg.
-func (s *Store) CommitRunning(name string, cfg config.Doc, version int64) {
-	s.commitRunning(name, cfg.Clone(), version)
+// update (§III-B). The store keeps its own deep copy of cfg. The error
+// is always nil unless commit hooks (fault injection) are installed.
+func (s *Store) CommitRunning(name string, cfg config.Doc, version int64) error {
+	return s.commitRunning(name, cfg.Clone(), version)
 }
 
 // CommitRunningShared is CommitRunning without the defensive copy: the
@@ -404,11 +473,24 @@ func (s *Store) CommitRunning(name string, cfg config.Doc, version int64) {
 // this point on. The State Syncer commits the shared merged document it
 // read via MergedExpectedShared — which is already immutable — so the
 // batched simple-sync path copies nothing.
-func (s *Store) CommitRunningShared(name string, cfg config.Doc, version int64) {
-	s.commitRunning(name, cfg, version)
+func (s *Store) CommitRunningShared(name string, cfg config.Doc, version int64) error {
+	return s.commitRunning(name, cfg, version)
 }
 
-func (s *Store) commitRunning(name string, cfg config.Doc, version int64) {
+// SetCommitHooks installs (or, with nil, removes) the commit intercept
+// points. Only the fault injector uses this; production clusters run
+// with no hooks and pay a single atomic load per commit.
+func (s *Store) SetCommitHooks(h *CommitHooks) {
+	s.commitHooks.Store(h)
+}
+
+func (s *Store) commitRunning(name string, cfg config.Doc, version int64) error {
+	hooks := s.commitHooks.Load()
+	if hooks != nil && hooks.Before != nil {
+		if err := hooks.Before(name); err != nil {
+			return err
+		}
+	}
 	rev := s.revSeq.Add(1)
 	st := s.stripeFor(name)
 	st.mu.Lock()
@@ -418,6 +500,10 @@ func (s *Store) commitRunning(name string, cfg config.Doc, version int64) {
 	if !existed {
 		s.runNames.invalidate()
 	}
+	if hooks != nil && hooks.After != nil {
+		hooks.After(name)
+	}
+	return nil
 }
 
 // DropRunning removes the running entry after a deleted job's tasks have
@@ -487,7 +573,7 @@ func (s *Store) collectNames(size func(*stripe) int, appendKeys func(*stripe, []
 func (s *Store) MarkDirty(name string) {
 	st := s.stripeFor(name)
 	st.mu.Lock()
-	st.dirty[name] = struct{}{}
+	s.markLocked(st, name)
 	st.mu.Unlock()
 }
 
@@ -506,12 +592,50 @@ func (s *Store) DrainDirty() []string {
 			for name := range st.dirty {
 				out = append(out, name)
 			}
-			st.dirty = make(map[string]struct{})
+			st.dirty = make(map[string]uint64)
 		}
 		st.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
+}
+
+// DirtyMarks returns the current change set without clearing it, sorted
+// by name. The State Syncer reads the marks at the start of a round and
+// clears each one only after the job's synchronization succeeded
+// (ClearDirtyIf), so a crash mid-round leaves every unfinished job
+// marked for the successor syncer.
+func (s *Store) DirtyMarks() []DirtyMark {
+	var out []DirtyMark
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for name, seq := range st.dirty {
+			out = append(out, DirtyMark{Name: name, Seq: seq})
+		}
+		st.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ClearDirtyIf removes the job's dirty mark if it has not been re-marked
+// since seq was read (its current seq is <= seq). It reports whether the
+// mark was cleared; a false return means a concurrent write re-marked
+// the job mid-round and it stays a candidate for the next round.
+func (s *Store) ClearDirtyIf(name string, seq uint64) bool {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur, ok := st.dirty[name]
+	if !ok {
+		return true
+	}
+	if cur > seq {
+		return false
+	}
+	delete(st.dirty, name)
+	return true
 }
 
 // DirtyCount reports how many jobs are currently marked dirty.
@@ -544,7 +668,7 @@ func (s *Store) ClearQuarantine(name string) {
 		return
 	}
 	delete(st.quarantined, name)
-	st.dirty[name] = struct{}{}
+	s.markLocked(st, name)
 }
 
 // Quarantined reports whether a job is quarantined, and why.
@@ -569,11 +693,75 @@ func (s *Store) QuarantinedNames() []string {
 	return out
 }
 
+// SyncStateOf returns a copy of the job's durable sync bookkeeping.
+func (s *Store) SyncStateOf(name string) (SyncState, bool) {
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ss, ok := st.sync[name]
+	if !ok {
+		return SyncState{}, false
+	}
+	return *ss.clone(), true
+}
+
+// UpdateSyncState applies fn to the job's sync state under the stripe
+// lock, creating the entry if absent. An entry left empty (no streak, no
+// follow-ups) is removed, so converged jobs carry no durable residue.
+func (s *Store) UpdateSyncState(name string, fn func(*SyncState)) {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ss, ok := st.sync[name]
+	if !ok {
+		ss = &SyncState{}
+	}
+	fn(ss)
+	if ss.empty() {
+		delete(st.sync, name)
+		return
+	}
+	st.sync[name] = ss
+}
+
+// ClearSyncState drops the job's durable sync bookkeeping (teardown
+// completed, or the job's accounting is being reset).
+func (s *Store) ClearSyncState(name string) {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	delete(st.sync, name)
+	st.mu.Unlock()
+}
+
+// SyncStateNames returns every job with durable sync bookkeeping,
+// sorted. These are the State Syncer's standing retry candidates: jobs
+// mid-failure-streak or with pending post-commit follow-ups.
+func (s *Store) SyncStateNames() []string {
+	out := s.collectNames(func(st *stripe) int { return len(st.sync) }, func(st *stripe, out []string) []string {
+		for k := range st.sync {
+			out = append(out, k)
+		}
+		return out
+	})
+	sort.Strings(out)
+	return out
+}
+
+// snapshotSchema identifies the current serialized layout. Schema 2
+// added the dirty set and the per-job sync states; schema 1 (implicit,
+// field absent) predates both.
+const snapshotSchema = 2
+
 // snapshot is the serialized form of the whole store.
 type snapshot struct {
+	Schema      int                   `json:"schema,omitempty"`
 	Expected    map[string]*Expected  `json:"expected"`
 	Running     map[string]*Running   `json:"running"`
 	Quarantined map[string]Quarantine `json:"quarantined"`
+	// Dirty and Sync carry the State Syncer's crash-critical state so a
+	// syncer restored from a snapshot resumes exactly where it died.
+	Dirty []string              `json:"dirty,omitempty"`
+	Sync  map[string]*SyncState `json:"sync,omitempty"`
 }
 
 // Snapshot serializes the full store to JSON, for durability and for
@@ -589,6 +777,7 @@ func (s *Store) Snapshot() ([]byte, error) {
 		}
 	}()
 	snap := snapshot{
+		Schema:      snapshotSchema,
 		Expected:    make(map[string]*Expected),
 		Running:     make(map[string]*Running),
 		Quarantined: make(map[string]Quarantine),
@@ -604,14 +793,28 @@ func (s *Store) Snapshot() ([]byte, error) {
 		for k, v := range st.quarantined {
 			snap.Quarantined[k] = v
 		}
+		for k := range st.dirty {
+			snap.Dirty = append(snap.Dirty, k)
+		}
+		for k, v := range st.sync {
+			if snap.Sync == nil {
+				snap.Sync = make(map[string]*SyncState)
+			}
+			snap.Sync[k] = v
+		}
 	}
+	sort.Strings(snap.Dirty)
 	return json.MarshalIndent(snap, "", "  ")
 }
 
-// Restore replaces the store's contents from a Snapshot. Every restored
-// job is marked dirty (and every running entry restamped with a fresh
-// revision), so post-restore State Syncer rounds and spec caches rebuild
-// rather than trust pre-restore state.
+// Restore replaces the store's contents from a Snapshot. Every running
+// entry is restamped with a fresh revision so spec caches rebuild rather
+// than trust pre-restore state. Schema-2 snapshots carry the dirty set
+// and the per-job sync states, so the restored change set is exactly the
+// serialized one (plus any running-without-expected orphans, which must
+// tear down) — a syncer restarted from such a snapshot converges in one
+// ordinary change-driven round. Legacy snapshots carry neither, so every
+// job is conservatively marked dirty.
 func (s *Store) Restore(data []byte) error {
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
@@ -625,12 +828,16 @@ func (s *Store) Restore(data []byte) error {
 		st.expected = make(map[string]*Expected)
 		st.running = make(map[string]*Running)
 		st.quarantined = make(map[string]Quarantine)
-		st.dirty = make(map[string]struct{})
+		st.dirty = make(map[string]uint64)
+		st.sync = make(map[string]*SyncState)
 	}
+	legacy := snap.Schema < snapshotSchema
 	for k, v := range snap.Expected {
 		st := s.stripeFor(k)
 		st.expected[k] = v
-		st.dirty[k] = struct{}{}
+		if legacy {
+			s.markLocked(st, k)
+		}
 	}
 	for k, v := range snap.Running {
 		// Serialized snapshots carry neither revisions nor merge caches
@@ -640,10 +847,23 @@ func (s *Store) Restore(data []byte) error {
 		v.revision = s.revSeq.Add(1)
 		st := s.stripeFor(k)
 		st.running[k] = v
-		st.dirty[k] = struct{}{} // deleted-while-down jobs must tear down
+		if _, ok := st.expected[k]; !ok || legacy {
+			// Deleted-while-down jobs must tear down even if the snapshot
+			// predates their deletion's dirty mark.
+			s.markLocked(st, k)
+		}
 	}
 	for k, v := range snap.Quarantined {
 		s.stripeFor(k).quarantined[k] = v
+	}
+	for _, k := range snap.Dirty {
+		s.markLocked(s.stripeFor(k), k)
+	}
+	for k, v := range snap.Sync {
+		if v == nil || v.empty() {
+			continue
+		}
+		s.stripeFor(k).sync[k] = v.clone()
 	}
 	for i := range s.stripes {
 		s.stripes[i].mu.Unlock()

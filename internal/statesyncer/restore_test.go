@@ -1,0 +1,295 @@
+package statesyncer
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/jobstore"
+	"repro/internal/simclock"
+)
+
+// killAfterCommit installs commit hooks that simulate the syncer dying
+// the instant a commit for job lands: the commit itself is durable, but
+// nothing after it runs.
+func killAfterCommit(store *jobstore.Store, syncer *Syncer, job string) {
+	store.SetCommitHooks(&jobstore.CommitHooks{
+		After: func(name string) {
+			if name == job {
+				syncer.Kill()
+			}
+		},
+	})
+}
+
+// restoreInto snapshots src and restores it into a fresh store,
+// modeling a replacement syncer booting from the durable database.
+func restoreInto(t *testing.T, src *jobstore.Store) *jobstore.Store {
+	t.Helper()
+	data, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := jobstore.New()
+	if err := dst.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestCrashAfterCommitRestoreConvergesInOneRound is the restart-shaped
+// acceptance test: a syncer killed mid-round — after a complex plan's
+// commit landed but before its post-commit follow-ups ran — leaves a
+// durable follow-up record. A replacement syncer restored from the store
+// snapshot must finish the job within ONE ordinary change-driven round,
+// without a full sweep.
+func TestCrashAfterCommitRestoreConvergesInOneRound(t *testing.T) {
+	svc, syncer, act, clk := newWorld(t, Options{FullSweepEvery: 10})
+	store := svc.Store()
+	svc.Provision(validConfig("j1"))
+	syncer.RunRound()
+	svc.SetTaskCount("j1", config.LayerScaler, 20)
+
+	killAfterCommit(store, syncer, "j1")
+	syncer.RunRound() // dies mid-plan: commit landed, resume never ran
+	store.SetCommitHooks(nil)
+
+	if !syncer.Killed() {
+		t.Fatal("commit hook did not kill the syncer")
+	}
+	if got := runningTaskCount(t, svc, "j1"); got != 20 {
+		t.Fatalf("commit did not land before the crash: taskCount = %d", got)
+	}
+	if act.resumeCount("j1") != 0 {
+		t.Fatal("resume ran despite the crash")
+	}
+	ss, ok := store.SyncStateOf("j1")
+	if !ok || len(ss.FollowUps) != 1 || ss.FollowUps[0] != "resume" {
+		t.Fatalf("durable follow-up record = %+v, %v", ss, ok)
+	}
+
+	// Boot a replacement syncer from a snapshot of the durable store.
+	restored := restoreInto(t, store)
+	successor := New(restored, act, clk, Options{FullSweepEvery: 10})
+
+	res := successor.RunRound()
+	if res.Swept {
+		t.Fatal("restored syncer's first round was a full sweep")
+	}
+	if act.resumeCount("j1") != 1 {
+		t.Fatalf("restored syncer resumed %d times, want 1", act.resumeCount("j1"))
+	}
+	if _, ok := restored.SyncStateOf("j1"); ok {
+		t.Fatal("follow-up record not cleared after completion")
+	}
+	if n := restored.DirtyCount(); n != 0 {
+		t.Fatalf("%d dirty marks left after one round", n)
+	}
+	// The one round fully converged the fleet: nothing for later rounds.
+	if res2 := successor.RunRound(); res2.Simple+res2.Complex+res2.Deleted != 0 || len(res2.Failed) != 0 {
+		t.Fatalf("second round still had work: %+v", res2)
+	}
+}
+
+// TestCrashBeforeCommitRestoreReplansInOneRound covers the other crash
+// edge: the syncer dies with the commit refused (crash-before-commit).
+// The durable intent record replays "resume" — un-quiescing the job in
+// its previous configuration, i.e. the rollback — and the still-standing
+// dirty mark re-plans and completes the update in the same round.
+func TestCrashBeforeCommitRestoreReplansInOneRound(t *testing.T) {
+	svc, syncer, act, clk := newWorld(t, Options{FullSweepEvery: 10})
+	store := svc.Store()
+	svc.Provision(validConfig("j1"))
+	syncer.RunRound()
+	svc.SetTaskCount("j1", config.LayerScaler, 20)
+
+	store.SetCommitHooks(&jobstore.CommitHooks{
+		Before: func(name string) error {
+			if name == "j1" {
+				syncer.Kill()
+				return errKilled
+			}
+			return nil
+		},
+	})
+	syncer.RunRound()
+	store.SetCommitHooks(nil)
+
+	if got := runningTaskCount(t, svc, "j1"); got != 10 {
+		t.Fatalf("refused commit leaked: taskCount = %d", got)
+	}
+
+	restored := restoreInto(t, store)
+	successor := New(restored, act, clk, Options{FullSweepEvery: 10})
+	res := successor.RunRound()
+	if res.Swept {
+		t.Fatal("restored syncer's first round was a full sweep")
+	}
+	if res.Complex != 1 {
+		t.Fatalf("restored round = %+v, want one complex sync", res)
+	}
+	r, ok := restored.GetRunning("j1")
+	if !ok || intAt(r.Config, "taskCount") != 20 {
+		t.Fatalf("not converged after one round: %+v, %v", r, ok)
+	}
+	if n := restored.DirtyCount(); n != 0 {
+		t.Fatalf("%d dirty marks left after one round", n)
+	}
+}
+
+func TestBackoffDelayDeterministicAndBounded(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	s := New(jobstore.New(), nil, clk, Options{
+		Interval:         30 * time.Second,
+		RetryBackoffBase: 30 * time.Second,
+		RetryBackoffMax:  5 * time.Minute,
+	})
+	if d := s.backoffDelay("j", 1); d != 0 {
+		t.Fatalf("streak-1 delay = %v, want 0 (first failure retries next round)", d)
+	}
+	prevNominal := time.Duration(0)
+	for streak := 2; streak <= 12; streak++ {
+		d1 := s.backoffDelay("j", streak)
+		d2 := s.backoffDelay("j", streak)
+		if d1 != d2 {
+			t.Fatalf("streak %d: nondeterministic delay %v vs %v", streak, d1, d2)
+		}
+		nominal := 30 * time.Second << (streak - 2)
+		if nominal > 5*time.Minute {
+			nominal = 5 * time.Minute
+		}
+		if d1 > nominal || d1 < nominal-nominal/4-1 {
+			t.Fatalf("streak %d: delay %v outside (%v - quarter jitter, %v]", streak, d1, nominal, nominal)
+		}
+		if nominal > prevNominal && d1 <= 0 {
+			t.Fatalf("streak %d: non-positive delay %v", streak, d1)
+		}
+		prevNominal = nominal
+	}
+	// Jitter spreads distinct jobs apart (not in lockstep).
+	spread := map[time.Duration]bool{}
+	for _, job := range []string{"a", "b", "c", "d", "e", "f"} {
+		spread[s.backoffDelay(job, 4)] = true
+	}
+	if len(spread) < 2 {
+		t.Fatal("per-job jitter produced identical delays for every job")
+	}
+}
+
+// TestBackoffSkipsRetriesUntilDeadline verifies failing jobs are not
+// retried every round: after the second consecutive failure the job
+// waits out its backoff before the actuator is probed again.
+func TestBackoffSkipsRetriesUntilDeadline(t *testing.T) {
+	svc, syncer, act, clk := newWorld(t, Options{QuarantineAfter: 10})
+	svc.Provision(validConfig("j1"))
+	syncer.RunRound()
+	svc.SetTaskCount("j1", config.LayerScaler, 20)
+	act.failStops["j1"] = 100
+
+	syncer.RunRound() // streak 1: immediate retry allowed
+	syncer.RunRound() // streak 2: backoff stamped (~30s)
+	if got := syncer.FailureCount("j1"); got != 2 {
+		t.Fatalf("streak = %d, want 2", got)
+	}
+	probes := 100 - act.failStops["j1"]
+
+	// Same sim time: round must skip the job entirely.
+	res := syncer.RunRound()
+	if len(res.Failed) != 0 {
+		t.Fatalf("backed-off job retried: %+v", res)
+	}
+	if 100-act.failStops["j1"] != probes {
+		t.Fatal("actuator probed during backoff window")
+	}
+	// Past the deadline the retry happens.
+	clk.RunFor(time.Minute)
+	res = syncer.RunRound()
+	if len(res.Failed) != 1 {
+		t.Fatalf("retry after deadline missing: %+v", res)
+	}
+	if 100-act.failStops["j1"] != probes+1 {
+		t.Fatal("no actuator probe after the backoff deadline")
+	}
+}
+
+// TestDeleteMidStreakClearsAccounting (failure-accounting sweep): a job
+// deleted mid-failure-streak must not leak its streak or trip a bogus
+// quarantine once the teardown completes.
+func TestDeleteMidStreakClearsAccounting(t *testing.T) {
+	svc, syncer, act, clk := newWorld(t, Options{QuarantineAfter: 3})
+	svc.Provision(validConfig("j1"))
+	syncer.RunRound()
+	svc.SetTaskCount("j1", config.LayerScaler, 20)
+	act.failStops["j1"] = 2
+
+	syncer.RunRound()
+	clk.RunFor(time.Minute)
+	syncer.RunRound()
+	if got := syncer.FailureCount("j1"); got != 2 {
+		t.Fatalf("streak = %d, want 2", got)
+	}
+
+	svc.Delete("j1")
+	clk.RunFor(time.Minute)
+	res := syncer.RunRound()
+	if res.Deleted != 1 {
+		t.Fatalf("teardown round = %+v", res)
+	}
+	if got := syncer.FailureCount("j1"); got != 0 {
+		t.Fatalf("streak leaked after teardown: %d", got)
+	}
+	if names := svc.Store().SyncStateNames(); len(names) != 0 {
+		t.Fatalf("sync state leaked after teardown: %v", names)
+	}
+	if st := syncer.Stats(); st.Quarantines != 0 {
+		t.Fatalf("teardown mid-streak counted a quarantine: %+v", st)
+	}
+}
+
+// TestQuarantineParksFollowUpsUntilCleared (failure-accounting sweep): a
+// quarantined job's pending post-commit follow-ups are parked — neither
+// retried (failure-storm) nor dropped (job quiesced forever) — and run
+// to completion once the quarantine is cleared.
+func TestQuarantineParksFollowUpsUntilCleared(t *testing.T) {
+	svc, syncer, act, _ := newWorld(t, Options{QuarantineAfter: 1})
+	store := svc.Store()
+	svc.Provision(validConfig("j1"))
+	syncer.RunRound()
+	svc.SetTaskCount("j1", config.LayerScaler, 20)
+	act.failResumes["j1"] = 1
+
+	res := syncer.RunRound() // commit lands; resume fails; quarantined
+	if len(res.Failed) != 1 {
+		t.Fatalf("round = %+v", res)
+	}
+	if _, ok := store.Quarantined("j1"); !ok {
+		t.Fatal("job not quarantined")
+	}
+	ss, ok := store.SyncStateOf("j1")
+	if !ok || len(ss.FollowUps) != 1 {
+		t.Fatalf("follow-ups not parked: %+v, %v", ss, ok)
+	}
+
+	// While quarantined: parked, not retried.
+	failuresBefore := syncer.Stats().Failures
+	syncer.RunRound()
+	if syncer.Stats().Failures != failuresBefore {
+		t.Fatal("parked follow-up retried while quarantined")
+	}
+	if act.resumeCount("j1") != 0 {
+		t.Fatal("resume ran while quarantined")
+	}
+
+	// Cleared: the next round finishes the follow-up and the job is clean.
+	store.ClearQuarantine("j1")
+	syncer.RunRound()
+	if act.resumeCount("j1") != 1 {
+		t.Fatalf("resume after clear ran %d times, want 1", act.resumeCount("j1"))
+	}
+	if _, ok := store.SyncStateOf("j1"); ok {
+		t.Fatal("sync state leaked after follow-up completed")
+	}
+	if n := store.DirtyCount(); n != 0 {
+		t.Fatalf("%d dirty marks left", n)
+	}
+}

@@ -17,13 +17,24 @@
 //     syncer itself crashes between rounds — rounds are stateless.
 //
 // Rounds are change-driven: writers to the Job Store mark jobs dirty, and
-// a round examines only the drained dirty set plus jobs with outstanding
+// a round examines only the marked jobs plus jobs with outstanding
 // failures or post-commit retries, so a converged fleet costs almost
 // nothing per round. Every FullSweepEvery-th round is a full-fleet sweep —
 // the safety net that preserves the stateless-round durability argument:
 // even if a dirty mark were ever lost, the next sweep rediscovers the
 // divergence from the expected/running difference alone, exactly as the
 // original full-scan design did every round.
+//
+// The syncer's crash-critical bookkeeping is durable: dirty marks are
+// cleared only after a job's synchronization succeeded (never drained up
+// front), and failure streaks, backoff deadlines, and pending post-commit
+// follow-up actions live in the Job Store (jobstore.SyncState), captured
+// by Snapshot and revived by Restore. A syncer that dies mid-round
+// therefore leaves behind exactly the state its successor needs to
+// converge within one ordinary change-driven round — no full sweep
+// required. Failed jobs retry under bounded exponential backoff with
+// deterministic per-job jitter, so a dark downstream dependency produces
+// a trickle of probes instead of a retry storm every round.
 //
 // Synchronizations come in two classes (§III-B): simple ones are a direct
 // copy of the merged expected configuration into the running table (e.g. a
@@ -39,7 +50,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -106,10 +116,40 @@ func (k PlanKind) String() string {
 	}
 }
 
-// Action is one idempotent step of an execution plan.
+// Action is one idempotent step of an execution plan. Post-commit
+// follow-up actions additionally carry a stable Key, the durable form
+// persisted in the Job Store's SyncState so a restarted syncer can
+// reconstruct and finish them.
 type Action struct {
 	Name string
+	Key  string
 	Run  func() error
+}
+
+// followUpResume is the durable key of the "resume job" follow-up — the
+// only post-commit action complex plans emit today.
+const followUpResume = "resume"
+
+// followUpAction reconstructs a follow-up action from its durable key.
+// Unknown keys (from a newer snapshot) report ok=false and are dropped.
+func (s *Syncer) followUpAction(job, key string) (Action, bool) {
+	switch key {
+	case followUpResume:
+		return Action{
+			Name: "resume job (start new tasks)",
+			Key:  key,
+			Run:  func() error { return s.act.ResumeJob(job) },
+		}, true
+	}
+	return Action{}, false
+}
+
+func followUpKeys(actions []Action) []string {
+	keys := make([]string, len(actions))
+	for i, a := range actions {
+		keys[i] = a.Key
+	}
+	return keys
 }
 
 // Plan is the execution plan for one job in one round.
@@ -119,8 +159,13 @@ type Plan struct {
 	Changes []config.Change
 	Actions []Action
 	// commit publishes the new running configuration; it runs only after
-	// every action succeeded (the atomic commit point).
-	commit func()
+	// every action succeeded (the atomic commit point). The error is
+	// always nil unless fault injection intercepts the store commit.
+	commit func() error
+	// commitErr records a failed inline commit from BuildPlan's
+	// content-equal fast path, so the round treats the job as failed
+	// rather than converged.
+	commitErr error
 	// after runs post-commit follow-ups (resume a quiesced job). Failures
 	// here do not undo the commit; the follow-up is idempotent and the
 	// next round retries it if the difference persists.
@@ -196,24 +241,39 @@ type Options struct {
 	// the batched simple commits; defaults to GOMAXPROCS capped at 16
 	// (mirroring the Auto Scaler's scan pool).
 	SyncParallelism int
+	// RetryBackoffBase is the backoff unit for repeatedly failing jobs: a
+	// job on its Nth consecutive failure (N >= 2) is not retried until
+	// roughly base·2^(N-2) after the failure, capped at RetryBackoffMax,
+	// with a deterministic per-job jitter subtracted so streaks across
+	// jobs do not retry in lockstep. The first failure always retries on
+	// the next round. Defaults to Interval; NoBackoff disables backoff
+	// (the pre-PR-5 retry-every-round behavior).
+	RetryBackoffBase time.Duration
+	// RetryBackoffMax caps the exponential backoff; defaults to 10×base.
+	RetryBackoffMax time.Duration
 }
 
-// Syncer drives expected→running convergence.
+// NoBackoff disables failure-retry backoff when assigned to
+// Options.RetryBackoffBase.
+const NoBackoff time.Duration = -1
+
+// Syncer drives expected→running convergence. All crash-critical
+// per-job bookkeeping (failure streaks, backoff deadlines, pending
+// post-commit follow-ups) lives in the Job Store, not on the Syncer —
+// a replacement Syncer over the same store resumes seamlessly.
 type Syncer struct {
 	store *jobstore.Store
 	act   Actuator
 	clock simclock.Clock
 	opts  Options
 
-	mu       sync.Mutex
-	failures map[string]int
-	stats    Stats
-	ticker   simclock.Ticker
-	// pendingAfter holds post-commit actions that failed and must be
-	// retried at the start of every round until they succeed — otherwise
-	// a job whose running config already matches expected (fast path)
-	// could stay quiesced forever.
-	pendingAfter map[string][]Action
+	// killed simulates a crash: once set, the syncer stops touching the
+	// store and the actuator mid-flight, exactly as a dead process would.
+	killed atomic.Bool
+
+	mu     sync.Mutex
+	stats  Stats
+	ticker simclock.Ticker
 }
 
 // New returns a Syncer over store using act for complex-plan side effects.
@@ -236,18 +296,45 @@ func New(store *jobstore.Store, act Actuator, clock simclock.Clock, opts Options
 			opts.SyncParallelism = 16
 		}
 	}
+	if opts.RetryBackoffBase == 0 {
+		opts.RetryBackoffBase = opts.Interval
+	}
+	if opts.RetryBackoffBase < 0 {
+		opts.RetryBackoffBase = NoBackoff
+	}
+	if opts.RetryBackoffMax <= 0 {
+		opts.RetryBackoffMax = 10 * opts.RetryBackoffBase
+	}
 	if act == nil {
 		act = NopActuator{}
 	}
 	return &Syncer{
-		store:        store,
-		act:          act,
-		clock:        clock,
-		opts:         opts,
-		failures:     make(map[string]int),
-		pendingAfter: make(map[string][]Action),
+		store: store,
+		act:   act,
+		clock: clock,
+		opts:  opts,
 	}
 }
+
+// Kill simulates a syncer process crash, for restart testing and the
+// chaos harness: periodic rounds stop and every in-flight store write or
+// actuator call is suppressed from this point on. The Job Store — which
+// models a durable external database — retains whatever the syncer had
+// persisted; a new Syncer over the same store (or over a Restore of its
+// Snapshot) picks up exactly where this one died.
+func (s *Syncer) Kill() {
+	s.killed.Store(true)
+	s.Stop()
+}
+
+// Killed reports whether Kill was called.
+func (s *Syncer) Killed() bool { return s.killed.Load() }
+
+func (s *Syncer) dead() bool { return s.killed.Load() }
+
+// errKilled aborts plan execution after a simulated crash. It is never
+// recorded as a job failure: a dead syncer does no accounting.
+var errKilled = errors.New("statesyncer: syncer killed")
 
 // Start schedules periodic rounds on the syncer's clock.
 func (s *Syncer) Start() {
@@ -298,12 +385,14 @@ func (s *Syncer) BuildPlan(job string, merged config.Doc, version int64) Plan {
 			// Content equal even though the version moved (e.g. an
 			// override written and reverted): commit the version so
 			// future rounds take the fast path.
-			s.store.CommitRunningShared(job, merged, version)
+			if err := s.store.CommitRunningShared(job, merged, version); err != nil {
+				return Plan{Job: job, Kind: PlanNoop, commitErr: fmt.Errorf("%s: commit: %w", job, err)}
+			}
 			return Plan{Job: job, Kind: PlanNoop}
 		}
 	}
 
-	commit := func() { s.store.CommitRunningShared(job, merged, version) }
+	commit := func() error { return s.store.CommitRunningShared(job, merged, version) }
 
 	complex := false
 	for _, ch := range changes {
@@ -335,10 +424,8 @@ func (s *Syncer) BuildPlan(job string, merged config.Doc, version int64) Plan {
 			},
 		},
 	}
-	after := []Action{{
-		Name: "resume job (start new tasks)",
-		Run:  func() error { return s.act.ResumeJob(job) },
-	}}
+	resume, _ := s.followUpAction(job, followUpResume)
+	after := []Action{resume}
 	rollback := []Action{{
 		Name: "roll back: resume job in its previous configuration",
 		Run:  func() error { return s.act.ResumeJob(job) },
@@ -364,28 +451,84 @@ func intAt(d config.Doc, path string) int {
 }
 
 // executePlan runs a plan's actions in order and commits on full success.
-func executePlan(p Plan) error {
+// Plans with post-commit follow-ups write their follow-up keys into the
+// store BEFORE committing (write-ahead intent): a syncer that crashes
+// after the commit but before the follow-ups leaves a durable record its
+// successor replays. Every step is guarded on the killed flag so a
+// simulated crash stops the plan exactly where a dead process would.
+func (s *Syncer) executePlan(p Plan) error {
 	for _, a := range p.Actions {
+		if s.dead() {
+			return errKilled
+		}
 		if err := a.Run(); err != nil {
 			for _, rb := range p.rollback {
+				if s.dead() {
+					return errKilled
+				}
 				_ = rb.Run() // best effort; the retry next round re-plans
 			}
 			return fmt.Errorf("%s: action %q: %w", p.Job, a.Name, err)
 		}
 	}
+	if s.dead() {
+		return errKilled
+	}
+	if len(p.after) > 0 {
+		// Write-ahead intent: if the syncer dies right after the commit
+		// lands, the restored syncer finds these keys and finishes the
+		// follow-ups instead of leaving the job quiesced forever. If it
+		// dies right BEFORE the commit, replaying "resume" un-quiesces
+		// the job in its previous configuration — the rollback — and the
+		// still-standing dirty mark re-plans the update.
+		s.setFollowUps(p.Job, followUpKeys(p.after))
+	}
 	if p.commit != nil {
-		p.commit()
+		if err := p.commit(); err != nil {
+			if s.dead() {
+				return errKilled
+			}
+			s.setFollowUps(p.Job, nil)
+			for _, rb := range p.rollback {
+				_ = rb.Run()
+			}
+			return fmt.Errorf("%s: commit: %w", p.Job, err)
+		}
 	}
 	for i, a := range p.after {
+		if s.dead() {
+			return errKilled
+		}
 		if err := a.Run(); err != nil {
+			remaining := p.after[i:]
+			s.setFollowUps(p.Job, followUpKeys(remaining))
 			return &afterError{
 				job:       p.Job,
-				remaining: p.after[i:],
+				remaining: remaining,
 				err:       fmt.Errorf("%s: post-commit action %q: %w", p.Job, a.Name, err),
 			}
 		}
 	}
+	if len(p.after) > 0 {
+		s.setFollowUps(p.Job, nil)
+	}
 	return nil
+}
+
+// setFollowUps persists (or, with no keys, clears) the job's pending
+// post-commit follow-up record. Suppressed after Kill, like every other
+// store write from a dead syncer.
+func (s *Syncer) setFollowUps(job string, keys []string) {
+	if s.dead() {
+		return
+	}
+	s.store.UpdateSyncState(job, func(ss *jobstore.SyncState) {
+		if len(keys) == 0 {
+			ss.FollowUps = nil
+			return
+		}
+		ss.FollowUps = append([]string(nil), keys...)
+	})
 }
 
 // afterError marks a plan whose commit landed but whose post-commit
@@ -419,12 +562,59 @@ type planned struct {
 	// gone marks a candidate with neither expected nor running entry: a
 	// stale dirty mark or failure record for a fully torn-down job.
 	gone bool
+	// backedOff marks a mid-streak candidate whose backoff deadline has
+	// not passed: skipped entirely this round, dirty mark retained.
+	backedOff bool
+}
+
+// backoffDelay returns how long after its streak-th consecutive failure
+// a job waits before the next retry: 0 for the first failure, then
+// base·2^(streak-2) capped at RetryBackoffMax, minus a deterministic
+// per-(job, streak) jitter of up to a quarter of the delay so failing
+// jobs spread out instead of retrying in lockstep. Seed-stable: the same
+// job and streak always yield the same delay.
+func (s *Syncer) backoffDelay(job string, streak int) time.Duration {
+	if s.opts.RetryBackoffBase == NoBackoff || streak <= 1 {
+		return 0
+	}
+	d := s.opts.RetryBackoffBase
+	for i := 2; i < streak && d < s.opts.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.opts.RetryBackoffMax {
+		d = s.opts.RetryBackoffMax
+	}
+	h := fnv64(job, uint64(streak))
+	d -= time.Duration(h % uint64(d/4+1))
+	return d
+}
+
+// fnv64 hashes a string plus a salt (FNV-1a), the deterministic jitter
+// source.
+func fnv64(sstr string, salt uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(sstr); i++ {
+		h ^= uint64(sstr[i])
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (salt >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return h
 }
 
 // planJob classifies one candidate job and builds its plan if divergent.
 // Pure reads plus the content-equal inline commit — safe to run on many
 // jobs concurrently over the striped store.
-func (s *Syncer) planJob(job string) planned {
+func (s *Syncer) planJob(job string, now time.Time) planned {
+	if ss, ok := s.store.SyncStateOf(job); ok && ss.FailureStreak > 0 && now.Before(ss.NextRetryAt) {
+		return planned{plan: Plan{Job: job, Kind: PlanNoop}, backedOff: true}
+	}
 	ev, hasExp := s.store.ExpectedVersion(job)
 	if !hasExp {
 		// Deleted job: tear down if tasks may still run. Quarantine does
@@ -459,63 +649,39 @@ func (s *Syncer) planJob(job string) planned {
 func (s *Syncer) RunRound() RoundResult {
 	start := time.Now() // wall time: measures real sync cost, not sim time
 	var res RoundResult
+	if s.dead() {
+		return res
+	}
+	now := s.clock.Now()
 
-	// Retry post-commit follow-ups left over from earlier rounds first:
-	// these jobs are converged by version but still held (e.g. quiesced).
-	s.mu.Lock()
-	retryJobs := make([]string, 0, len(s.pendingAfter))
-	for job := range s.pendingAfter {
-		retryJobs = append(retryJobs, job)
-	}
-	sort.Strings(retryJobs)
-	retries := make([][]Action, len(retryJobs))
-	for i, job := range retryJobs {
-		retries[i] = s.pendingAfter[job]
-	}
-	s.mu.Unlock()
-	for i, job := range retryJobs {
-		acts := retries[i]
-		done := 0
-		var err error
-		for _, a := range acts {
-			if err = a.Run(); err != nil {
-				break
-			}
-			done++
-		}
-		s.mu.Lock()
-		if err == nil {
-			delete(s.pendingAfter, job)
-		} else {
-			s.pendingAfter[job] = acts[done:]
-		}
-		s.mu.Unlock()
-		if err != nil {
-			s.recordFailure(job, err, &res)
-		}
-	}
+	// Retry post-commit follow-ups left over from earlier rounds (or from
+	// a crashed predecessor) first: these jobs are converged by version
+	// but still held (e.g. quiesced).
+	s.retryFollowUps(now, &res)
 
-	// Candidate assembly. Change-driven rounds visit the drained dirty
-	// set plus every job with outstanding failures; sweep rounds visit
-	// the whole fleet (expected ∪ running) as the durability safety net.
+	// Candidate assembly. Change-driven rounds visit the marked jobs plus
+	// every job with durable sync state (mid-streak or holding follow-ups);
+	// sweep rounds visit the whole fleet (expected ∪ running) as the
+	// durability safety net. Marks are only peeked here — each one is
+	// cleared individually once its job's synchronization succeeded, so a
+	// crash mid-round loses nothing.
 	s.mu.Lock()
 	round := s.stats.Rounds
 	s.mu.Unlock()
-	sweep := s.opts.FullSweepEvery <= 1 || round%s.opts.FullSweepEvery == 0
+	sweep := s.opts.FullSweepEvery <= 1 || (round+1)%s.opts.FullSweepEvery == 0
+	marks := s.store.DirtyMarks()
+	markSeq := make(map[string]uint64, len(marks))
+	dirty := make([]string, len(marks))
+	for i, m := range marks {
+		dirty[i] = m.Name
+		markSeq[m.Name] = m.Seq
+	}
 	var candidates []string
 	if sweep {
-		s.store.DrainDirty() // subsumed by the sweep
-		candidates = unionSorted(s.store.ExpectedNames(), s.store.RunningNames())
+		candidates = unionSorted(unionSorted(s.store.ExpectedNames(), s.store.RunningNames()), dirty)
+		candidates = unionSorted(candidates, s.store.SyncStateNames())
 	} else {
-		dirty := s.store.DrainDirty()
-		s.mu.Lock()
-		failed := make([]string, 0, len(s.failures))
-		for job := range s.failures {
-			failed = append(failed, job)
-		}
-		s.mu.Unlock()
-		sort.Strings(failed)
-		candidates = unionSorted(dirty, failed)
+		candidates = unionSorted(dirty, s.store.SyncStateNames())
 	}
 	res.Swept = sweep
 
@@ -523,31 +689,52 @@ func (s *Syncer) RunRound() RoundResult {
 	// merge below walks them in sorted-job order.
 	results := make([]planned, len(candidates))
 	forEachIndexed(len(candidates), s.opts.SyncParallelism, 32, func(i int) {
-		results[i] = s.planJob(candidates[i])
+		results[i] = s.planJob(candidates[i], now)
 	})
+	if s.dead() {
+		return res
+	}
 
 	var simple, complexPlans []Plan
 	var teardown []string
-	s.mu.Lock()
+	examined := 0
 	for i := range results {
 		r := &results[i]
+		job := candidates[i]
 		if r.examined {
-			s.stats.JobsExamined++
+			examined++
+		}
+		if r.backedOff {
+			continue // mark retained; retried after the deadline passes
 		}
 		if r.gone {
-			// Fully gone job: drop its failure record, or it would stay a
-			// candidate forever.
-			delete(s.failures, r.plan.Job)
+			// Fully gone job: drop its durable record and mark, or it
+			// would stay a candidate forever.
+			s.store.ClearSyncState(job)
+			if seq, ok := markSeq[job]; ok {
+				s.store.ClearDirtyIf(job, seq)
+			}
+			continue
 		}
 		switch r.plan.Kind {
+		case PlanNoop:
+			if r.plan.commitErr != nil {
+				s.handlePlanError(job, r.plan.commitErr, &res)
+			} else if seq, ok := markSeq[job]; ok {
+				// Converged (or quarantined): the mark is consumed. A
+				// concurrent write re-marked with a higher seq and wins.
+				s.store.ClearDirtyIf(job, seq)
+			}
 		case PlanSimple:
 			simple = append(simple, r.plan)
 		case PlanComplex:
 			complexPlans = append(complexPlans, r.plan)
 		case PlanDelete:
-			teardown = append(teardown, r.plan.Job)
+			teardown = append(teardown, job)
 		}
 	}
+	s.mu.Lock()
+	s.stats.JobsExamined += examined
 	s.mu.Unlock()
 
 	// Batch the simple synchronizations: direct copies, no actions. Tens
@@ -557,14 +744,14 @@ func (s *Syncer) RunRound() RoundResult {
 	if len(simple) > 0 {
 		errs := make([]error, len(simple))
 		forEachIndexed(len(simple), s.opts.SyncParallelism, 256, func(i int) {
-			errs[i] = executePlan(simple[i])
+			errs[i] = s.executePlan(simple[i])
 		})
 		for i := range simple {
 			if errs[i] != nil {
 				s.handlePlanError(simple[i].Job, errs[i], &res)
 				continue
 			}
-			s.recordSuccess(simple[i].Job)
+			s.recordSuccess(simple[i].Job, markSeq)
 			res.Simple++
 		}
 	}
@@ -574,37 +761,47 @@ func (s *Syncer) RunRound() RoundResult {
 	if len(complexPlans) > 0 {
 		errs := make([]error, len(complexPlans))
 		forEachIndexed(len(complexPlans), s.opts.MaxParallelComplex, 2, func(i int) {
-			errs[i] = executePlan(complexPlans[i])
+			errs[i] = s.executePlan(complexPlans[i])
 		})
 		for i := range complexPlans {
 			if errs[i] != nil {
 				s.handlePlanError(complexPlans[i].Job, errs[i], &res)
 				continue
 			}
-			s.recordSuccess(complexPlans[i].Job)
+			s.recordSuccess(complexPlans[i].Job, markSeq)
 			res.Complex++
 		}
 	}
 
 	// Tear down jobs whose expected entry is gone: stop tasks, then drop
-	// the running entry. Errors retry next round like any failed plan.
+	// the running entry. Errors retry (under backoff) like any failed
+	// plan: the dirty mark is retained and the streak is durable.
 	for _, job := range teardown {
+		if s.dead() {
+			break
+		}
 		if err := s.act.StopJobTasks(job); err != nil {
 			s.recordFailure(job, err, &res)
-			// Stay a candidate next round even if the failure crossed the
-			// quarantine threshold (which clears the failure record).
-			s.store.MarkDirty(job)
 			continue
+		}
+		if s.dead() {
+			break
 		}
 		s.store.DropRunning(job)
 		_ = s.act.ResumeJob(job) // clear any hold; no specs remain anyway
+		s.store.ClearSyncState(job) // teardown resolved any failure streak
+		if seq, ok := markSeq[job]; ok {
+			s.store.ClearDirtyIf(job, seq)
+		}
 		s.mu.Lock()
-		delete(s.failures, job) // teardown resolved any failure streak
 		s.stats.Deletes++
 		s.mu.Unlock()
 		res.Deleted++
 	}
 
+	if s.dead() {
+		return res
+	}
 	s.mu.Lock()
 	s.stats.Rounds++
 	if sweep {
@@ -616,6 +813,52 @@ func (s *Syncer) RunRound() RoundResult {
 
 	res.Duration = time.Since(start)
 	return res
+}
+
+// retryFollowUps replays pending post-commit follow-up actions recorded
+// in the store — both this syncer's and those inherited from a crashed
+// predecessor. Quarantined jobs keep their follow-ups parked until an
+// oncall clears the quarantine; mid-streak jobs wait out their backoff.
+func (s *Syncer) retryFollowUps(now time.Time, res *RoundResult) {
+	for _, job := range s.store.SyncStateNames() {
+		if s.dead() {
+			return
+		}
+		ss, ok := s.store.SyncStateOf(job)
+		if !ok || len(ss.FollowUps) == 0 {
+			continue
+		}
+		if _, quarantined := s.store.Quarantined(job); quarantined {
+			continue
+		}
+		if ss.FailureStreak > 0 && now.Before(ss.NextRetryAt) {
+			continue
+		}
+		done := 0
+		var err error
+		for _, key := range ss.FollowUps {
+			a, known := s.followUpAction(job, key)
+			if !known {
+				done++ // unknown key from a newer snapshot: drop it
+				continue
+			}
+			if err = a.Run(); err != nil {
+				break
+			}
+			done++
+		}
+		if s.dead() {
+			return
+		}
+		if err == nil {
+			// Follow-ups complete: the job is fully converged, so its
+			// failure streak is resolved along with the record.
+			s.store.ClearSyncState(job)
+		} else {
+			s.setFollowUps(job, ss.FollowUps[done:])
+			s.recordFailure(job, err, res)
+		}
+	}
 }
 
 // unionSorted merges two sorted, duplicate-free name slices. When b is a
@@ -688,41 +931,70 @@ func forEachIndexed(n, par, minParallel int, fn func(int)) {
 	wg.Wait()
 }
 
-// handlePlanError routes a plan failure: post-commit failures park their
-// remaining actions for per-round retry; pre-commit failures follow the
-// abort-and-retry-next-round path.
+// handlePlanError routes a plan failure. Post-commit (afterError)
+// failures already persisted their remaining follow-ups durably inside
+// executePlan; a killed plan did no work and records nothing.
 func (s *Syncer) handlePlanError(job string, err error, res *RoundResult) {
-	var ae *afterError
-	if errors.As(err, &ae) {
-		s.mu.Lock()
-		s.pendingAfter[job] = ae.remaining
-		s.mu.Unlock()
+	if errors.Is(err, errKilled) {
+		return
 	}
 	s.recordFailure(job, err, res)
 }
 
-func (s *Syncer) recordSuccess(job string) {
+// recordSuccess resolves a job's failure streak and consumes its dirty
+// mark (if the mark was not re-stamped by a concurrent write mid-round).
+func (s *Syncer) recordSuccess(job string, markSeq map[string]uint64) {
+	if s.dead() {
+		return
+	}
+	s.store.UpdateSyncState(job, func(ss *jobstore.SyncState) {
+		ss.FailureStreak = 0
+		ss.NextRetryAt = time.Time{}
+	})
+	if seq, ok := markSeq[job]; ok {
+		s.store.ClearDirtyIf(job, seq)
+	}
 	s.mu.Lock()
-	delete(s.failures, job)
 	s.stats.JobsConverged++
 	s.mu.Unlock()
 }
 
+// recordFailure bumps the job's durable failure streak, stamps its next
+// backoff deadline, and quarantines it at the threshold. The dirty mark
+// is deliberately NOT cleared: a failed job stays a candidate.
 func (s *Syncer) recordFailure(job string, err error, res *RoundResult) {
-	s.mu.Lock()
-	s.failures[job]++
-	s.stats.Failures++
-	n := s.failures[job]
+	if s.dead() {
+		return
+	}
+	now := s.clock.Now()
+	var n int
+	s.store.UpdateSyncState(job, func(ss *jobstore.SyncState) {
+		ss.FailureStreak++
+		n = ss.FailureStreak
+		if d := s.backoffDelay(job, n); d > 0 {
+			ss.NextRetryAt = now.Add(d)
+		} else {
+			ss.NextRetryAt = time.Time{}
+		}
+	})
 	quarantine := n >= s.opts.QuarantineAfter
+	s.mu.Lock()
+	s.stats.Failures++
 	if quarantine {
 		s.stats.Quarantines++
-		delete(s.failures, job)
 	}
 	onAlert := s.opts.OnAlert
 	s.mu.Unlock()
 
 	res.Failed = append(res.Failed, job)
 	if quarantine {
+		// The streak is resolved by the quarantine itself (mirroring the
+		// old in-memory map deletion); pending follow-ups stay parked so
+		// clearing the quarantine can finish them rather than leak them.
+		s.store.UpdateSyncState(job, func(ss *jobstore.SyncState) {
+			ss.FailureStreak = 0
+			ss.NextRetryAt = time.Time{}
+		})
 		reason := fmt.Sprintf("quarantined after %d consecutive sync failures; last: %v", n, err)
 		s.store.SetQuarantine(job, reason)
 		if onAlert != nil {
@@ -731,9 +1003,9 @@ func (s *Syncer) recordFailure(job string, err error, res *RoundResult) {
 	}
 }
 
-// FailureCount returns the current consecutive-failure count for a job.
+// FailureCount returns the job's current consecutive-failure streak, as
+// recorded durably in the Job Store.
 func (s *Syncer) FailureCount(job string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.failures[job]
+	ss, _ := s.store.SyncStateOf(job)
+	return ss.FailureStreak
 }

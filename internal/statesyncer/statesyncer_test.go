@@ -22,10 +22,14 @@ type fakeActuator struct {
 	redistributes []string
 	resumes       []string
 	failStops     map[string]int // job -> remaining failures
+	failResumes   map[string]int // job -> remaining failures
 }
 
 func newFakeActuator() *fakeActuator {
-	return &fakeActuator{failStops: make(map[string]int)}
+	return &fakeActuator{
+		failStops:   make(map[string]int),
+		failResumes: make(map[string]int),
+	}
 }
 
 func (f *fakeActuator) StopJobTasks(job string) error {
@@ -49,8 +53,24 @@ func (f *fakeActuator) RedistributeCheckpoints(job string, partitions, oldCount,
 func (f *fakeActuator) ResumeJob(job string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if n := f.failResumes[job]; n > 0 {
+		f.failResumes[job] = n - 1
+		return errors.New("injected resume failure")
+	}
 	f.resumes = append(f.resumes, job)
 	return nil
+}
+
+func (f *fakeActuator) resumeCount(job string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, j := range f.resumes {
+		if j == job {
+			n++
+		}
+	}
+	return n
 }
 
 func (f *fakeActuator) stopCount(job string) int {
@@ -202,7 +222,7 @@ func TestFailedComplexSyncAbortsAndRetries(t *testing.T) {
 
 func TestRepeatedFailureQuarantinesAndAlerts(t *testing.T) {
 	var alerts []Alert
-	svc, syncer, act, _ := newWorld(t, Options{
+	svc, syncer, act, clk := newWorld(t, Options{
 		QuarantineAfter: 3,
 		OnAlert:         func(a Alert) { alerts = append(alerts, a) },
 	})
@@ -211,8 +231,11 @@ func TestRepeatedFailureQuarantinesAndAlerts(t *testing.T) {
 	svc.SetTaskCount("j1", config.LayerScaler, 20)
 	act.failStops["j1"] = 100 // keeps failing
 
+	// Repeated failures back off exponentially (base = the 30s default
+	// interval), so advance the clock past each deadline between rounds.
 	for i := 0; i < 3; i++ {
 		syncer.RunRound()
+		clk.RunFor(time.Minute)
 	}
 	if _, ok := svc.Store().Quarantined("j1"); !ok {
 		t.Fatal("job not quarantined after 3 failures")

@@ -91,6 +91,13 @@ type Options struct {
 	Metrics *metrics.Store
 }
 
+// DefaultConnectionTimeout is the proactive self-reboot deadline when
+// the Shard Manager is unreachable (§IV-C). It must stay shorter than
+// shardmanager.DefaultFailoverInterval: the container kills its own
+// tasks before its shards can be failed over elsewhere, so two live
+// instances of one task never overlap.
+const DefaultConnectionTimeout = 40 * time.Second
+
 func (o *Options) fillDefaults() {
 	if o.FetchInterval <= 0 {
 		o.FetchInterval = 60 * time.Second
@@ -99,11 +106,33 @@ func (o *Options) fillDefaults() {
 		o.HeartbeatInterval = 10 * time.Second
 	}
 	if o.ConnectionTimeout <= 0 {
-		o.ConnectionTimeout = 40 * time.Second
+		o.ConnectionTimeout = DefaultConnectionTimeout
 	}
 	if o.LoadReportInterval <= 0 {
 		o.LoadReportInterval = 10 * time.Minute
 	}
+}
+
+// ValidateFailoverTiming checks the duplicate-task safety invariant of
+// §IV-C at construction time: the Task Manager's proactive connection
+// timeout must be strictly shorter than the Shard Manager's failover
+// interval. If it were not, the Shard Manager could reassign a silent
+// container's shards while that container is still running their tasks —
+// two active instances of the same task. Zero values are resolved to the
+// respective defaults before comparison, so partially-configured
+// clusters are validated against what they will actually run.
+func ValidateFailoverTiming(connectionTimeout, failoverInterval time.Duration) error {
+	if connectionTimeout <= 0 {
+		connectionTimeout = DefaultConnectionTimeout
+	}
+	if failoverInterval <= 0 {
+		failoverInterval = shardmanager.DefaultFailoverInterval
+	}
+	if connectionTimeout >= failoverInterval {
+		return fmt.Errorf("taskmanager: ConnectionTimeout (%v) must be shorter than the Shard Manager's FailoverInterval (%v): a container that self-reboots only at or after failover opens a duplicate-task window (§IV-C)",
+			connectionTimeout, failoverInterval)
+	}
+	return nil
 }
 
 type runningTask struct {
@@ -139,6 +168,7 @@ type Manager struct {
 	shards      map[shardmanager.ShardID]struct{}
 	tasks       map[string]*runningTask
 	connected   bool
+	unreachable bool // last heartbeat timed out (partition-shaped failure)
 	lastContact time.Time
 	rebootedEp  bool // already rebooted in this disconnection episode
 	stats       Stats
@@ -234,6 +264,7 @@ func (m *Manager) SetConnected(connected bool) {
 	m.connected = connected
 	if connected && wasDown {
 		m.rebootedEp = false
+		m.unreachable = false
 	}
 }
 
@@ -289,11 +320,12 @@ func (m *Manager) Refresh() {
 		return
 	}
 	m.mu.Lock()
-	connected := m.connected
+	reachable := m.connected && !m.unreachable
 	m.mu.Unlock()
-	if !connected {
+	if !reachable {
 		// Shard ownership cannot be confirmed while the Shard Manager is
-		// unreachable: keep running what we run, but start nothing new —
+		// unreachable — whether the simulated link is down or heartbeats
+		// are timing out: keep running what we run, but start nothing new —
 		// a rebooted-but-disconnected container must stay idle until it
 		// re-connects, or it could duplicate tasks the Shard Manager has
 		// failed over elsewhere (§IV-C).
@@ -386,8 +418,17 @@ func (m *Manager) heartbeat() {
 	connected := m.connected
 	m.mu.Unlock()
 
-	if !connected {
+	var err error
+	if connected {
+		err = m.sm.Heartbeat(m.id)
+	}
+	if !connected || errors.Is(err, shardmanager.ErrTimeout) {
+		// No contact this beat: either the simulated link is down or the
+		// heartbeat timed out on the wire (the fault injector's blackout,
+		// indistinguishable from a network partition). Either way the
+		// silence counts toward the proactive connection timeout (§IV-C).
 		m.mu.Lock()
+		m.unreachable = true
 		silent := m.clock.Since(m.lastContact)
 		needReboot := silent >= m.opts.ConnectionTimeout && !m.rebootedEp
 		if needReboot {
@@ -400,9 +441,10 @@ func (m *Manager) heartbeat() {
 		return
 	}
 
-	err := m.sm.Heartbeat(m.id)
 	m.mu.Lock()
 	m.lastContact = m.clock.Now()
+	m.unreachable = false
+	m.rebootedEp = false
 	m.mu.Unlock()
 	if errors.Is(err, shardmanager.ErrUnavailable) {
 		// Degraded mode (§IV-D): the Shard Manager service itself is

@@ -1,0 +1,157 @@
+package taskmanager
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/jobstore"
+	"repro/internal/scribe"
+	"repro/internal/shardmanager"
+	"repro/internal/simclock"
+	"repro/internal/taskservice"
+	"repro/internal/tupperware"
+)
+
+func TestValidateFailoverTiming(t *testing.T) {
+	valid := []struct {
+		name           string
+		conn, failover time.Duration
+	}{
+		{"paper defaults resolved from zeros", 0, 0},
+		{"explicit 40s < 60s", 40 * time.Second, 60 * time.Second},
+		{"short conn against default failover", 5 * time.Second, 0},
+		{"default conn against long failover", 0, 5 * time.Minute},
+	}
+	for _, tc := range valid {
+		if err := ValidateFailoverTiming(tc.conn, tc.failover); err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+	}
+
+	invalid := []struct {
+		name           string
+		conn, failover time.Duration
+	}{
+		{"equal opens a race at the boundary", time.Minute, time.Minute},
+		{"conn longer than failover", 10 * time.Minute, time.Minute},
+		{"conn longer than the default failover", 2 * time.Minute, 0},
+		{"default conn against shorter failover", 0, 30 * time.Second},
+	}
+	for _, tc := range invalid {
+		if err := ValidateFailoverTiming(tc.conn, tc.failover); err == nil {
+			t.Errorf("%s: ValidateFailoverTiming(%v, %v) accepted a duplicate-task window",
+				tc.name, tc.conn, tc.failover)
+		}
+	}
+}
+
+// blackoutSM wraps a real Shard Manager so heartbeats can be made to time
+// out on the wire — the fault injector's partition-shaped failure. While
+// dark, heartbeats neither reach the SM nor return: the caller sees
+// ErrTimeout and the SM sees silence.
+type blackoutSM struct {
+	*shardmanager.Manager
+	mu   sync.Mutex
+	dark bool
+}
+
+func (b *blackoutSM) setDark(dark bool) {
+	b.mu.Lock()
+	b.dark = dark
+	b.mu.Unlock()
+}
+
+func (b *blackoutSM) Heartbeat(id string) error {
+	b.mu.Lock()
+	dark := b.dark
+	b.mu.Unlock()
+	if dark {
+		return shardmanager.ErrTimeout
+	}
+	return b.Manager.Heartbeat(id)
+}
+
+// TestHeartbeatTimeoutCountsTowardProactiveReboot drives the §IV-C
+// protocol through ErrTimeout rather than SetConnected: a heartbeat
+// blackout must count as silence, trigger the proactive reboot before the
+// SM's failover, and gate Refresh from restarting tasks whose ownership
+// cannot be confirmed.
+func TestHeartbeatTimeoutCountsTowardProactiveReboot(t *testing.T) {
+	clk := simclock.NewSim(epoch)
+	store := jobstore.New()
+	bus := scribe.NewBus()
+	ckpt := engine.NewCheckpointStore()
+	tw := tupperware.NewCluster()
+	ts := taskservice.New(store, clk, 90*time.Second, 64)
+	sm := shardmanager.New(clk, shardmanager.Options{NumShards: 64})
+	bsm := &blackoutSM{Manager: sm}
+	profile := func(spec engine.TaskSpec) *engine.Profile {
+		return engine.DefaultProfile(spec.Operator)
+	}
+	var tms []*Manager
+	for i := 0; i < 2; i++ {
+		tw.AddHost(fmt.Sprintf("h%d", i), config.Resources{CPUCores: 48, MemoryBytes: 256 << 30})
+		ct, _ := tw.AllocateOn(fmt.Sprintf("h%d", i), fmt.Sprintf("tc%d", i), config.Resources{CPUCores: 40, MemoryBytes: 200 << 30})
+		var client ShardManagerClient = sm
+		if i == 0 {
+			client = bsm // only tm0's link suffers the blackout
+		}
+		tm := New(ct, clk, ts, client, bus, ckpt, profile, Options{})
+		tm.Start()
+		tms = append(tms, tm)
+	}
+	sm.AssignUnassigned()
+	sm.Start()
+	defer sm.Stop()
+
+	cfg := &config.JobConfig{
+		Name: "j1", Package: config.Package{Name: "t", Version: "v1"},
+		TaskCount: 4, ThreadsPerTask: 1,
+		TaskResources: config.Resources{CPUCores: 1, MemoryBytes: 1 << 30},
+		Operator:      config.OpTailer,
+		Input:         config.Input{Category: "j1_in", Partitions: 8},
+	}
+	bus.CreateCategory("j1_in", 8)
+	doc, _ := cfg.ToDoc()
+	store.CommitRunning("j1", doc, 1)
+	ts.Invalidate()
+	for _, tm := range tms {
+		tm.Refresh()
+	}
+	if tms[0].TaskCount() == 0 {
+		t.Skip("all shards on tm1; hash layout changed")
+	}
+
+	bsm.setDark(true)
+	clk.RunFor(45 * time.Second) // reboot at 40s; SM failover not until 60s
+
+	if got := tms[0].Stats().Reboots; got != 1 {
+		t.Fatalf("reboots = %d, want 1 (timeouts must count toward the proactive deadline)", got)
+	}
+	if got := tms[0].TaskCount(); got != 0 {
+		t.Fatalf("tm0 still runs %d tasks after the proactive reboot", got)
+	}
+	// The dangerous moment: tm0 is connected (its link is merely timing
+	// out) and still holds its shard list locally. A refresh must NOT
+	// restart the tasks — shard ownership cannot be confirmed.
+	tms[0].Refresh()
+	if got := tms[0].TaskCount(); got != 0 {
+		t.Fatalf("refresh restarted %d tasks during a heartbeat blackout", got)
+	}
+
+	// SM failover at 60s hands the shards to tm1; it runs everything.
+	clk.RunFor(3 * time.Minute)
+	if got := tms[1].TaskCount(); got != 4 {
+		t.Fatalf("tm1 runs %d tasks after failover, want all 4", got)
+	}
+	if tms[0].Stats().Reboots != 1 {
+		t.Fatalf("reboots = %d, want exactly 1", tms[0].Stats().Reboots)
+	}
+	if ckpt.Violations() != 0 {
+		t.Fatalf("duplicate instances existed: %d violations", ckpt.Violations())
+	}
+}
