@@ -1,4 +1,4 @@
-.PHONY: check test bench build
+.PHONY: check test bench bench-scale build
 
 check: ## tier-1 verify: vet + build + race tests + bench smoke
 	./scripts/check.sh
@@ -9,5 +9,8 @@ build:
 test:
 	go test ./...
 
-bench: ## full benchmark pass; writes machine-readable BENCH_PR4.json
-	./scripts/bench.sh
+bench: ## regular benchmark pass (scale tier skipped); writes BENCH_PR6.json
+	BENCH_SHORT=1 ./scripts/bench.sh BENCH_PR6.json
+
+bench-scale: ## 1M-fleet scale tier only; writes BENCH_SCALE.json
+	BENCHTIME=$${BENCHTIME:-20x} ./scripts/bench.sh BENCH_SCALE.json Scale

@@ -115,6 +115,10 @@ func rules(clusterName string) []faultinject.Rule {
 		// the stricter "no attempt, ever". The stale-cache degradation
 		// itself is covered by faultinject's unit tests.
 		{Op: faultinject.OpSMReportLoads, Rate: 0.20, Kind: faultinject.KindError, After: faultsFrom, Until: faultsUntil},
+		// Dropped rotating-sweep slices: the syncer skips its 1/N share of
+		// the fleet that round, so a lost dirty mark waits a full extra
+		// rotation — coverage degrades but never disappears.
+		{Op: faultinject.OpSweepSlice, Rate: 0.25, Kind: faultinject.KindError, After: faultsFrom, Until: faultsUntil},
 		{Op: faultinject.OpActuatorStop, Rate: 0.05, Kind: faultinject.KindLatency, Latency: 2 * time.Second, After: faultsFrom, Until: faultsUntil},
 		// Short blackout, shorter than the 60 s failover interval: four
 		// consecutive 10 s beats are lost (the Shard Manager observes
@@ -200,6 +204,7 @@ func newCluster(opts Options, name string, faults bool) (*cluster.Cluster, *faul
 		cfg.WrapTaskSource = func(id string, inner taskmanager.TaskSource) taskmanager.TaskSource {
 			return inj.TaskSource(id, inner)
 		}
+		cfg.Syncer.SweepGate = inj.SweepGate()
 	}
 	c, err := cluster.New(cfg)
 	if err != nil {
@@ -327,7 +332,7 @@ func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, re
 	if n := c.Ckpt.LiveOwners(teardownJob); n != 0 {
 		return fmt.Errorf("%d live checkpoint owners of deleted job %s", n, teardownJob)
 	}
-	if _, ok := c.Store.GetRunning(teardownJob); ok {
+	if _, ok := c.Store.RunningVersion(teardownJob); ok {
 		return fmt.Errorf("deleted job %s still has a running entry", teardownJob)
 	}
 

@@ -4,7 +4,10 @@ import (
 	"os"
 	"reflect"
 	"strconv"
+	"strings"
 	"testing"
+
+	"repro/internal/faultinject"
 )
 
 func soakSeed(t *testing.T) uint64 {
@@ -37,8 +40,15 @@ func TestChaosSoak(t *testing.T) {
 	}
 	t.Logf("seed %d: %d faults injected, %d syncer restarts, store converged (%d bytes)",
 		seed, len(res.Trace), res.SyncerRestarts, len(res.FaultySnapshot))
+	sweepDrops := false
 	for _, k := range res.TraceKeys {
 		t.Logf("  %s", k)
+		if strings.HasPrefix(k, string(faultinject.OpSweepSlice)+" ") {
+			sweepDrops = true
+		}
+	}
+	if !sweepDrops {
+		t.Fatal("no sweep-slice drops in the trace — the rotating-sweep seam is not wired")
 	}
 }
 

@@ -223,7 +223,8 @@ func (c *Cluster) runningConfig(job string) (*config.JobConfig, bool) {
 		return d.cfg, true
 	}
 	c.mu.Unlock()
-	r, ok := c.Store.GetRunning(job)
+	// Shared read: the doc goes straight into the read-only decoder.
+	r, ok := c.Store.GetRunningShared(job)
 	if !ok {
 		return nil, false
 	}

@@ -282,7 +282,7 @@ func Claim33PctFootprint(p Params) *Result {
 		_ = info
 	}
 	for _, job := range c.Store.RunningNames() {
-		r, ok := c.Store.GetRunning(job)
+		r, ok := c.Store.GetRunningShared(job)
 		if !ok {
 			continue
 		}

@@ -129,7 +129,7 @@ func Fig1Growth(p Params) *Result {
 func configuredTasks(c *cluster.Cluster) float64 {
 	total := 0.0
 	for _, job := range c.Store.RunningNames() {
-		r, ok := c.Store.GetRunning(job)
+		r, ok := c.Store.GetRunningShared(job)
 		if !ok {
 			continue
 		}

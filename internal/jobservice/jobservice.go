@@ -106,7 +106,8 @@ func (s *Service) UpdateLayer(name string, layer config.Layer, mutate func(confi
 // Desired returns the job's merged expected configuration, decoded and
 // typed, along with the version it reflects.
 func (s *Service) Desired(name string) (*config.JobConfig, int64, error) {
-	doc, version, err := s.store.MergedExpected(name)
+	// Shared read: the merged doc is only decoded, never mutated.
+	doc, version, err := s.store.MergedExpectedShared(name)
 	if err != nil {
 		return nil, 0, err
 	}

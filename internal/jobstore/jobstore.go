@@ -33,7 +33,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -606,7 +608,16 @@ func (s *Store) DrainDirty() []string {
 // (ClearDirtyIf), so a crash mid-round leaves every unfinished job
 // marked for the successor syncer.
 func (s *Store) DirtyMarks() []DirtyMark {
-	var out []DirtyMark
+	return s.DirtyMarksInto(nil)
+}
+
+// DirtyMarksInto appends the current change set to buf (typically the
+// [:0] reslice of a caller-owned scratch buffer) without clearing it,
+// sorted by name, and returns the extended slice. With an empty change
+// set and a reusable buffer — the State Syncer's converged steady state —
+// it performs no allocation.
+func (s *Store) DirtyMarksInto(buf []DirtyMark) []DirtyMark {
+	out := buf
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
@@ -615,7 +626,7 @@ func (s *Store) DirtyMarks() []DirtyMark {
 		}
 		st.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b DirtyMark) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }
 
@@ -722,6 +733,27 @@ func (s *Store) UpdateSyncState(name string, fn func(*SyncState)) {
 		return
 	}
 	st.sync[name] = ss
+}
+
+// ResolveFailureStreak clears the job's failure streak and backoff
+// deadline, dropping the record entirely if nothing else (pending
+// follow-ups) keeps it alive. Equivalent to UpdateSyncState with a
+// streak-zeroing mutator, but allocation-free when the job has no
+// durable record — the overwhelmingly common case on the State Syncer's
+// per-success path.
+func (s *Store) ResolveFailureStreak(name string) {
+	st := s.stripeFor(name)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ss, ok := st.sync[name]
+	if !ok {
+		return
+	}
+	ss.FailureStreak = 0
+	ss.NextRetryAt = time.Time{}
+	if ss.empty() {
+		delete(st.sync, name)
+	}
 }
 
 // ClearSyncState drops the job's durable sync bookkeeping (teardown

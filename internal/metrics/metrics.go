@@ -14,11 +14,12 @@
 //     name→series map; the points themselves sit behind a per-series
 //     mutex, making the write path a single uncontended lock in the
 //     common case.
-//   - Each series is an append buffer of (unix-nanos, value) pairs with a
-//     head offset. Retention trims by advancing the head — an integer
-//     compare per append, amortized O(1) — and the buffer is compacted in
-//     place only when more than half of it is dead, so steady-state
-//     appends allocate nothing.
+//   - Each series is a power-of-two ring of (unix-nanos, value) pairs.
+//     Retention trims by advancing the head index — an integer compare
+//     per append, amortized O(1) — and the slot an expired point vacates
+//     is reused in place by the advancing ring, so there is no compaction
+//     pass, ever: once the ring has grown to cover the retention window,
+//     appends never copy and never allocate.
 //   - Reads come in two flavors: the legacy copying Range, and the
 //     allocation-free folds (RangeFold, RangeAgg, WindowAgg) that visit
 //     points in place under the series lock. The folds are what the
@@ -86,8 +87,9 @@ type Series struct {
 	retNanos int64
 
 	mu   sync.Mutex
-	buf  []point // buf[head:] are the live points, ascending by at
-	head int
+	buf  []point // power-of-two ring; live point i is buf[(head+i)&(len(buf)-1)]
+	head int     // ring index of the oldest live point
+	n    int     // live point count, ascending by at
 }
 
 // NewStore returns a Store that timestamps observations with clock and
@@ -172,28 +174,51 @@ func (sr *Series) RecordAt(at time.Time, value float64) {
 
 func (sr *Series) append(at int64, value float64) {
 	sr.mu.Lock()
-	if n := len(sr.buf); n > 0 && at < sr.buf[n-1].at {
+	if sr.n > 0 && at < sr.buf[(sr.head+sr.n-1)&(len(sr.buf)-1)].at {
 		sr.mu.Unlock()
 		sr.store.dropped.Add(1)
 		return
 	}
-	sr.buf = append(sr.buf, point{at: at, v: value})
 	if sr.retNanos > 0 {
-		// Advance the head past expired points — usually one integer
-		// compare. Compact (in place, reusing the buffer) only once more
-		// than half the slice is dead, keeping appends amortized O(1)
-		// with zero steady-state allocation.
+		// Expire from the head — usually one integer compare. Each point
+		// is examined once on its way out, so trimming stays amortized
+		// O(1) per append, and the vacated slots are reused in place by
+		// the advancing ring: there is no compaction pass to pay, ever.
 		cutoff := at - sr.retNanos
-		for sr.head < len(sr.buf) && sr.buf[sr.head].at < cutoff {
-			sr.head++
-		}
-		if sr.head > len(sr.buf)/2 {
-			n := copy(sr.buf, sr.buf[sr.head:])
-			sr.buf = sr.buf[:n]
-			sr.head = 0
+		for sr.n > 0 && sr.buf[sr.head].at < cutoff {
+			sr.head = (sr.head + 1) & (len(sr.buf) - 1)
+			sr.n--
 		}
 	}
+	if sr.n == len(sr.buf) {
+		sr.grow()
+	}
+	sr.buf[(sr.head+sr.n)&(len(sr.buf)-1)] = point{at: at, v: value}
+	sr.n++
 	sr.mu.Unlock()
+}
+
+// grow doubles the ring (8 slots minimum), unwrapping the live points to
+// the front of the new buffer. This is the only copy a series ever
+// performs, and only while its live count is still climbing toward the
+// retention window; at steady state expiry frees a slot for every append
+// and the ring never reallocates.
+func (sr *Series) grow() {
+	newCap := len(sr.buf) * 2
+	if newCap < 8 {
+		newCap = 8
+	}
+	nb := make([]point, newCap)
+	m := copy(nb, sr.buf[sr.head:])
+	copy(nb[m:], sr.buf[:sr.head])
+	sr.buf = nb
+	sr.head = 0
+}
+
+// pt returns the i-th live point, 0 being the oldest. Caller holds sr.mu
+// and guarantees 0 <= i < sr.n.
+func (sr *Series) pt(i int) point {
+	return sr.buf[(sr.head+i)&(len(sr.buf)-1)]
 }
 
 // Dropped reports how many points have been silently discarded by the
@@ -210,10 +235,10 @@ func (s *Store) Latest(name string) (float64, bool) {
 	}
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
-	if len(sr.buf) == sr.head {
+	if sr.n == 0 {
 		return 0, false
 	}
-	return sr.buf[len(sr.buf)-1].v, true
+	return sr.pt(sr.n - 1).v, true
 }
 
 // LatestPoint returns the most recent point of the named series.
@@ -224,30 +249,31 @@ func (s *Store) LatestPoint(name string) (Point, bool) {
 	}
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
-	if len(sr.buf) == sr.head {
+	if sr.n == 0 {
 		return Point{}, false
 	}
-	return sr.buf[len(sr.buf)-1].toPoint(), true
+	return sr.pt(sr.n - 1).toPoint(), true
 }
 
-// bounds returns the half-open index range [lo, hi) of live points with
-// fromN <= at <= toN. Caller holds sr.mu.
+// bounds returns the half-open logical index range [lo, hi), in [0, n),
+// of live points with fromN <= at <= toN. Caller holds sr.mu.
 func (sr *Series) bounds(fromN, toN int64) (int, int) {
-	// Manual binary searches: no closure, no allocation, int compares.
-	lo, hi := sr.head, len(sr.buf)
+	// Manual binary searches over logical ring indices: no closure, no
+	// allocation, int compares plus a mask per probe.
+	lo, hi := 0, sr.n
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if sr.buf[mid].at < fromN {
+		if sr.pt(mid).at < fromN {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
 	first := lo
-	lo, hi = first, len(sr.buf)
+	lo, hi = first, sr.n
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if sr.buf[mid].at <= toN {
+		if sr.pt(mid).at <= toN {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -272,7 +298,7 @@ func (s *Store) Range(name string, from, to time.Time) []Point {
 	}
 	out := make([]Point, hi-lo)
 	for i := lo; i < hi; i++ {
-		out[i-lo] = sr.buf[i].toPoint()
+		out[i-lo] = sr.pt(i).toPoint()
 	}
 	return out
 }
@@ -291,7 +317,7 @@ func (s *Store) RangeFold(name string, from, to time.Time, fn func(Point) bool) 
 	defer sr.mu.Unlock()
 	lo, hi := sr.bounds(from.UnixNano(), to.UnixNano())
 	for i := lo; i < hi; i++ {
-		if !fn(sr.buf[i].toPoint()) {
+		if !fn(sr.pt(i).toPoint()) {
 			return false
 		}
 	}
@@ -328,7 +354,7 @@ func (s *Store) RangeAgg(name string, from, to time.Time) Agg {
 	lo, hi := sr.bounds(from.UnixNano(), to.UnixNano())
 	var a Agg
 	for i := lo; i < hi; i++ {
-		v := sr.buf[i].v
+		v := sr.pt(i).v
 		if a.Count == 0 {
 			a.Min, a.Max = v, v
 		} else {
@@ -422,7 +448,7 @@ func (s *Store) Len(name string) int {
 	}
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
-	return len(sr.buf) - sr.head
+	return sr.n
 }
 
 // Mean returns the arithmetic mean of vs, or 0 for an empty slice.

@@ -1,0 +1,6 @@
+//go:build !race
+
+package metrics
+
+// raceEnabled reports whether the test binary was built with -race.
+const raceEnabled = false

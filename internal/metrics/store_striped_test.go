@@ -106,25 +106,24 @@ func TestRetentionSinglePoint(t *testing.T) {
 	}
 }
 
-// Retention edge: drive the head offset to land exactly at len/2 (compaction
-// fires only when head exceeds half) and one past it, checking live points
-// are intact around the compaction boundary.
+// Retention edge: interleave appends and expiries so the ring head
+// advances mid-buffer, checking live points stay intact as slots are
+// vacated and reused.
 func TestRetentionTrimAtHalfBoundary(t *testing.T) {
 	s, _ := newTestStore(10 * time.Second)
-	// 4 points 1s apart: buf = [0s 1s 2s 3s].
+	// 4 points 1s apart.
 	for i := 0; i < 4; i++ {
 		s.RecordAt("x", epoch.Add(time.Duration(i)*time.Second), float64(i))
 	}
-	// A point at 12s expires 0s and 1s: head=2 == len(buf)/2 (5/2) — no
-	// compaction yet, 3 live points.
+	// A point at 12s expires 0s and 1s: 3 live points.
 	s.RecordAt("x", epoch.Add(12*time.Second), 12)
 	if n := s.Len("x"); n != 3 {
 		t.Fatalf("after boundary append Len = %d, want 3", n)
 	}
-	// A point at 13s expires 2s too: head=3 > len(buf)/2 (6/2) — compacts.
+	// A point at 13s expires 2s too.
 	s.RecordAt("x", epoch.Add(13*time.Second), 13)
 	if n := s.Len("x"); n != 3 {
-		t.Fatalf("after compaction Len = %d, want 3", n)
+		t.Fatalf("after trim Len = %d, want 3", n)
 	}
 	pts := s.Range("x", epoch, epoch.Add(time.Minute))
 	want := []float64{3, 12, 13}

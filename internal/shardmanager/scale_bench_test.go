@@ -1,0 +1,21 @@
+package shardmanager
+
+// Million-task scale tier (BENCH_SCALE.json): the paper-scale shard fan
+// of 100K shards spread over a 10K-container fleet — ten times the
+// container count of BenchmarkRebalance, so the receiver heap and the
+// per-container reverse index are exercised at the tier's fleet shape.
+// Runs via `make bench-scale`; skips under -short.
+
+import "testing"
+
+func BenchmarkScaleRebalance1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale tier: run via make bench-scale")
+	}
+	m := benchFleet(100_000, 10_000, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Rebalance()
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package statesyncer
+
+// raceEnabled reports whether the test binary was built with -race.
+// Allocation-accounting tests skip themselves under the race detector,
+// whose instrumentation allocates on paths that are clean in real builds.
+const raceEnabled = true

@@ -1,0 +1,75 @@
+package statesyncer
+
+// The million-task scale tier (ROADMAP: "Million-task scale tier with an
+// allocation-free steady state"): 250K jobs × 4 tasks = 1M tasks, the
+// order of Facebook's full streaming fleet. These benchmarks are the
+// BENCH_SCALE.json trajectory — run via `make bench-scale`; they skip
+// under -short so the tier-1 bench smoke stays fast.
+//
+// BenchmarkScaleSyncerRound1MConverged additionally enforces the
+// steady-state allocation ceiling: a converged round over the full tier
+// must allocate at most steadyAllocCeiling objects, regardless of fleet
+// size. A regression that re-introduces per-fleet allocation (a full
+// sweep spike, a rebuilt plan buffer) fails the benchmark rather than
+// just moving a number.
+
+import (
+	"runtime"
+	"testing"
+)
+
+const (
+	scaleJobs = 250_000 // × 4 tasks each = 1M tasks
+
+	// steadyAllocCeiling is the pinned allocs/op budget for a converged
+	// steady-state round. The round scratch makes the true steady state
+	// zero; the ceiling leaves headroom for incidental runtime noise
+	// (timer wheels, map growth on the clock path) without letting an
+	// O(fleet) regression through.
+	steadyAllocCeiling = 8
+)
+
+func BenchmarkScaleSyncerRound1MConverged(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale tier: run via make bench-scale")
+	}
+	_, syncer := benchFleet(b, scaleJobs, Options{})
+	// Warm every rotation slice once so the round scratch reaches its
+	// high-water size before measurement.
+	for r := 0; r < 10; r++ {
+		syncer.RunRound()
+	}
+	b.ReportAllocs()
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syncer.RunRound()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	if per := float64(m1.Mallocs-m0.Mallocs) / float64(b.N); per > steadyAllocCeiling {
+		b.Fatalf("converged 1M-task round allocates %.1f objects/op, ceiling %d", per, steadyAllocCeiling)
+	}
+}
+
+func BenchmarkScaleSyncerRound1MChurn1pct(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale tier: run via make bench-scale")
+	}
+	store, syncer := benchFleet(b, scaleJobs, Options{})
+	for r := 0; r < 10; r++ {
+		syncer.RunRound()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		churn(b, store, scaleJobs, 100, i+2) // 1% of the fleet released
+		b.StartTimer()
+		if res := syncer.RunRound(); res.Simple != scaleJobs/100 {
+			b.Fatalf("round synced %d jobs, want %d", res.Simple, scaleJobs/100)
+		}
+	}
+}

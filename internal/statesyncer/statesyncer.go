@@ -19,11 +19,16 @@
 // Rounds are change-driven: writers to the Job Store mark jobs dirty, and
 // a round examines only the marked jobs plus jobs with outstanding
 // failures or post-commit retries, so a converged fleet costs almost
-// nothing per round. Every FullSweepEvery-th round is a full-fleet sweep —
-// the safety net that preserves the stateless-round durability argument:
-// even if a dirty mark were ever lost, the next sweep rediscovers the
-// divergence from the expected/running difference alone, exactly as the
-// original full-scan design did every round.
+// nothing per round. Each round additionally sweeps a rotating
+// 1/FullSweepEvery slice of the fleet's sorted name snapshots — the
+// safety net that preserves the stateless-round durability argument:
+// even if a dirty mark were ever lost, a slice within the next
+// FullSweepEvery rounds rediscovers the divergence from the
+// expected/running difference alone, exactly as the original full-scan
+// design did every round, but amortized so that no single round pays an
+// O(fleet) spike. Steady-state rounds reuse per-syncer scratch buffers
+// and a persistent worker pool: a converged fleet — at a million tasks —
+// synchronizes without allocating at all.
 //
 // The syncer's crash-critical bookkeeping is durable: dirty marks are
 // cleared only after a job's synchronization succeeded (never drained up
@@ -217,7 +222,9 @@ type Stats struct {
 	Quarantines   int
 	JobsExamined  int
 	JobsConverged int // syncs successfully applied
-	Sweeps        int // rounds that ran as full-fleet sweeps
+	Sweeps        int // rounds that swept the entire fleet (FullSweepEvery <= 1)
+	SweepSlices   int // rotating sweep slices visited (FullSweepEvery > 1)
+	SweepJobs     int // jobs visited via sweeps, full or sliced
 }
 
 // Options tune the syncer.
@@ -232,11 +239,19 @@ type Options struct {
 	// MaxParallelComplex bounds concurrently executed complex plans per
 	// round ("parallelize the complex ones", §III-B); defaults to 16.
 	MaxParallelComplex int
-	// FullSweepEvery makes every Nth round a full-fleet sweep instead of a
-	// change-driven round; defaults to 10. The first round is always a
-	// sweep. Set to 1 to sweep every round (the pre-change-tracking
-	// behavior).
+	// FullSweepEvery controls the rotating sweep: every round visits one
+	// 1/FullSweepEvery slice of the fleet's sorted name snapshots in
+	// addition to the changed jobs, so the entire fleet is re-examined
+	// within FullSweepEvery rounds without any single round paying an
+	// O(fleet) spike; defaults to 10. Set to 1 to sweep the whole fleet
+	// every round (the pre-change-tracking behavior).
 	FullSweepEvery int
+	// SweepGate, if set, is consulted before each round's sweep slice
+	// (pos in [0, of)); returning false skips the slice this round,
+	// leaving rediscovery to the next rotation. It is a fault-injection
+	// seam: the chaos harness drops slices to prove convergence does not
+	// depend on any particular sweep landing.
+	SweepGate func(pos, of int) bool
 	// SyncParallelism bounds the worker pool that builds plans and applies
 	// the batched simple commits; defaults to GOMAXPROCS capped at 16
 	// (mirroring the Auto Scaler's scan pool).
@@ -274,6 +289,40 @@ type Syncer struct {
 	mu     sync.Mutex
 	stats  Stats
 	ticker simclock.Ticker
+
+	// Round machinery. Rounds are serialized under roundMu; the scratch
+	// buffers, the pre-bound worker closures, and the lazily created
+	// worker pool are reused round over round so the converged steady
+	// state allocates nothing.
+	roundMu   sync.Mutex
+	sweepPos  int // next rotating sweep slice, in [0, FullSweepEvery)
+	scratch   roundScratch
+	wp        *workerPool
+	planFn    func(int)
+	simpleFn  func(int)
+	complexFn func(int)
+}
+
+// roundScratch holds every buffer RunRound reuses across rounds. Slices
+// are length-reset and grow to a high-water mark; the map is cleared in
+// place. Nothing in here carries meaning between rounds — it exists so
+// steady-state rounds are allocation-free. Ownership rule: a round may
+// hand any of these slices to planJob/executePlan workers, but nothing
+// outside the syncer ever sees them; store snapshots flow in (shared,
+// read-only), scratch never flows out.
+type roundScratch struct {
+	marks        []jobstore.DirtyMark
+	dirty        []string
+	markSeq      map[string]uint64
+	u1, u2, u3   []string // unionSortedInto destinations (candidate assembly)
+	candidates   []string // this round's candidates; aliases u* or a store snapshot
+	now          time.Time
+	results      []planned
+	simple       []Plan
+	complexPlans []Plan
+	teardown     []string
+	simpleErrs   []error
+	complexErrs  []error
 }
 
 // New returns a Syncer over store using act for complex-plan side effects.
@@ -308,12 +357,29 @@ func New(store *jobstore.Store, act Actuator, clock simclock.Clock, opts Options
 	if act == nil {
 		act = NopActuator{}
 	}
-	return &Syncer{
+	s := &Syncer{
 		store: store,
 		act:   act,
 		clock: clock,
 		opts:  opts,
 	}
+	s.scratch.markSeq = make(map[string]uint64)
+	// The worker closures are bound once, here, and read the per-round
+	// inputs out of the scratch struct: handing the pool a fresh closure
+	// every round would allocate in the steady state.
+	s.planFn = func(i int) {
+		sc := &s.scratch
+		sc.results[i] = s.planJob(sc.candidates[i], sc.now)
+	}
+	s.simpleFn = func(i int) {
+		sc := &s.scratch
+		sc.simpleErrs[i] = s.executePlan(sc.simple[i])
+	}
+	s.complexFn = func(i int) {
+		sc := &s.scratch
+		sc.complexErrs[i] = s.executePlan(sc.complexPlans[i])
+	}
+	return s
 }
 
 // Kill simulates a syncer process crash, for restart testing and the
@@ -550,9 +616,12 @@ type RoundResult struct {
 	Deleted  int
 	Failed   []string
 	Duration time.Duration
-	// Swept reports whether this round was a full-fleet sweep rather than
-	// a change-driven round.
+	// Swept reports whether this round swept the entire fleet rather than
+	// a rotating slice (FullSweepEvery <= 1).
 	Swept bool
+	// SweepJobs is the number of jobs this round visited via its sweep —
+	// the rotating slice, or the whole fleet when Swept.
+	SweepJobs int
 }
 
 // planned is one candidate's outcome from the parallel plan-build phase.
@@ -641,65 +710,87 @@ func (s *Syncer) planJob(job string, now time.Time) planned {
 }
 
 // RunRound performs one synchronization pass: assemble the candidate set
-// (changed jobs, or the whole fleet on sweep rounds), build plans on a
+// (changed jobs plus this round's rotating sweep slice), build plans on a
 // bounded worker pool, batch-apply the simple commits in parallel, execute
 // complex plans (bounded parallelism), tear down deleted jobs, and update
 // failure/quarantine accounting. All bookkeeping merges in sorted job
 // order, so results are deterministic regardless of worker interleaving.
+// Every buffer the round needs lives in the per-syncer scratch, so a
+// converged steady-state round performs no allocation.
 func (s *Syncer) RunRound() RoundResult {
 	start := time.Now() // wall time: measures real sync cost, not sim time
 	var res RoundResult
 	if s.dead() {
 		return res
 	}
-	now := s.clock.Now()
+	s.roundMu.Lock()
+	defer s.roundMu.Unlock()
+	sc := &s.scratch
+	sc.now = s.clock.Now()
 
 	// Retry post-commit follow-ups left over from earlier rounds (or from
 	// a crashed predecessor) first: these jobs are converged by version
 	// but still held (e.g. quiesced).
-	s.retryFollowUps(now, &res)
+	s.retryFollowUps(sc.now, &res)
 
-	// Candidate assembly. Change-driven rounds visit the marked jobs plus
-	// every job with durable sync state (mid-streak or holding follow-ups);
-	// sweep rounds visit the whole fleet (expected ∪ running) as the
-	// durability safety net. Marks are only peeked here — each one is
-	// cleared individually once its job's synchronization succeeded, so a
-	// crash mid-round loses nothing.
-	s.mu.Lock()
-	round := s.stats.Rounds
-	s.mu.Unlock()
-	sweep := s.opts.FullSweepEvery <= 1 || (round+1)%s.opts.FullSweepEvery == 0
-	marks := s.store.DirtyMarks()
-	markSeq := make(map[string]uint64, len(marks))
-	dirty := make([]string, len(marks))
-	for i, m := range marks {
-		dirty[i] = m.Name
-		markSeq[m.Name] = m.Seq
+	// Candidate assembly. Every round visits the marked jobs, every job
+	// with durable sync state (mid-streak or holding follow-ups), and one
+	// rotating 1/FullSweepEvery slice of the fleet's sorted name
+	// snapshots — the durability safety net, amortized so no round pays
+	// an O(fleet) spike. Marks are only peeked here — each one is cleared
+	// individually once its job's synchronization succeeded, so a crash
+	// mid-round loses nothing.
+	sc.marks = s.store.DirtyMarksInto(sc.marks[:0])
+	clear(sc.markSeq)
+	sc.dirty = sc.dirty[:0]
+	for _, m := range sc.marks {
+		sc.dirty = append(sc.dirty, m.Name)
+		sc.markSeq[m.Name] = m.Seq
 	}
-	var candidates []string
-	if sweep {
-		candidates = unionSorted(unionSorted(s.store.ExpectedNames(), s.store.RunningNames()), dirty)
-		candidates = unionSorted(candidates, s.store.SyncStateNames())
+	n := s.opts.FullSweepEvery
+	full := n <= 1
+	pos := 0
+	if !full {
+		pos = s.sweepPos
+		s.sweepPos = (pos + 1) % n
 	} else {
-		candidates = unionSorted(dirty, s.store.SyncStateNames())
+		n = 1
 	}
-	res.Swept = sweep
+	gated := s.opts.SweepGate != nil && !s.opts.SweepGate(pos, n)
+	var sweepExp, sweepRun []string
+	if !gated {
+		// Expected and running are sliced independently over their own
+		// snapshots: in the converged steady state the two slices carry
+		// the same names, so the union below takes its subset fast path
+		// and the whole assembly allocates nothing.
+		sweepExp = sweepSlice(s.store.ExpectedNames(), pos, n)
+		sweepRun = sweepSlice(s.store.RunningNames(), pos, n)
+	}
+	swept := unionSortedInto(&sc.u1, sweepExp, sweepRun)
+	candidates := unionSortedInto(&sc.u2, swept, sc.dirty)
+	candidates = unionSortedInto(&sc.u3, candidates, s.store.SyncStateNames())
+	sc.candidates = candidates
+	res.Swept = full && !gated
+	res.SweepJobs = len(swept)
 
 	// Build plans in parallel. Workers write disjoint slots, and the
 	// merge below walks them in sorted-job order.
-	results := make([]planned, len(candidates))
-	forEachIndexed(len(candidates), s.opts.SyncParallelism, 32, func(i int) {
-		results[i] = s.planJob(candidates[i], now)
-	})
+	if cap(sc.results) < len(candidates) {
+		sc.results = make([]planned, len(candidates))
+	} else {
+		sc.results = sc.results[:len(candidates)]
+	}
+	s.forEach(len(candidates), s.opts.SyncParallelism, 32, s.planFn)
 	if s.dead() {
 		return res
 	}
 
-	var simple, complexPlans []Plan
-	var teardown []string
+	sc.simple = sc.simple[:0]
+	sc.complexPlans = sc.complexPlans[:0]
+	sc.teardown = sc.teardown[:0]
 	examined := 0
-	for i := range results {
-		r := &results[i]
+	for i := range sc.results {
+		r := &sc.results[i]
 		job := candidates[i]
 		if r.examined {
 			examined++
@@ -711,7 +802,7 @@ func (s *Syncer) RunRound() RoundResult {
 			// Fully gone job: drop its durable record and mark, or it
 			// would stay a candidate forever.
 			s.store.ClearSyncState(job)
-			if seq, ok := markSeq[job]; ok {
+			if seq, ok := sc.markSeq[job]; ok {
 				s.store.ClearDirtyIf(job, seq)
 			}
 			continue
@@ -720,17 +811,17 @@ func (s *Syncer) RunRound() RoundResult {
 		case PlanNoop:
 			if r.plan.commitErr != nil {
 				s.handlePlanError(job, r.plan.commitErr, &res)
-			} else if seq, ok := markSeq[job]; ok {
+			} else if seq, ok := sc.markSeq[job]; ok {
 				// Converged (or quarantined): the mark is consumed. A
 				// concurrent write re-marked with a higher seq and wins.
 				s.store.ClearDirtyIf(job, seq)
 			}
 		case PlanSimple:
-			simple = append(simple, r.plan)
+			sc.simple = append(sc.simple, r.plan)
 		case PlanComplex:
-			complexPlans = append(complexPlans, r.plan)
+			sc.complexPlans = append(sc.complexPlans, r.plan)
 		case PlanDelete:
-			teardown = append(teardown, job)
+			sc.teardown = append(sc.teardown, job)
 		}
 	}
 	s.mu.Lock()
@@ -741,34 +832,38 @@ func (s *Syncer) RunRound() RoundResult {
 	// of thousands of jobs complete in one pass within seconds (§III-B).
 	// The commits are independent per-job striped writes, so large
 	// batches fan out across the worker pool.
-	if len(simple) > 0 {
-		errs := make([]error, len(simple))
-		forEachIndexed(len(simple), s.opts.SyncParallelism, 256, func(i int) {
-			errs[i] = s.executePlan(simple[i])
-		})
-		for i := range simple {
-			if errs[i] != nil {
-				s.handlePlanError(simple[i].Job, errs[i], &res)
+	if len(sc.simple) > 0 {
+		if cap(sc.simpleErrs) < len(sc.simple) {
+			sc.simpleErrs = make([]error, len(sc.simple))
+		} else {
+			sc.simpleErrs = sc.simpleErrs[:len(sc.simple)]
+		}
+		s.forEach(len(sc.simple), s.opts.SyncParallelism, 256, s.simpleFn)
+		for i := range sc.simple {
+			if sc.simpleErrs[i] != nil {
+				s.handlePlanError(sc.simple[i].Job, sc.simpleErrs[i], &res)
 				continue
 			}
-			s.recordSuccess(simple[i].Job, markSeq)
+			s.recordSuccess(sc.simple[i].Job, sc.markSeq)
 			res.Simple++
 		}
 	}
 
 	// Parallelize the complex synchronizations, bounded: each worker runs
 	// one plan at a time, so at most MaxParallelComplex are in flight.
-	if len(complexPlans) > 0 {
-		errs := make([]error, len(complexPlans))
-		forEachIndexed(len(complexPlans), s.opts.MaxParallelComplex, 2, func(i int) {
-			errs[i] = s.executePlan(complexPlans[i])
-		})
-		for i := range complexPlans {
-			if errs[i] != nil {
-				s.handlePlanError(complexPlans[i].Job, errs[i], &res)
+	if len(sc.complexPlans) > 0 {
+		if cap(sc.complexErrs) < len(sc.complexPlans) {
+			sc.complexErrs = make([]error, len(sc.complexPlans))
+		} else {
+			sc.complexErrs = sc.complexErrs[:len(sc.complexPlans)]
+		}
+		s.forEach(len(sc.complexPlans), s.opts.MaxParallelComplex, 2, s.complexFn)
+		for i := range sc.complexPlans {
+			if sc.complexErrs[i] != nil {
+				s.handlePlanError(sc.complexPlans[i].Job, sc.complexErrs[i], &res)
 				continue
 			}
-			s.recordSuccess(complexPlans[i].Job, markSeq)
+			s.recordSuccess(sc.complexPlans[i].Job, sc.markSeq)
 			res.Complex++
 		}
 	}
@@ -776,7 +871,7 @@ func (s *Syncer) RunRound() RoundResult {
 	// Tear down jobs whose expected entry is gone: stop tasks, then drop
 	// the running entry. Errors retry (under backoff) like any failed
 	// plan: the dirty mark is retained and the streak is durable.
-	for _, job := range teardown {
+	for _, job := range sc.teardown {
 		if s.dead() {
 			break
 		}
@@ -790,7 +885,7 @@ func (s *Syncer) RunRound() RoundResult {
 		s.store.DropRunning(job)
 		_ = s.act.ResumeJob(job) // clear any hold; no specs remain anyway
 		s.store.ClearSyncState(job) // teardown resolved any failure streak
-		if seq, ok := markSeq[job]; ok {
+		if seq, ok := sc.markSeq[job]; ok {
 			s.store.ClearDirtyIf(job, seq)
 		}
 		s.mu.Lock()
@@ -804,9 +899,12 @@ func (s *Syncer) RunRound() RoundResult {
 	}
 	s.mu.Lock()
 	s.stats.Rounds++
-	if sweep {
+	if res.Swept {
 		s.stats.Sweeps++
+	} else if !full && !gated {
+		s.stats.SweepSlices++
 	}
+	s.stats.SweepJobs += len(swept)
 	s.stats.SimpleSyncs += res.Simple
 	s.stats.ComplexSyncs += res.Complex
 	s.mu.Unlock()
@@ -861,10 +959,24 @@ func (s *Syncer) retryFollowUps(now time.Time, res *RoundResult) {
 	}
 }
 
-// unionSorted merges two sorted, duplicate-free name slices. When b is a
-// subset of a — the converged steady state, where every running job also
-// has an expected entry — it returns a itself without allocating.
-func unionSorted(a, b []string) []string {
+// sweepSlice returns the pos-th of n contiguous slices of names; the n
+// slices partition the snapshot, so n consecutive rounds visit every
+// name. Bounds are recomputed from the live snapshot each round: a
+// stable fleet is covered exactly once per rotation, and churn shifts
+// slice boundaries only by the churned count — new jobs arrive with
+// dirty marks anyway, so only lost-mark rediscovery rides on the sweep.
+func sweepSlice(names []string, pos, n int) []string {
+	lo := pos * len(names) / n
+	hi := (pos + 1) * len(names) / n
+	return names[lo:hi]
+}
+
+// unionSortedInto merges two sorted, duplicate-free name slices. When b
+// is a subset of a — the converged steady state, where the sweep slices
+// carry the same names and nothing is dirty — it returns a itself
+// without touching dst. Otherwise it merges into dst's backing array
+// (grown as needed and retained as round scratch) and returns it.
+func unionSortedInto(dst *[]string, a, b []string) []string {
 	i, subset := 0, true
 	for _, x := range b {
 		for i < len(a) && a[i] < x {
@@ -878,7 +990,7 @@ func unionSorted(a, b []string) []string {
 	if subset {
 		return a
 	}
-	out := make([]string, 0, len(a)+len(b))
+	out := (*dst)[:0]
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -896,14 +1008,16 @@ func unionSorted(a, b []string) []string {
 	}
 	out = append(out, a[i:]...)
 	out = append(out, b[j:]...)
+	*dst = out
 	return out
 }
 
-// forEachIndexed runs fn(i) for every i in [0, n) on up to par workers,
-// stealing indices off a shared atomic counter (the Auto Scaler's scan
-// pattern). Workloads below minParallel run inline: goroutine fan-out
-// only pays for itself on large batches or slow (actuator-bound) items.
-func forEachIndexed(n, par, minParallel int, fn func(int)) {
+// forEach runs fn(i) for every i in [0, n) on up to par workers.
+// Workloads below minParallel run inline: fan-out only pays for itself
+// on large batches or slow (actuator-bound) items. Larger ones run on
+// the syncer's persistent worker pool, created on first use and parked
+// between batches — dispatching a batch allocates nothing.
+func (s *Syncer) forEach(n, par, minParallel int, fn func(int)) {
 	if par > n {
 		par = n
 	}
@@ -913,22 +1027,14 @@ func forEachIndexed(n, par, minParallel int, fn func(int)) {
 		}
 		return
 	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
+	if s.wp == nil {
+		helpers := s.opts.SyncParallelism
+		if s.opts.MaxParallelComplex > helpers {
+			helpers = s.opts.MaxParallelComplex
+		}
+		s.wp = newWorkerPool(helpers - 1)
 	}
-	wg.Wait()
+	s.wp.run(n, par, fn)
 }
 
 // handlePlanError routes a plan failure. Post-commit (afterError)
@@ -947,10 +1053,7 @@ func (s *Syncer) recordSuccess(job string, markSeq map[string]uint64) {
 	if s.dead() {
 		return
 	}
-	s.store.UpdateSyncState(job, func(ss *jobstore.SyncState) {
-		ss.FailureStreak = 0
-		ss.NextRetryAt = time.Time{}
-	})
+	s.store.ResolveFailureStreak(job)
 	if seq, ok := markSeq[job]; ok {
 		s.store.ClearDirtyIf(job, seq)
 	}

@@ -1,0 +1,48 @@
+package taskservice
+
+// Million-task scale tier (BENCH_SCALE.json): the spec-snapshot refresh
+// at 1M tasks (125K jobs × 8 tasks over the tier's 100K shard space).
+// The measured op is the steady-state production shape: one job's
+// running entry rewritten between rounds, then an incremental snapshot
+// regeneration — every other job's group must be reused, not rebuilt.
+// Runs via `make bench-scale`; skips under -short.
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func BenchmarkScaleRefresh1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale tier: run via make bench-scale")
+	}
+	const jobs, tasks, shards = 125_000, 8, 100_000
+	store := benchStore(b, jobs, tasks)
+	clk := simclock.NewSim(epoch)
+	svc := New(store, clk, 90*time.Second, shards)
+	if idx := svc.Index(); idx.Len() != jobs*tasks {
+		b.Fatalf("setup: %d specs, want %d", idx.Len(), jobs*tasks)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := jobCfg("job62500", tasks)
+		cfg.Package.Version = "v" + strconv.Itoa(i+2)
+		doc, err := cfg.ToDoc()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.CommitRunning("job62500", doc, int64(i+2)); err != nil {
+			b.Fatal(err)
+		}
+		svc.Invalidate()
+		b.StartTimer()
+		if idx := svc.Index(); idx.Len() != jobs*tasks {
+			b.Fatalf("specs = %d", idx.Len())
+		}
+	}
+}

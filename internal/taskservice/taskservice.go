@@ -168,7 +168,9 @@ func (s *Service) regenerateLocked() {
 // stopped produce an empty group.
 func (s *Service) buildGroup(job string, rev int64) *jobGroup {
 	g := &jobGroup{job: job, rev: rev}
-	r, ok := s.store.GetRunning(job)
+	// Shared read: JobConfigFromDoc only decodes, so the running doc
+	// needs no defensive copy — at refresh scale the clones dominated.
+	r, ok := s.store.GetRunningShared(job)
 	if !ok {
 		return g
 	}

@@ -1,0 +1,94 @@
+package workload
+
+// Millions is the traffic source of the million-task scale tier, so its
+// contract is pinned here: patterns are pure functions of simulated time
+// (two independently built fleets see byte-identical traffic over any
+// timeline), the aggregate tracks the user count, and the per-job split
+// is long-tailed.
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestMillionsDeterministic(t *testing.T) {
+	const n = 64
+	a := Millions(2.5, epoch, n, 7)
+	b := Millions(2.5, epoch, n, 7)
+	if len(a) != n || len(b) != n {
+		t.Fatalf("len = %d/%d, want %d", len(a), len(b), n)
+	}
+	// Two runs, sampled across days: identical to the bit, and each
+	// pattern pure — the same instant always yields the same rate.
+	for i := range a {
+		for h := 0; h < 72; h += 5 {
+			at := epoch.Add(time.Duration(h) * time.Hour)
+			ra, rb := a[i](at), b[i](at)
+			if ra != rb {
+				t.Fatalf("job %d at +%dh: %v vs %v across runs", i, h, ra, rb)
+			}
+			if again := a[i](at); again != ra {
+				t.Fatalf("job %d at +%dh: impure pattern (%v then %v)", i, h, ra, again)
+			}
+		}
+	}
+	// A different seed must reshuffle the long-tail split.
+	c := Millions(2.5, epoch, n, 8)
+	same := true
+	for i := range a {
+		if a[i](epoch) != c[i](epoch) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical fleets")
+	}
+}
+
+func TestMillionsAggregateAndShape(t *testing.T) {
+	const n = 256
+	users := 2.0
+	ps := Millions(users, epoch, n, 42)
+	// At the start of the timeline the growth factor is 1 and the diurnal
+	// jitter is ±1%, so the aggregate over a full day should straddle
+	// users × 1e6 × 50 B/s.
+	agg := 0.0
+	samples := 0
+	for h := 0; h < 24; h++ {
+		at := epoch.Add(time.Duration(h) * time.Hour)
+		for _, p := range ps {
+			agg += p(at)
+		}
+		samples++
+	}
+	mean := agg / float64(samples)
+	want := users * 1e6 * 50
+	if math.Abs(mean-want)/want > 0.10 {
+		t.Fatalf("day-mean aggregate = %v, want within 10%% of %v", mean, want)
+	}
+	// A year out, Growth should have roughly doubled the same fleet.
+	later := 0.0
+	for _, p := range ps {
+		later += p(epoch.Add(365 * 24 * time.Hour))
+	}
+	now := 0.0
+	for _, p := range ps {
+		now += p(epoch)
+	}
+	if ratio := later / now; ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("year-over-year growth ratio = %v, want ~2", ratio)
+	}
+	// Long tail: the median job is well below the mean job rate.
+	rates := make([]float64, n)
+	for i, p := range ps {
+		rates[i] = p(epoch)
+	}
+	sort.Float64s(rates)
+	meanRate := now / float64(n)
+	if median := rates[n/2]; median > meanRate {
+		t.Fatalf("median %v >= mean %v: fleet is not long-tailed", median, meanRate)
+	}
+}

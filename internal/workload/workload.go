@@ -116,6 +116,38 @@ func LongTailRates(n int, meanRate float64, seed int64) []float64 {
 	return out
 }
 
+// Millions composes the million-task scale tier's traffic: a fleet
+// serving `users` million users produces an aggregate diurnal cycle
+// (±1% day-over-day jitter, §V-C) on a base proportional to the user
+// count, doubling over a year (Figure 1), split across n jobs by the
+// long-tail fleet distribution (Figure 5) — most jobs are light, a few
+// are hot. The returned per-job patterns are pure functions of simulated
+// time and deterministic for a seed, so two runs over the same timeline
+// see identical traffic.
+func Millions(users float64, start time.Time, n int, seed int64) []Pattern {
+	// ~50 B/s per active user puts 1M users at 50 MB/s aggregate — the
+	// same order as the paper's per-cluster Scuba Tailer traffic.
+	const bytesPerUser = 50.0
+	total := users * 1e6 * bytesPerUser
+	rates := LongTailRates(n, total/float64(n), seed)
+	// Normalize the draw so the fleet aggregate is exactly proportional
+	// to users, not just in expectation.
+	sum := 0.0
+	for _, r := range rates {
+		sum += r
+	}
+	scale := 1.0
+	if sum > 0 {
+		scale = total / sum
+	}
+	out := make([]Pattern, n)
+	for i, r := range rates {
+		base := r * scale
+		out[i] = Growth(Diurnal(base, 0.3*base, 19, 0.01), start, 365*24*time.Hour)
+	}
+	return out
+}
+
 // Generator feeds one Scribe category from a pattern on a fixed tick.
 type Generator struct {
 	bus        *scribe.Bus

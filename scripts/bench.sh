@@ -1,21 +1,42 @@
 #!/bin/sh
-# Full benchmark pass over the repo, with machine-readable output: parses
-# `go test -bench` lines into BENCH_PR4.json as an array of
+# Benchmark pass with machine-readable output.
+#
+# Usage: scripts/bench.sh OUT.json [bench-pattern]
+#
+# Parses `go test -bench` lines into OUT.json as an array of
 # {"op": name, "ns_per_op": n, "allocs_per_op": n} records so successive
 # PRs can diff performance without re-reading prose tables. Earlier PRs'
-# snapshots (BENCH_PR2.json, BENCH_PR3.json) stay in the repo for
-# comparison. The pass includes the PR 4 State Syncer round suite:
-# SyncerRound50k{Converged,Churn1pct,Churn10pct}, CommitRunning fan-in
-# (cloned and shared), MergedExpected hit paths, and ExpectedNames50k.
+# snapshots (BENCH_PR2.json .. BENCH_PR4.json) stay in the repo for
+# comparison.
+#
+# Two suites live behind this script:
+#   make bench        regular suite, BENCH_SHORT=1 so the Scale* 1M-fleet
+#                     benchmarks skip themselves (they guard on -short)
+#   make bench-scale  only the Scale* benchmarks — 1M tasks / 100K shards /
+#                     10K containers / 1M series — into BENCH_SCALE.json
+#
+# Env knobs:
+#   BENCHTIME    value for -benchtime (default 2s)
+#   BENCH_SHORT  non-empty adds -short: scale-tier benchmarks skip
 set -eu
 cd "$(dirname "$0")/.."
 
+if [ $# -lt 1 ]; then
+    echo "usage: $0 OUT.json [bench-pattern]" >&2
+    exit 2
+fi
+OUT="$1"
+PATTERN="${2:-.}"
 BENCHTIME="${BENCHTIME:-2s}"
-OUT="${BENCH_OUT:-BENCH_PR4.json}"
+SHORT=""
+if [ -n "${BENCH_SHORT:-}" ]; then
+    SHORT="-short"
+fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test ./... -run 'XXXNONE' -bench . -benchmem -benchtime "$BENCHTIME" | tee "$RAW"
+# shellcheck disable=SC2086 # SHORT is deliberately word-split ("" or -short)
+go test ./... -run 'XXXNONE' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" $SHORT | tee "$RAW"
 
 # Benchmark lines look like:
 #   BenchmarkRecordParallel16-1   123456   55.95 ns/op   0 B/op   0 allocs/op

@@ -9,4 +9,6 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
-go test ./... -run 'XXXNONE' -bench . -benchtime 1x
+# -short keeps the Scale* 1M-fleet benchmarks out of tier-1; CI's
+# scale-smoke job runs them once, and `make bench-scale` measures them.
+go test -short ./... -run 'XXXNONE' -bench . -benchtime 1x
