@@ -217,6 +217,10 @@ type Store struct {
 
 	commitHooks atomic.Pointer[CommitHooks]
 
+	// journal is the bounded running-entry change ring behind
+	// ChangesSince; see journal.go.
+	journal journal
+
 	mergedHits   atomic.Int64 // MergedExpected served from cache
 	mergedMisses atomic.Int64 // MergedExpected recomputed the merge
 }
@@ -502,6 +506,9 @@ func (s *Store) commitRunning(name string, cfg config.Doc, version int64) error 
 	if !existed {
 		s.runNames.invalidate()
 	}
+	// Journal AFTER the write is visible: a consumer that sees the entry
+	// is guaranteed to read this commit (or a newer one) from the store.
+	s.journal.append(name, false)
 	if hooks != nil && hooks.After != nil {
 		hooks.After(name)
 	}
@@ -518,6 +525,7 @@ func (s *Store) DropRunning(name string) {
 	st.mu.Unlock()
 	if existed {
 		s.runNames.invalidate()
+		s.journal.append(name, true)
 	}
 }
 
@@ -902,6 +910,11 @@ func (s *Store) Restore(data []byte) error {
 	}
 	s.expNames.invalidate()
 	s.runNames.invalidate()
+	// Restore replaced the store wholesale: no cursor issued before this
+	// point can be caught up entry-by-entry. Force every journal consumer
+	// through its full-resync path, exactly like the revision restamp
+	// above forces the spec caches to rebuild.
+	s.journal.invalidateAll()
 	return nil
 }
 

@@ -11,14 +11,20 @@
 //   - specs are bucketed by shard, so a Task Manager's Refresh iterates
 //     only the buckets of shards it owns.
 //
-// Published indexes are immutable: regeneration builds a NEW index,
-// reusing the per-job groups of every job whose running entry did not
-// change (keyed by the Job Store's commit revision). Versions are
-// monotonic and move only when snapshot content changes.
+// Published indexes are immutable, and regeneration is O(changed jobs):
+// each job's group precomputes its own shard sub-buckets at build time,
+// and the published shard index is a stripe-wise copy-on-write structure
+// over a power-of-two-chunked shard space. Publishing a one-job change
+// clones only the chunks whose shards the job touches and splices the
+// job's contribution in and out of their buckets; every untouched chunk
+// is shared with the previous index by pointer. Versions are monotonic
+// and move only when snapshot content changes.
 package taskservice
 
 import (
-	"strings"
+	"crypto/md5"
+	"io"
+	"slices"
 
 	"repro/internal/engine"
 	"repro/internal/shardmanager"
@@ -35,28 +41,71 @@ type IndexedSpec struct {
 	Spec  *engine.TaskSpec
 }
 
+// groupShard is one job's contribution to one shard's bucket: the
+// job's specs that hash onto that shard, in task-index order.
+type groupShard struct {
+	shard shardmanager.ShardID
+	specs []IndexedSpec
+}
+
 // jobGroup is the generated spec set of one job, cached between snapshot
 // regenerations. A group is immutable once built; rev records the Job
-// Store running-entry revision it was built from, sig is the
-// concatenation of its spec hashes (the group's content signature).
+// Store running-entry revision it was built from, sig is a fixed-width
+// digest of its spec hashes (the group's content signature), and shards
+// holds the group's per-shard sub-buckets (sorted by shard) ready to be
+// spliced into the published index.
 type jobGroup struct {
 	job     string
 	rev     int64
 	specs   []engine.TaskSpec // hashes pre-memoized
 	indexed []IndexedSpec     // Spec pointers target specs above
-	sig     string
+	shards  []groupShard      // sorted by shard
+	sig     [md5.Size]byte
 }
 
-// buildSig concatenates the group's spec hashes into its content
-// signature. Hashes are fixed-width MD5 hex, so concatenation is
-// injective.
-func buildSig(specs []engine.TaskSpec) string {
-	var sb strings.Builder
-	sb.Grow(len(specs) * 32)
+// buildSig digests the group's spec hashes into its fixed-width content
+// signature. Each input is the 32-hex-character MD5 of one spec, so the
+// digested stream is a fixed-width encoding of the hash sequence —
+// boundaries are unambiguous and the stream uniquely determines the
+// sequence. Two groups therefore share a sig only if the outer MD5
+// collides on distinct hash streams, the same collision-resistance
+// assumption the per-spec Hash already rests on. (The previous
+// representation concatenated the hex hashes verbatim: injective, but 32
+// bytes × specs — a 1M-task group carried a ~32 MB signature.)
+func buildSig(specs []engine.TaskSpec) [md5.Size]byte {
+	h := md5.New()
 	for i := range specs {
-		sb.WriteString(specs[i].Hash())
+		io.WriteString(h, specs[i].Hash())
 	}
-	return sb.String()
+	var out [md5.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// buildGroupShards buckets a group's indexed specs by shard, each bucket
+// in task-index order, buckets sorted by shard. Group task counts are
+// small (parallelism per job), so the quadratic duplicate scan is cheaper
+// than a map.
+func buildGroupShards(indexed []IndexedSpec) []groupShard {
+	if len(indexed) == 0 {
+		return nil
+	}
+	shards := make([]groupShard, 0, len(indexed))
+	for _, is := range indexed {
+		if !slices.ContainsFunc(shards, func(gs groupShard) bool { return gs.shard == is.Shard }) {
+			shards = append(shards, groupShard{shard: is.Shard})
+		}
+	}
+	slices.SortFunc(shards, func(a, b groupShard) int { return int(a.shard) - int(b.shard) })
+	for _, is := range indexed {
+		for i := range shards {
+			if shards[i].shard == is.Shard {
+				shards[i].specs = append(shards[i].specs, is)
+				break
+			}
+		}
+	}
+	return shards
 }
 
 // sameContent reports whether two included-group sequences describe
@@ -77,6 +126,28 @@ func sameContent(a, b []*jobGroup) bool {
 	return true
 }
 
+// The shard space is divided into fixed-width chunks of 2^chunkShift
+// shards; the index holds one pointer per chunk. Copy-on-write works at
+// chunk granularity: splicing a job whose tasks touch k shards clones at
+// most k chunks (a few KB each) plus the chunk-pointer slice, while
+// every other chunk is shared with the previous index. 64 shards per
+// chunk keeps a chunk clone at ~1.5 KB and the pointer slice at ~12 KB
+// for the 100K-shard scale tier.
+const (
+	chunkShift = 6
+	chunkWidth = 1 << chunkShift
+)
+
+// shardChunk holds the buckets of one chunk of the shard space. A chunk
+// reachable from a published index is immutable.
+type shardChunk struct {
+	buckets [chunkWidth][]IndexedSpec
+}
+
+func numChunks(numShards int) int {
+	return (numShards + chunkWidth - 1) / chunkWidth
+}
+
 // SnapshotIndex is an immutable, versioned task-spec snapshot with a
 // precomputed shard→specs index. All methods are safe for concurrent use
 // by any number of Task Managers; nothing a caller can reach through the
@@ -86,22 +157,30 @@ type SnapshotIndex struct {
 	numShards int
 	groups    []*jobGroup // included groups, sorted by job name
 	total     int
-	byShard   map[shardmanager.ShardID][]IndexedSpec
+	chunks    []*shardChunk // chunked shard space; nil chunk = all buckets empty
 }
 
-// newIndex assembles an index from the included groups (already sorted by
-// job name).
+// newIndex assembles an index from scratch from the included groups
+// (already sorted by job name). Incremental publishes go through
+// indexDraft instead and never call this.
 func newIndex(version, numShards int, groups []*jobGroup) *SnapshotIndex {
 	idx := &SnapshotIndex{
 		version:   version,
 		numShards: numShards,
 		groups:    groups,
-		byShard:   make(map[shardmanager.ShardID][]IndexedSpec),
+		chunks:    make([]*shardChunk, numChunks(numShards)),
 	}
 	for _, g := range groups {
 		idx.total += len(g.indexed)
-		for _, is := range g.indexed {
-			idx.byShard[is.Shard] = append(idx.byShard[is.Shard], is)
+		for _, gs := range g.shards {
+			ci := int(gs.shard) >> chunkShift
+			c := idx.chunks[ci]
+			if c == nil {
+				c = &shardChunk{}
+				idx.chunks[ci] = c
+			}
+			li := int(gs.shard) & (chunkWidth - 1)
+			c.buckets[li] = append(c.buckets[li], gs.specs...)
 		}
 	}
 	return idx
@@ -120,10 +199,18 @@ func (idx *SnapshotIndex) NumShards() int { return idx.numShards }
 // Len returns the total number of task specs in the snapshot.
 func (idx *SnapshotIndex) Len() int { return idx.total }
 
-// ShardSpecs returns the specs whose tasks hash to the given shard. The
-// returned slice is shared and read-only.
+// ShardSpecs returns the specs whose tasks hash to the given shard, in
+// job order. The returned slice is shared and read-only.
 func (idx *SnapshotIndex) ShardSpecs(s shardmanager.ShardID) []IndexedSpec {
-	return idx.byShard[s]
+	ci := int(s) >> chunkShift
+	if ci < 0 || ci >= len(idx.chunks) {
+		return nil
+	}
+	c := idx.chunks[ci]
+	if c == nil {
+		return nil
+	}
+	return c.buckets[int(s)&(chunkWidth-1)]
 }
 
 // Each calls fn for every spec in the snapshot, in job order. It is the
@@ -150,4 +237,119 @@ func (idx *SnapshotIndex) Specs() []engine.TaskSpec {
 		}
 	}
 	return out
+}
+
+// indexDraft is the mutable working state of one incremental publish:
+// the chunk-pointer slice is cloned from the base index up front, and
+// each chunk is privatized (cloned) at most once, the first time one of
+// its buckets is spliced. Chunks never touched stay shared with the base
+// index by pointer. A draft is created lazily, on the first
+// content-changing group update of a regeneration; if nothing changes,
+// no draft exists and the previous index stays published.
+type indexDraft struct {
+	chunks []*shardChunk
+	owned  []bool // chunks[i] privatized by this draft
+	total  int
+}
+
+// newDraft starts a draft over base (nil base = empty index, e.g. the
+// very first publish).
+func newDraft(base *SnapshotIndex, numShards int) *indexDraft {
+	n := numChunks(numShards)
+	d := &indexDraft{
+		chunks: make([]*shardChunk, n),
+		owned:  make([]bool, n),
+	}
+	if base != nil {
+		copy(d.chunks, base.chunks)
+		d.total = base.total
+	}
+	return d
+}
+
+// applyGroup replaces oldG's contribution to the draft with newG's;
+// either may be nil (pure insert / pure remove). It walks the union of
+// both groups' sorted shard lists, so the work is proportional to the
+// shards the job actually touches.
+func (d *indexDraft) applyGroup(job string, oldG, newG *jobGroup) {
+	var os, ns []groupShard
+	if oldG != nil {
+		os = oldG.shards
+		d.total -= len(oldG.indexed)
+	}
+	if newG != nil {
+		ns = newG.shards
+		d.total += len(newG.indexed)
+	}
+	i, j := 0, 0
+	for i < len(os) || j < len(ns) {
+		switch {
+		case j >= len(ns) || (i < len(os) && os[i].shard < ns[j].shard):
+			d.splice(os[i].shard, job, nil)
+			i++
+		case i >= len(os) || ns[j].shard < os[i].shard:
+			d.splice(ns[j].shard, job, ns[j].specs)
+			j++
+		default:
+			d.splice(os[i].shard, job, ns[j].specs)
+			i++
+			j++
+		}
+	}
+}
+
+// splice rewrites one shard's bucket so that job's entries are exactly
+// repl, privatizing the shard's chunk first if this draft does not own
+// it yet.
+func (d *indexDraft) splice(shard shardmanager.ShardID, job string, repl []IndexedSpec) {
+	ci := int(shard) >> chunkShift
+	if !d.owned[ci] {
+		nc := &shardChunk{}
+		if old := d.chunks[ci]; old != nil {
+			*nc = *old
+		}
+		d.chunks[ci] = nc
+		d.owned[ci] = true
+	}
+	li := int(shard) & (chunkWidth - 1)
+	d.chunks[ci].buckets[li] = spliceBucket(d.chunks[ci].buckets[li], job, repl)
+}
+
+// spliceBucket returns bucket b with job's entries replaced by repl
+// (repl nil removes them), preserving the bucket's job-order invariant:
+// entries are grouped by job in ascending job-name order, matching what
+// a from-scratch rebuild produces. The input bucket is never modified —
+// it may be shared with a published index.
+func spliceBucket(b []IndexedSpec, job string, repl []IndexedSpec) []IndexedSpec {
+	out := make([]IndexedSpec, 0, len(b)+len(repl))
+	inserted := false
+	for _, is := range b {
+		j := is.Spec.Job
+		if j == job {
+			continue // old contribution dropped
+		}
+		if !inserted && j > job {
+			out = append(out, repl...)
+			inserted = true
+		}
+		out = append(out, is)
+	}
+	if !inserted {
+		out = append(out, repl...)
+	}
+	if len(out) == 0 {
+		return nil // match the from-scratch representation of an empty bucket
+	}
+	return out
+}
+
+// publish freezes the draft into an immutable index.
+func (d *indexDraft) publish(version, numShards int, groups []*jobGroup) *SnapshotIndex {
+	return &SnapshotIndex{
+		version:   version,
+		numShards: numShards,
+		groups:    groups,
+		total:     d.total,
+		chunks:    d.chunks,
+	}
 }

@@ -2,12 +2,22 @@ package taskservice
 
 // Million-task scale tier (BENCH_SCALE.json): the spec-snapshot refresh
 // at 1M tasks (125K jobs × 8 tasks over the tier's 100K shard space).
-// The measured op is the steady-state production shape: one job's
-// running entry rewritten between rounds, then an incremental snapshot
-// regeneration — every other job's group must be reused, not rebuilt.
+// The measured op is the steady-state production shape: a bounded set of
+// running entries rewritten between rounds, then an incremental snapshot
+// regeneration driven by the Job Store's change journal — every other
+// job's group is reused, and only the index chunks the changed jobs
+// touch are recloned.
+//
+// Like BenchmarkScaleSyncerRound1MConverged, each variant enforces an
+// in-bench allocation ceiling via a runtime.MemStats delta bracketed
+// around the timed Index() call, so a regression that reintroduces
+// O(fleet) work in the refresh path (a rebuilt shard map, a fleet-wide
+// group walk) fails the benchmark rather than just moving a number.
 // Runs via `make bench-scale`; skips under -short.
 
 import (
+	"fmt"
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -15,34 +25,147 @@ import (
 	"repro/internal/simclock"
 )
 
-func BenchmarkScaleRefresh1M(b *testing.B) {
-	if testing.Short() {
-		b.Skip("scale tier: run via make bench-scale")
-	}
-	const jobs, tasks, shards = 125_000, 8, 100_000
-	store := benchStore(b, jobs, tasks)
+const (
+	refreshJobs, refreshTasks, refreshShards = 125_000, 8, 100_000
+
+	// refreshOneJobAllocCeiling bounds a one-changed-job refresh. The
+	// real cost is ~350 objects (rebuild one 8-task group, clone the
+	// touched chunks and the two pointer slices); the ceiling leaves
+	// headroom while staying three orders of magnitude below the
+	// pre-PR 7 full-map rebuild (465K allocs).
+	refreshOneJobAllocCeiling = 2_000
+
+	// refreshQuiesceAllocCeiling bounds a quiesce+unquiesce toggle pair
+	// (two splice-only regenerations, no group rebuilt).
+	refreshQuiesceAllocCeiling = 2_000
+
+	// refreshChurnAllocCeiling bounds a 1%-churn refresh (1,250 groups
+	// rebuilt + spliced); ~200 objects per changed job plus the shared
+	// clones, with the same order-of-magnitude gap to an O(fleet)
+	// regression (which would pay ~125K groups × the same constant).
+	refreshChurnAllocCeiling = 600_000
+)
+
+// refreshFleet builds the 1M-task store and a warmed service (first
+// Index pays the one-time full build).
+func refreshFleet(b *testing.B) (*Service, func(name, ver string, version int64)) {
+	store := benchStore(b, refreshJobs, refreshTasks)
 	clk := simclock.NewSim(epoch)
-	svc := New(store, clk, 90*time.Second, shards)
-	if idx := svc.Index(); idx.Len() != jobs*tasks {
-		b.Fatalf("setup: %d specs, want %d", idx.Len(), jobs*tasks)
+	svc := New(store, clk, 90*time.Second, refreshShards)
+	if idx := svc.Index(); idx.Len() != refreshJobs*refreshTasks {
+		b.Fatalf("setup: %d specs, want %d", idx.Len(), refreshJobs*refreshTasks)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		cfg := jobCfg("job62500", tasks)
-		cfg.Package.Version = "v" + strconv.Itoa(i+2)
+	commit := func(name, ver string, version int64) {
+		cfg := jobCfg(name, refreshTasks)
+		cfg.Package.Version = ver
 		doc, err := cfg.ToDoc()
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := store.CommitRunning("job62500", doc, int64(i+2)); err != nil {
+		if err := store.CommitRunning(name, doc, version); err != nil {
 			b.Fatal(err)
 		}
+	}
+	// Collect the setup garbage (config docs, JSON marshalling, the
+	// discarded first-build intermediates) so a GC cycle over the ~1.5 GB
+	// fleet heap does not land inside a timed iteration.
+	runtime.GC()
+	return svc, commit
+}
+
+func BenchmarkScaleRefresh1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale tier: run via make bench-scale")
+	}
+	svc, commit := refreshFleet(b)
+	var m0, m1 runtime.MemStats
+	var spent uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		commit("job62500", "v"+strconv.Itoa(i+2), int64(i+2))
 		svc.Invalidate()
+		runtime.ReadMemStats(&m0)
 		b.StartTimer()
-		if idx := svc.Index(); idx.Len() != jobs*tasks {
+		idx := svc.Index()
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		spent += m1.Mallocs - m0.Mallocs
+		if idx.Len() != refreshJobs*refreshTasks {
 			b.Fatalf("specs = %d", idx.Len())
 		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if per := float64(spent) / float64(b.N); per > refreshOneJobAllocCeiling {
+		b.Fatalf("one-changed-job 1M refresh allocates %.0f objects/op, ceiling %d", per, refreshOneJobAllocCeiling)
+	}
+}
+
+func BenchmarkScaleRefresh1MChurn1pct(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale tier: run via make bench-scale")
+	}
+	const churn = refreshJobs / 100 // 1,250 jobs rewritten per refresh
+	svc, commit := refreshFleet(b)
+	var m0, m1 runtime.MemStats
+	var spent uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		base := (i * churn) % refreshJobs
+		for j := 0; j < churn; j++ {
+			name := fmt.Sprintf("job%04d", (base+j)%refreshJobs)
+			commit(name, fmt.Sprintf("v%d.%d", i+2, j), int64(i+2))
+		}
+		svc.Invalidate()
+		runtime.ReadMemStats(&m0)
+		b.StartTimer()
+		idx := svc.Index()
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		spent += m1.Mallocs - m0.Mallocs
+		if idx.Len() != refreshJobs*refreshTasks {
+			b.Fatalf("specs = %d", idx.Len())
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if per := float64(spent) / float64(b.N); per > refreshChurnAllocCeiling {
+		b.Fatalf("1%%-churn 1M refresh allocates %.0f objects/op, ceiling %d", per, refreshChurnAllocCeiling)
+	}
+}
+
+func BenchmarkScaleRefresh1MQuiesceToggle(b *testing.B) {
+	if testing.Short() {
+		b.Skip("scale tier: run via make bench-scale")
+	}
+	svc, _ := refreshFleet(b)
+	const total = refreshJobs * refreshTasks
+	var m0, m1 runtime.MemStats
+	var spent uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.ReadMemStats(&m0)
+		b.StartTimer()
+		svc.Quiesce("job62500")
+		quiesced := svc.Index()
+		svc.Unquiesce("job62500")
+		restored := svc.Index()
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		spent += m1.Mallocs - m0.Mallocs
+		if quiesced.Len() != total-refreshTasks || restored.Len() != total {
+			b.Fatalf("Len = %d / %d, want %d / %d", quiesced.Len(), restored.Len(), total-refreshTasks, total)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if per := float64(spent) / float64(b.N); per > refreshQuiesceAllocCeiling {
+		b.Fatalf("quiesce-toggle 1M refresh allocates %.0f objects/op, ceiling %d", per, refreshQuiesceAllocCeiling)
 	}
 }

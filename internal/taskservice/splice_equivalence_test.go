@@ -1,0 +1,381 @@
+package taskservice
+
+// The PR 7 equivalence suite: the journal-driven incremental index must
+// be byte-identical to a from-scratch rebuild under arbitrary churn —
+// commits (content-changing and byte-identical), deletes, stops,
+// quiesce/unquiesce toggles, and journal overflow — and published
+// indexes must stay immutable while later publishes splice around them.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/jobstore"
+	"repro/internal/shardmanager"
+	"repro/internal/simclock"
+)
+
+// assertIndexEquivalent pins idx against want: same totals, byte-identical
+// specs in the same order, and identical per-shard buckets (IDs, hashes,
+// order) across the whole shard space.
+func assertIndexEquivalent(t *testing.T, idx, want *SnapshotIndex, numShards int) {
+	t.Helper()
+	if idx.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", idx.Len(), want.Len())
+	}
+	if got, exp := specsJSON2(t, idx), specsJSON2(t, want); got != exp {
+		t.Fatalf("specs diverge:\nincremental: %s\nscratch:     %s", got, exp)
+	}
+	for s := shardmanager.ShardID(0); int(s) < numShards; s++ {
+		a, b := idx.ShardSpecs(s), want.ShardSpecs(s)
+		if len(a) != len(b) {
+			t.Fatalf("shard %d: %d specs, want %d", s, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID || a[i].Hash != b[i].Hash || a[i].Shard != b[i].Shard {
+				t.Fatalf("shard %d entry %d: %+v, want %+v", s, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func specsJSON2(t *testing.T, idx *SnapshotIndex) string {
+	t.Helper()
+	return specsJSON(t, idx.Specs())
+}
+
+// shardFingerprint captures a deep copy of every bucket's (ID, Hash)
+// pairs, for immutability checks on published indexes.
+func shardFingerprint(idx *SnapshotIndex, numShards int) [][]string {
+	fp := make([][]string, numShards)
+	for s := 0; s < numShards; s++ {
+		for _, is := range idx.ShardSpecs(shardmanager.ShardID(s)) {
+			fp[s] = append(fp[s], is.ID+"|"+is.Hash)
+		}
+	}
+	return fp
+}
+
+// TestChurnMatrixEquivalence drives randomized rounds of mixed churn
+// through one long-lived incremental service and checks every published
+// snapshot byte-identical to a from-scratch rebuild over the same store
+// and quiesce set — including a mid-matrix burst larger than the change
+// journal's ring, which forces the overflow → full-resync path. It also
+// pins version stability: the version moves iff the content moved.
+func TestChurnMatrixEquivalence(t *testing.T) {
+	const numShards = 96
+	const jobPool = 50
+	rng := rand.New(rand.NewSource(7))
+	store := jobstore.New()
+	clk := simclock.NewSim(epoch)
+	svc := New(store, clk, 90*time.Second, numShards)
+
+	cfgs := make(map[string]*config.JobConfig) // current committed config per live job
+	vers := make(map[string]int64)             // running-entry version counter
+	pkg := make(map[string]int)                // package bump counter
+	quiesced := make(map[string]bool)
+
+	commit := func(name string, mutate bool) {
+		cfg, ok := cfgs[name]
+		if !ok || mutate {
+			if !ok {
+				cfg = jobCfg(name, 1+rng.Intn(5))
+			} else {
+				c := *cfg
+				cfg = &c
+			}
+			if mutate || !ok {
+				pkg[name]++
+				cfg.Package.Version = fmt.Sprintf("v%d", pkg[name])
+			}
+			cfgs[name] = cfg
+		}
+		doc, err := cfg.ToDoc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vers[name]++
+		if err := store.CommitRunning(name, doc, vers[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	prevJSON := ""
+	prevVersion := -1
+	for round := 0; round < 40; round++ {
+		if round == 20 {
+			// Overflow burst: more journal entries than the ring holds
+			// land between refreshes, so this round's regeneration must
+			// take the resync path and still match.
+			for i := 0; i < jobstore.JournalCap+20; i++ {
+				commit(fmt.Sprintf("job%03d", i%jobPool), i%7 == 0)
+			}
+		}
+		for o, ops := 0, 1+rng.Intn(8); o < ops; o++ {
+			name := fmt.Sprintf("job%03d", rng.Intn(jobPool))
+			switch rng.Intn(6) {
+			case 0:
+				commit(name, true) // content change
+			case 1:
+				if _, ok := cfgs[name]; ok {
+					commit(name, false) // byte-identical recommit: rev moves, content doesn't
+				}
+			case 2:
+				store.DropRunning(name)
+				delete(cfgs, name)
+			case 3:
+				if cfg, ok := cfgs[name]; ok { // administrative stop
+					c := *cfg
+					c.Stopped = true
+					cfgs[name] = &c
+					commit(name, false)
+				}
+			case 4:
+				svc.Quiesce(name)
+				quiesced[name] = true
+			case 5:
+				svc.Unquiesce(name)
+				delete(quiesced, name)
+			}
+		}
+
+		svc.Invalidate()
+		idx := svc.Index()
+
+		fresh := New(store, clk, 90*time.Second, numShards)
+		for name := range quiesced {
+			fresh.Quiesce(name)
+		}
+		assertIndexEquivalent(t, idx, fresh.Index(), numShards)
+
+		j := specsJSON2(t, idx)
+		if prevVersion >= 0 {
+			if contentMoved, versionMoved := j != prevJSON, idx.Version() != prevVersion; contentMoved != versionMoved {
+				t.Fatalf("round %d: content moved=%v but version moved=%v (%d -> %d)",
+					round, contentMoved, versionMoved, prevVersion, idx.Version())
+			}
+		}
+		prevJSON, prevVersion = j, idx.Version()
+	}
+}
+
+// TestPublishedIndexImmutableUnderSplices pins that splicing later
+// publishes around a published index never mutates it: the old index's
+// buckets and specs are bit-stable after arbitrary follow-on churn.
+func TestPublishedIndexImmutableUnderSplices(t *testing.T) {
+	const numShards = 64
+	store := jobstore.New()
+	clk := simclock.NewSim(epoch)
+	for i := 0; i < 25; i++ {
+		commitJob(t, store, fmt.Sprintf("job%02d", i), 1+i%4, 1)
+	}
+	svc := New(store, clk, 90*time.Second, numShards)
+	idx1 := svc.Index()
+	fp := shardFingerprint(idx1, numShards)
+	json1 := specsJSON2(t, idx1)
+
+	// Churn every job, delete a few, quiesce a few.
+	for i := 0; i < 25; i++ {
+		name := fmt.Sprintf("job%02d", i)
+		cfg := jobCfg(name, 1+i%4)
+		cfg.Package.Version = "v9"
+		doc, err := cfg.ToDoc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.CommitRunning(name, doc, 2)
+	}
+	store.DropRunning("job03")
+	svc.Quiesce("job04")
+	svc.Invalidate()
+	idx2 := svc.Index()
+	if idx2.Version() == idx1.Version() {
+		t.Fatal("churn did not move the version")
+	}
+
+	// The old published index is untouched.
+	if got := specsJSON2(t, idx1); got != json1 {
+		t.Fatal("published index specs mutated by later splices")
+	}
+	fp2 := shardFingerprint(idx1, numShards)
+	for s := range fp {
+		if len(fp[s]) != len(fp2[s]) {
+			t.Fatalf("shard %d of the old index changed size: %d -> %d", s, len(fp[s]), len(fp2[s]))
+		}
+		for i := range fp[s] {
+			if fp[s][i] != fp2[s][i] {
+				t.Fatalf("shard %d entry %d of the old index mutated", s, i)
+			}
+		}
+	}
+}
+
+// TestQuiesceSplicesWithoutRebuild: quiescing and unquiescing splice the
+// cached group out of and back into the index without regenerating or
+// re-hashing a single spec, and each toggle moves the version.
+func TestQuiesceSplicesWithoutRebuild(t *testing.T) {
+	const numShards = 64
+	store := jobstore.New()
+	clk := simclock.NewSim(epoch)
+	for i := 0; i < 20; i++ {
+		commitJob(t, store, fmt.Sprintf("job%02d", i), 3, 1)
+	}
+	svc := New(store, clk, 90*time.Second, numShards)
+	idx1 := svc.Index()
+	json1 := specsJSON2(t, idx1)
+
+	before := engine.HashComputations()
+	svc.Quiesce("job05")
+	idx2 := svc.Index()
+	if got := engine.HashComputations() - before; got != 0 {
+		t.Fatalf("quiesce splice computed %d hashes, want 0", got)
+	}
+	if idx2.Version() == idx1.Version() {
+		t.Fatal("quiesce did not move the version")
+	}
+	if idx2.Len() != idx1.Len()-3 {
+		t.Fatalf("Len = %d after quiesce, want %d", idx2.Len(), idx1.Len()-3)
+	}
+	for s := 0; s < numShards; s++ {
+		for _, is := range idx2.ShardSpecs(shardmanager.ShardID(s)) {
+			if is.Spec.Job == "job05" {
+				t.Fatalf("quiesced job still in shard %d", s)
+			}
+		}
+	}
+
+	before = engine.HashComputations()
+	svc.Unquiesce("job05")
+	idx3 := svc.Index()
+	if got := engine.HashComputations() - before; got != 0 {
+		t.Fatalf("unquiesce splice computed %d hashes, want 0", got)
+	}
+	if idx3.Version() == idx2.Version() {
+		t.Fatal("unquiesce did not move the version")
+	}
+	if got := specsJSON2(t, idx3); got != json1 {
+		t.Fatal("unquiesce did not restore the original content")
+	}
+	assertIndexEquivalent(t, idx3, New(store, clk, 90*time.Second, numShards).Index(), numShards)
+}
+
+// TestCommitEntryForDroppedJob covers the delete-between-journal-and-read
+// race shape: the journal carries a commit entry for a job whose running
+// entry is gone by the time the regeneration reads it. The job must
+// vanish from the snapshot, matching a from-scratch rebuild.
+func TestCommitEntryForDroppedJob(t *testing.T) {
+	const numShards = 64
+	store := jobstore.New()
+	clk := simclock.NewSim(epoch)
+	commitJob(t, store, "a", 2, 1)
+	commitJob(t, store, "b", 3, 1)
+	svc := New(store, clk, 90*time.Second, numShards)
+	if idx := svc.Index(); idx.Len() != 5 {
+		t.Fatalf("setup Len = %d", idx.Len())
+	}
+
+	commitJob(t, store, "b", 4, 2) // journal: commit b
+	store.DropRunning("b")         // journal: drop b — commit entry now points at nothing
+	svc.Invalidate()
+	idx := svc.Index()
+	if idx.Len() != 2 {
+		t.Fatalf("Len = %d after drop, want 2", idx.Len())
+	}
+	idx.Each(func(is IndexedSpec) {
+		if is.Spec.Job != "a" {
+			t.Fatalf("dropped job leaked: %+v", is.Spec)
+		}
+	})
+	assertIndexEquivalent(t, idx, New(store, clk, 90*time.Second, numShards).Index(), numShards)
+
+	// Re-create after the drop: insert splice.
+	commitJob(t, store, "b", 1, 3)
+	svc.Invalidate()
+	assertIndexEquivalent(t, svc.Index(), New(store, clk, 90*time.Second, numShards).Index(), numShards)
+}
+
+// TestJournalOverflowResyncThenIncremental: after a burst larger than the
+// journal ring forces a full resync, the service's cursor is caught up —
+// the next one-job change goes back to rebuilding only that job.
+func TestJournalOverflowResyncThenIncremental(t *testing.T) {
+	const numShards = 64
+	const tasks = 4
+	store := jobstore.New()
+	clk := simclock.NewSim(epoch)
+	for i := 0; i < 30; i++ {
+		commitJob(t, store, fmt.Sprintf("job%02d", i), tasks, 1)
+	}
+	svc := New(store, clk, 90*time.Second, numShards)
+	svc.Index()
+
+	// Flood the journal past its capacity.
+	for i := 0; i < jobstore.JournalCap+10; i++ {
+		cfg := jobCfg(fmt.Sprintf("job%02d", i%30), tasks)
+		cfg.Package.Version = fmt.Sprintf("v%d", 2+i/30)
+		doc, err := cfg.ToDoc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.CommitRunning(fmt.Sprintf("job%02d", i%30), doc, int64(2+i))
+	}
+	svc.Invalidate()
+	idx := svc.Index()
+	assertIndexEquivalent(t, idx, New(store, clk, 90*time.Second, numShards).Index(), numShards)
+
+	// Post-resync: incremental again. One changed job re-hashes exactly
+	// its own specs.
+	cfg := jobCfg("job07", tasks)
+	cfg.Package.Version = "v999"
+	doc, err := cfg.ToDoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.CommitRunning("job07", doc, 999)
+	svc.Invalidate()
+	before := engine.HashComputations()
+	idx2 := svc.Index()
+	if got := engine.HashComputations() - before; got != tasks {
+		t.Fatalf("post-resync incremental computed %d hashes, want %d", got, tasks)
+	}
+	assertIndexEquivalent(t, idx2, New(store, clk, 90*time.Second, numShards).Index(), numShards)
+}
+
+// TestIndexReadersDoNotBlockOnRegeneration pins the PR 7 reader-stall
+// fix: a fetch arriving while a regeneration is in flight returns the
+// last published snapshot immediately instead of queuing behind the
+// rebuild. (regenMu is held directly to model the in-flight round — the
+// same state a slow regeneration produces.)
+func TestIndexReadersDoNotBlockOnRegeneration(t *testing.T) {
+	store := jobstore.New()
+	clk := simclock.NewSim(epoch)
+	commitJob(t, store, "a", 2, 1)
+	svc := New(store, clk, 90*time.Second, 64)
+	idx1 := svc.Index()
+
+	commitJob(t, store, "a", 5, 2)
+	svc.Invalidate()
+
+	svc.regenMu.Lock() // a regeneration is "in flight"
+	got := make(chan *SnapshotIndex)
+	go func() { got <- svc.Index() }()
+	select {
+	case idx := <-got:
+		if idx != idx1 {
+			t.Fatal("mid-regeneration fetch did not serve the published snapshot")
+		}
+	case <-time.After(5 * time.Second):
+		svc.regenMu.Unlock()
+		t.Fatal("reader blocked behind an in-flight regeneration")
+	}
+	svc.regenMu.Unlock()
+
+	// Once the in-flight regeneration is done, the next fetch sees the
+	// new content.
+	if specs, _ := svc.Snapshot(); len(specs) != 5 {
+		t.Fatalf("post-regeneration fetch got %d specs, want 5", len(specs))
+	}
+}

@@ -15,17 +15,29 @@
 // 60-second fetches this yields the paper's 1–2 minute end-to-end
 // scheduling latency for cluster-wide updates.
 //
-// Snapshots are published as immutable SnapshotIndex values and
-// regenerated incrementally: per-job spec groups are cached keyed on the
-// Job Store's running-entry revision, so a regeneration rebuilds (and
-// re-hashes) only the jobs whose running configuration actually changed
-// since the previous snapshot. See index.go for the read-path layout.
+// Snapshots are published as immutable SnapshotIndex values through an
+// atomic pointer, so a fetch NEVER blocks behind an in-flight
+// regeneration: readers get the last published snapshot immediately
+// (stale-but-available, the same degraded-mode stance §IV-D takes for
+// Task Managers), and exactly one regeneration runs at a time behind a
+// separate mutex.
+//
+// Regeneration itself is O(changed jobs), not O(fleet): the service
+// holds a cursor into the Job Store's running-entry change journal and
+// rebuilds only the jobs the journal names, splicing each change into
+// the previous index's copy-on-write shard chunks (see index.go).
+// Deletes, quiesces, and unquiesces are single-group splices too. If the
+// cursor falls off the journal's bounded ring (or the store was
+// Restored), the service falls back to a full fleet walk that still
+// reuses every cached per-job group whose running-entry revision is
+// unchanged.
 package taskservice
 
 import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/config"
@@ -42,14 +54,32 @@ type Service struct {
 	ttl       time.Duration
 	numShards int
 
-	mu        sync.Mutex
-	groups    map[string]*jobGroup // per-job cache, keyed by job name
-	index     *SnapshotIndex       // last published snapshot
-	cachedAt  time.Time
-	haveCache bool
-	genCount  int
-	version   int
-	quiesced  map[string]struct{}
+	// pub is the published snapshot: readers load it with one atomic
+	// read. Invalidation (Quiesce, Invalidate, operator nudges) replaces
+	// it with a valid=false copy so the next fetch regenerates, but the
+	// stale index stays reachable for readers arriving mid-regeneration.
+	pub atomic.Pointer[publishedSnap]
+
+	// regenMu serializes regeneration and guards every field below. It
+	// is never held on the reader fast path.
+	regenMu        sync.Mutex
+	groups         map[string]*jobGroup // per-job cache, keyed by job name; persistent across rounds
+	included       []*jobGroup          // groups currently in the snapshot, sorted by job name
+	includedShared bool                 // included is referenced by the published index (copy before write)
+	cursor         uint64               // position in the Job Store's change journal
+	changeBuf      []jobstore.Change    // reused ChangesSince buffer
+	genCount       int
+	version        int
+	quiesced     map[string]struct{}
+	quiesceDirty map[string]struct{} // quiesce flags toggled since the last regeneration
+}
+
+// publishedSnap bundles the published index with its cache metadata so
+// readers can check freshness with a single atomic load.
+type publishedSnap struct {
+	idx   *SnapshotIndex
+	at    time.Time
+	valid bool
 }
 
 // New returns a Service over store. ttl is the snapshot cache lifetime; a
@@ -64,12 +94,13 @@ func New(store *jobstore.Store, clock simclock.Clock, ttl time.Duration, numShar
 		numShards = 1024
 	}
 	return &Service{
-		store:     store,
-		clock:     clock,
-		ttl:       ttl,
-		numShards: numShards,
-		groups:    make(map[string]*jobGroup),
-		quiesced:  make(map[string]struct{}),
+		store:        store,
+		clock:        clock,
+		ttl:          ttl,
+		numShards:    numShards,
+		groups:       make(map[string]*jobGroup),
+		quiesced:     make(map[string]struct{}),
+		quiesceDirty: make(map[string]struct{}),
 	}
 }
 
@@ -78,23 +109,28 @@ func New(store *jobstore.Store, clock simclock.Clock, ttl time.Duration, numShar
 // through the stop/redistribute phases of a complex synchronization, so
 // that stale snapshots cannot resurrect old-parallelism tasks while new
 // ones are being started — the paper's "only then starts the new tasks"
-// ordering (§III-B). The cache is invalidated so the suppression is
-// visible to the very next snapshot fetch; the job's cached spec group is
-// kept (quiescing filters assembly, it does not discard generated specs).
+// ordering (§III-B). The published snapshot is invalidated so the
+// suppression is visible to the very next snapshot fetch; the job's
+// cached spec group is kept (quiescing splices the group out of the
+// index, it does not discard generated specs).
 func (s *Service) Quiesce(job string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regenMu.Lock()
+	defer s.regenMu.Unlock()
 	s.quiesced[job] = struct{}{}
-	s.haveCache = false
+	s.quiesceDirty[job] = struct{}{}
+	// Invalidate while holding regenMu: no regeneration can publish a
+	// fresh-valid snapshot between the flag write and the invalidation.
+	s.invalidatePub()
 }
 
 // Unquiesce lifts the suppression after the new running configuration has
 // been committed.
 func (s *Service) Unquiesce(job string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regenMu.Lock()
+	defer s.regenMu.Unlock()
 	delete(s.quiesced, job)
-	s.haveCache = false
+	s.quiesceDirty[job] = struct{}{}
+	s.invalidatePub()
 }
 
 // Index returns the current snapshot as an immutable SnapshotIndex,
@@ -102,17 +138,32 @@ func (s *Service) Unquiesce(job string) {
 // incrementally past it. The index's version changes only when the
 // content was regenerated AND differs from the previous snapshot; Task
 // Managers use it to skip reconciliation when nothing changed.
+//
+// Readers never stall behind a regeneration: if another fetch is already
+// rebuilding, Index returns the last published snapshot immediately.
+// Only the very first fetch (nothing published yet) waits for the build.
 func (s *Service) Index() *SnapshotIndex {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := s.clock.Now()
-	if s.haveCache && s.index != nil && now.Sub(s.cachedAt) < s.ttl {
-		return s.index
+	if p := s.pub.Load(); p != nil && p.valid && s.clock.Now().Sub(p.at) < s.ttl {
+		return p.idx
 	}
-	s.regenerateLocked()
-	s.cachedAt = now
-	s.haveCache = true
-	return s.index
+	if !s.regenMu.TryLock() {
+		// A regeneration is in flight. Serve the last published snapshot
+		// rather than queue every Task Manager behind the rebuild; the
+		// in-flight publish will be picked up by the next fetch.
+		if p := s.pub.Load(); p != nil && p.idx != nil {
+			return p.idx
+		}
+		// Nothing ever published: the first build must be waited out.
+		s.regenMu.Lock()
+	}
+	defer s.regenMu.Unlock()
+	now := s.clock.Now()
+	if p := s.pub.Load(); p != nil && p.valid && now.Sub(p.at) < s.ttl {
+		return p.idx // the regeneration we queued behind already published
+	}
+	idx := s.regenerateLocked()
+	s.pub.Store(&publishedSnap{idx: idx, at: now, valid: true})
+	return idx
 }
 
 // Snapshot returns the full list of task specs for every running job,
@@ -124,11 +175,180 @@ func (s *Service) Snapshot() ([]engine.TaskSpec, int) {
 	return idx.Specs(), idx.Version()
 }
 
-// regenerateLocked rebuilds the published index, reusing the cached spec
-// group of every job whose running-entry revision is unchanged. The
-// version is bumped only if the assembled content differs from the
-// previously published index.
-func (s *Service) regenerateLocked() {
+// publishedIdx returns the currently published index (stale or not), or
+// nil before the first publish.
+func (s *Service) publishedIdx() *SnapshotIndex {
+	if p := s.pub.Load(); p != nil {
+		return p.idx
+	}
+	return nil
+}
+
+// invalidatePub marks the published snapshot stale (keeping it readable)
+// so the next fetch regenerates.
+func (s *Service) invalidatePub() {
+	for {
+		p := s.pub.Load()
+		if p == nil || !p.valid {
+			return
+		}
+		if s.pub.CompareAndSwap(p, &publishedSnap{idx: p.idx, at: p.at}) {
+			return
+		}
+	}
+}
+
+// regenerateLocked rebuilds the snapshot from the change journal: only
+// jobs named by journal entries (plus quiesce toggles) are rebuilt and
+// spliced into a copy-on-write draft of the previous index. If nothing
+// content-changing happened, no draft is created and the previously
+// published index (and version) is returned unchanged. Caller holds
+// regenMu.
+func (s *Service) regenerateLocked() *SnapshotIndex {
+	changes, next, ok := s.store.ChangesSince(s.cursor, s.changeBuf[:0])
+	s.changeBuf = changes
+	s.cursor = next
+	if !ok {
+		// Cursor fell off the journal (burst bigger than the ring, or a
+		// store Restore): rebuild from a fleet walk, still reusing every
+		// group whose revision is unchanged. The walk happens after
+		// ChangesSince, so anything it misses has seq > cursor and is
+		// replayed next round.
+		return s.resyncLocked()
+	}
+
+	prev := s.publishedIdx()
+	var d *indexDraft
+	draft := func() *indexDraft {
+		if d == nil {
+			d = newDraft(prev, s.numShards)
+		}
+		return d
+	}
+
+	for _, ch := range changes {
+		name := ch.Name
+		if ch.Drop {
+			delete(s.groups, name)
+			s.updateInclusion(name, draft)
+			continue
+		}
+		rev, live := s.store.RunningRevision(name)
+		if !live {
+			// Deleted between the journal append and this read; the drop
+			// entry will confirm, but the group must not linger.
+			delete(s.groups, name)
+			s.updateInclusion(name, draft)
+			continue
+		}
+		if g := s.groups[name]; g == nil || g.rev != rev {
+			s.groups[name] = s.buildGroup(name, rev)
+		}
+		s.updateInclusion(name, draft)
+	}
+	for name := range s.quiesceDirty {
+		s.updateInclusion(name, draft)
+		delete(s.quiesceDirty, name)
+	}
+	s.genCount++
+
+	if d == nil {
+		// Byte-identical content: keep the published index (and version)
+		// so Task Managers skip reconciliation. Before the first publish
+		// an empty index must still be produced.
+		if prev != nil {
+			return prev
+		}
+		s.version++
+		idx := newIndex(s.version, s.numShards, s.included)
+		s.includedShared = true
+		return idx
+	}
+	s.version++
+	idx := d.publish(s.version, s.numShards, s.included)
+	s.includedShared = true
+	return idx
+}
+
+// updateInclusion reconciles one job's membership in the included-group
+// list (and the index draft) with its current group and quiesce state.
+// Only content-changing transitions create or touch the draft; a rebuilt
+// group with an identical signature swaps the cached pointer without
+// publishing anything.
+func (s *Service) updateInclusion(name string, draft func() *indexDraft) {
+	g := s.groups[name]
+	include := g != nil && len(g.indexed) > 0
+	if include {
+		if _, q := s.quiesced[name]; q {
+			include = false
+		}
+	}
+	pos, found := s.findIncluded(name)
+	switch {
+	case !found && !include:
+		// Absent and staying absent (stopped, zero tasks, quiesced, or a
+		// drop of a job that was never included).
+	case found && include && s.included[pos] == g:
+		// Same group pointer: duplicate journal entry or a no-op toggle.
+	case found && include:
+		old := s.included[pos]
+		s.ensureIncludedOwned(0)
+		s.included[pos] = g
+		if old.sig == g.sig {
+			// Rebuilt to byte-identical content (e.g. a commit that
+			// rewrote the same config under a new revision): no splice,
+			// no version movement.
+			return
+		}
+		draft().applyGroup(name, old, g)
+	case found:
+		old := s.included[pos]
+		s.ensureIncludedOwned(0)
+		s.included = append(s.included[:pos], s.included[pos+1:]...)
+		draft().applyGroup(name, old, nil)
+	default:
+		s.ensureIncludedOwned(1)
+		s.included = append(s.included, nil)
+		copy(s.included[pos+1:], s.included[pos:])
+		s.included[pos] = g
+		draft().applyGroup(name, nil, g)
+	}
+}
+
+// findIncluded binary-searches the sorted included list for a job name.
+func (s *Service) findIncluded(name string) (int, bool) {
+	lo, hi := 0, len(s.included)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.included[mid].job < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.included) && s.included[lo].job == name
+}
+
+// ensureIncludedOwned clones the included list before its first mutation
+// of a regeneration if the published index still references it —
+// published indexes are immutable, so their group list can never be
+// edited in place. grow reserves headroom for pending inserts.
+func (s *Service) ensureIncludedOwned(grow int) {
+	if !s.includedShared {
+		return
+	}
+	fresh := make([]*jobGroup, len(s.included), len(s.included)+grow+8)
+	copy(fresh, s.included)
+	s.included = fresh
+	s.includedShared = false
+}
+
+// resyncLocked is the full-fleet fallback: walk every running job,
+// reusing the cached spec group of each one whose running-entry revision
+// is unchanged, and rebuild the index from scratch. The version is
+// bumped only if the assembled content differs from the previously
+// published index. Caller holds regenMu.
+func (s *Service) resyncLocked() *SnapshotIndex {
 	names := s.store.RunningNames() // sorted
 	groups := make(map[string]*jobGroup, len(names))
 	included := make([]*jobGroup, 0, len(names))
@@ -151,21 +371,26 @@ func (s *Service) regenerateLocked() {
 		included = append(included, g)
 	}
 	s.groups = groups
+	clear(s.quiesceDirty) // the walk consulted the quiesce set for every job
 	s.genCount++
-
-	if s.index != nil && sameContent(s.index.groups, included) {
-		// Byte-identical content: keep the published index (and version)
-		// so Task Managers skip reconciliation.
-		return
+	s.included = included
+	prev := s.publishedIdx()
+	if prev != nil && sameContent(prev.groups, included) {
+		// Byte-identical content: keep the published index (and version).
+		// The fresh included list is the service's own copy.
+		s.includedShared = false
+		return prev
 	}
 	s.version++
-	s.index = newIndex(s.version, s.numShards, included)
+	idx := newIndex(s.version, s.numShards, included)
+	s.includedShared = true
+	return idx
 }
 
 // buildGroup generates one job's spec group: expand the running config
-// into specs, hash each spec once, and precompute each task's identity
-// and shard. Jobs whose running config is undecodable or administratively
-// stopped produce an empty group.
+// into specs, hash each spec once, and precompute each task's identity,
+// shard, and per-shard sub-buckets. Jobs whose running config is
+// undecodable or administratively stopped produce an empty group.
 func (s *Service) buildGroup(job string, rev int64) *jobGroup {
 	g := &jobGroup{job: job, rev: rev}
 	// Shared read: JobConfigFromDoc only decodes, so the running doc
@@ -190,24 +415,31 @@ func (s *Service) buildGroup(job string, rev int64) *jobGroup {
 			Spec:  spec,
 		}
 	}
+	g.shards = buildGroupShards(g.indexed)
 	g.sig = buildSig(g.specs)
 	return g
 }
 
-// Invalidate drops the cached snapshot so the next fetch regenerates
-// (incrementally — per-job groups are kept). Used by tests and by
-// operators forcing a fast propagation.
+// Invalidate drops the published snapshot's freshness so the next fetch
+// regenerates (incrementally — per-job groups are kept, and untouched
+// index chunks are reused). Used by tests and by operators forcing a
+// fast propagation.
 func (s *Service) Invalidate() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.haveCache = false
+	// Taking regenMu keeps the pre-atomic-pointer semantics: an
+	// invalidation that lands while a regeneration is in flight waits it
+	// out and then marks its snapshot stale, so the NEXT fetch
+	// regenerates again rather than the invalidation being overwritten
+	// by the in-flight publish.
+	s.regenMu.Lock()
+	defer s.regenMu.Unlock()
+	s.invalidatePub()
 }
 
 // Generations reports how many times a snapshot was generated (not served
 // from cache); tests use it to verify caching behaviour.
 func (s *Service) Generations() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regenMu.Lock()
+	defer s.regenMu.Unlock()
 	return s.genCount
 }
 
