@@ -15,6 +15,7 @@
 //	turbinectl -store jobs.json clear-oncall scuba/t0001
 //	turbinectl -store jobs.json quarantine                # list quarantined
 //	turbinectl -store jobs.json unquarantine scuba/t0001
+//	turbinectl -store jobs.json shards                    # shard topology + leases
 //	turbinectl -store jobs.json plan scuba/t0001          # dry-run the syncer
 package main
 
@@ -131,6 +132,49 @@ func main() {
 		}
 		fmt.Printf("quarantine cleared for %s; the State Syncer will retry it next round\n", name)
 		mutated = true
+	case "shards":
+		leases := store.ShardLeases()
+		n := len(leases)
+		if len(args) > 1 {
+			n = requireInt(args, 1, "shard count")
+		}
+		if n <= 0 {
+			fmt.Println("no shard leases in the store (single-syncer deployment); pass a shard count to preview a topology")
+			break
+		}
+		byShard := make(map[int]jobstore.ShardLease, len(leases))
+		for _, l := range leases {
+			byShard[l.Shard] = l
+		}
+		// Per-slice job and dirty counts give the store-visible round
+		// picture: what each shard owns and what it still has to drive.
+		jobs := make([]int, n)
+		for _, name := range store.ExpectedNames() {
+			jobs[statesyncer.SliceOfName(name, n)]++
+		}
+		now := time.Now()
+		fmt.Printf("%-6s %-13s %-6s %-6s %-14s %-6s %s\n",
+			"SHARD", "STRIPES", "JOBS", "DIRTY", "HOLDER", "EPOCH", "LEASE")
+		var dirtyBuf []jobstore.DirtyMark
+		for k := 0; k < n; k++ {
+			lo, hi := statesyncer.ShardStripeRange(k, n)
+			dirtyBuf = store.DirtyMarksRangeInto(lo, hi, dirtyBuf[:0])
+			holder, epoch, lease := "-", "-", "unclaimed"
+			if l, ok := byShard[k]; ok {
+				holder = l.Holder
+				epoch = strconv.FormatInt(l.Epoch, 10)
+				switch {
+				case l.Live(now):
+					lease = fmt.Sprintf("live, expires in %s", l.Expires.Sub(now).Round(time.Second))
+				case l.Expires.IsZero():
+					lease = "released"
+				default:
+					lease = fmt.Sprintf("expired %s ago (stealable)", now.Sub(l.Expires).Round(time.Second))
+				}
+			}
+			fmt.Printf("%-6d %-13s %-6d %-6d %-14s %-6s %s\n",
+				k, fmt.Sprintf("[%d,%d)", lo, hi), jobs[k], len(dirtyBuf), holder, epoch, lease)
+		}
 	case "plan":
 		name := requireArg(args, 1, "job name")
 		merged, version, err := store.MergedExpected(name)
@@ -183,6 +227,7 @@ commands:
   clear-oncall <job>         drop all oncall overrides
   quarantine                 list quarantined jobs
   unquarantine <job>         clear a job's quarantine
+  shards [n]                 shard topology: stripe ranges, lease holders, pending work
   plan <job>                 dry-run the State Syncer's execution plan`)
 	os.Exit(2)
 }

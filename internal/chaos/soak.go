@@ -37,6 +37,12 @@ type Options struct {
 	// job is created and deleted mid-run to probe teardown under faults.
 	Jobs  int
 	Hosts int
+	// SyncerShards selects the State Syncer topology for BOTH clusters
+	// (baseline and faulty): <= 1 is the classic single syncer; N > 1
+	// runs N lease-coordinated shard Nodes. Sharded runs additionally
+	// schedule a shard-crash + lease-steal sequence and background
+	// shard-round partitions, and assert zero lease violations.
+	SyncerShards int
 }
 
 // Result is what a soak run observed.
@@ -49,6 +55,10 @@ type Result struct {
 	FaultySnapshot   []byte
 	BaselineSnapshot []byte
 	SyncerRestarts   int
+	// LeaseSteals counts slices whose lease epoch moved past its first
+	// grant in the faulty run — evidence the steal path actually ran
+	// (sharded runs schedule at least one).
+	LeaseSteals int
 }
 
 const (
@@ -92,15 +102,16 @@ func jobConfig(name string, tasks, partitions int) *config.JobConfig {
 // rules is the seeded fault schedule: background error rates on every
 // seam during the fault window, two bounded heartbeat blackouts (one
 // shorter than the failover interval, one longer), and one syncer crash
-// on each side of a commit.
-func rules(clusterName string) []faultinject.Rule {
+// on each side of a commit. Sharded runs add background shard-round
+// partitions and slow-shard latency on the Node ↔ slice transport.
+func rules(clusterName string, shards int) []faultinject.Rule {
 	// Container IDs follow the cluster's deterministic layout:
 	// <name>-tc<host>-<slot>. The blackout victims sit on hosts 0 and 1;
 	// the host-kill event below uses host 2, so the faults never overlap
 	// on one container.
 	shortVictim := clusterName + "-tc0000-0"
 	longVictim := clusterName + "-tc0001-0"
-	return []faultinject.Rule{
+	rs := []faultinject.Rule{
 		// Background failure rates across the actuator boundary, spec
 		// fetches, load reports, and store commits.
 		{Op: faultinject.OpActuatorStop, Rate: 0.10, Kind: faultinject.KindError, After: faultsFrom, Until: faultsUntil},
@@ -139,6 +150,18 @@ func rules(clusterName string) []faultinject.Rule {
 		{Op: faultinject.OpStoreCommit, Rate: 1, Kind: faultinject.KindCrashBeforeCommit,
 			After: 14 * time.Minute, Until: 16 * time.Minute, MaxHits: 1},
 	}
+	if shards > 1 {
+		// Shard-round partitions: the Node skips the slice's round and
+		// withholds its lease renewal, so a sustained partition decays
+		// the lease toward a steal; the rediscovery sweep and journal
+		// resync cover whatever the skipped rounds missed. Latency
+		// records slow shards without failing them.
+		rs = append(rs,
+			faultinject.Rule{Op: faultinject.OpShardRound, Rate: 0.10, Kind: faultinject.KindError, After: faultsFrom, Until: faultsUntil},
+			faultinject.Rule{Op: faultinject.OpShardRound, Rate: 0.05, Kind: faultinject.KindLatency, Latency: 3 * time.Second, After: faultsFrom, Until: faultsUntil},
+		)
+	}
+	return rs
 }
 
 // Run executes one soak. It returns an error the moment any invariant
@@ -166,6 +189,18 @@ func Run(opts Options) (*Result, error) {
 	res.Trace = inj.Trace()
 	res.TraceKeys = inj.TraceKeys()
 
+	// Lease rows carry holder identities and steal-bumped epochs, which
+	// legitimately differ between a fault-free and a faulted run whose
+	// job state is identical — count the steals, then reset ownership on
+	// both sides so the byte-identity check compares job state only.
+	for _, l := range faulty.Store.ShardLeases() {
+		if l.Epoch > 1 {
+			res.LeaseSteals++
+		}
+	}
+	baseline.Store.ClearShardLeases()
+	faulty.Store.ClearShardLeases()
+
 	res.BaselineSnapshot, err = baseline.Store.Snapshot()
 	if err != nil {
 		return nil, err
@@ -190,12 +225,13 @@ func newCluster(opts Options, name string, faults bool) (*cluster.Cluster, *faul
 		StartTime: start,
 		// Change-driven 30 s rounds with a periodic full sweep — the
 		// production shape the durable sync state is designed for.
-		Syncer: statesyncer.Options{FullSweepEvery: 10},
+		Syncer:       statesyncer.Options{FullSweepEvery: 10},
+		SyncerShards: opts.SyncerShards,
 	}
 	var inj *faultinject.Injector
 	if faults {
 		clk := simclock.NewSim(start)
-		inj = faultinject.New(opts.Seed, clk, rules(name))
+		inj = faultinject.New(opts.Seed, clk, rules(name, opts.SyncerShards))
 		cfg.Clock = clk
 		cfg.WrapActuator = inj.Actuator
 		cfg.WrapSM = func(id string, inner taskmanager.ShardManagerClient) taskmanager.ShardManagerClient {
@@ -205,6 +241,9 @@ func newCluster(opts Options, name string, faults bool) (*cluster.Cluster, *faul
 			return inj.TaskSource(id, inner)
 		}
 		cfg.Syncer.SweepGate = inj.SweepGate()
+		cfg.WrapShardDriver = func(slice int, d statesyncer.ShardDriver) statesyncer.ShardDriver {
+			return inj.ShardDriver(slice, d)
+		}
 	}
 	c, err := cluster.New(cfg)
 	if err != nil {
@@ -220,15 +259,33 @@ func newCluster(opts Options, name string, faults bool) (*cluster.Cluster, *faul
 // The schedule is identical for baseline and faulty runs — only the
 // injector (and the host-kill event, itself a fault) differ.
 func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, res *Result) error {
+	sharded := len(c.SyncerNodes) > 0
 	if inj != nil {
 		// A crash fault kills the live syncer instance on the spot; a
 		// 10-second supervisor poll then boots a replacement from the
 		// store's serialized snapshot and re-arms injection — the
-		// crash-restart loop the durable sync state exists for.
-		inj.OnCrash(func(faultinject.Event) { c.Syncer.Kill() })
+		// crash-restart loop the durable sync state exists for. In the
+		// sharded topology the victim is the Node driving the faulted
+		// job's slice (the crash fires inside its round), and only that
+		// Node is restarted — its peers keep their slices.
+		crashVictim := 0
+		inj.OnCrash(func(ev faultinject.Event) {
+			if sharded {
+				crashVictim = c.SyncerNodeFor(ev.Key)
+				c.KillSyncerNode(crashVictim)
+				return
+			}
+			c.Syncer.Kill()
+		})
 		c.Clk.TickEvery(10*time.Second, func() {
 			if inj.Crashed() {
-				if err := c.RestartSyncer(true); err != nil {
+				var err error
+				if sharded {
+					err = c.RestartSyncerNode(crashVictim, true)
+				} else {
+					err = c.RestartSyncer(true)
+				}
+				if err != nil {
 					panic(fmt.Sprintf("chaos: syncer restart: %v", err))
 				}
 				inj.Rearm()
@@ -287,6 +344,13 @@ func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, re
 		if err := c.KillHost(c.Hosts()[2]); err != nil {
 			return err
 		}
+		if sharded {
+			// Scheduled shard crash: Node 1 goes dark mid-storm. Its
+			// slice lease (90 s TTL) expires unrenewed and a peer steals
+			// the slice — including any divergence the dead Node left
+			// behind, converged by the thief's O(slice) resync round.
+			c.KillSyncerNode(1)
+		}
 	}
 	if err := step(3 * time.Minute); err != nil { // t=12m: long blackout ran 10:00–11:15
 		return err
@@ -294,6 +358,15 @@ func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, re
 	if inj != nil {
 		if err := c.RestoreHost(c.Hosts()[2]); err != nil {
 			return err
+		}
+		if sharded {
+			// The crashed Node returns (via the snapshot-restore boot
+			// path) after its slice was stolen: it must respect the
+			// thief's live lease and run as a standby, not force the
+			// slice back.
+			if err := c.RestartSyncerNode(1, true); err != nil {
+				return err
+			}
 		}
 	}
 	// Teardown under fire: the delete lands inside the fault window, so
@@ -351,6 +424,25 @@ func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, re
 	}
 	if qs := c.Jobs.Quarantined(); len(qs) != 0 {
 		return fmt.Errorf("jobs still quarantined after the tail: %v", qs)
+	}
+	// Sharded topology: no round ever committed against a stolen lease,
+	// and every slice ends the run under a live lease (fully serviced).
+	for k, node := range c.SyncerNodes {
+		if v := node.Violations(); v != 0 {
+			return fmt.Errorf("syncer node %d committed %d rounds against stolen leases", k, v)
+		}
+	}
+	if sharded {
+		now := c.Clk.Now()
+		live := 0
+		for _, l := range c.Store.ShardLeases() {
+			if l.Live(now) {
+				live++
+			}
+		}
+		if live != len(c.SyncerNodes) {
+			return fmt.Errorf("%d of %d shard slices under a live lease after the tail", live, len(c.SyncerNodes))
+		}
 	}
 	return nil
 }

@@ -23,12 +23,25 @@ func soakSeed(t *testing.T) uint64 {
 	return seed
 }
 
+func soakShards(t *testing.T) int {
+	t.Helper()
+	env := os.Getenv("CHAOS_SHARDS")
+	if env == "" {
+		return 1
+	}
+	shards, err := strconv.Atoi(env)
+	if err != nil || shards < 1 {
+		t.Fatalf("bad CHAOS_SHARDS %q", env)
+	}
+	return shards
+}
+
 // TestChaosSoak is the acceptance soak: a full fault schedule against a
 // live cluster, checked against a fault-free baseline. CI runs it under
-// -race once per seed in its matrix (CHAOS_SEED).
+// -race once per (CHAOS_SEED, CHAOS_SHARDS) cell of its matrix.
 func TestChaosSoak(t *testing.T) {
 	seed := soakSeed(t)
-	res, err := Run(Options{Seed: seed})
+	res, err := Run(Options{Seed: seed, SyncerShards: soakShards(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,6 +63,35 @@ func TestChaosSoak(t *testing.T) {
 	if !sweepDrops {
 		t.Fatal("no sweep-slice drops in the trace — the rotating-sweep seam is not wired")
 	}
+}
+
+// TestChaosSoakSharded runs the soak on the 4-shard syncer topology:
+// the schedule adds a shard crash whose lease a peer must steal, plus
+// background shard-round partitions, and the byte-identical-store
+// invariant must hold against a 4-shard fault-free baseline.
+func TestChaosSoakSharded(t *testing.T) {
+	seed := soakSeed(t)
+	res, err := Run(Options{Seed: seed, SyncerShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeaseSteals < 1 {
+		t.Fatal("no lease steals — the scheduled shard crash did not exercise the steal path")
+	}
+	if res.SyncerRestarts < 1 {
+		t.Fatalf("syncer node crash-restarted %d times, want at least 1", res.SyncerRestarts)
+	}
+	shardFaults := false
+	for _, k := range res.TraceKeys {
+		if strings.HasPrefix(k, string(faultinject.OpShardRound)+" ") {
+			shardFaults = true
+		}
+	}
+	if !shardFaults {
+		t.Fatal("no shard-round faults in the trace — the shard-driver seam is not wired")
+	}
+	t.Logf("seed %d shards 4: %d faults, %d restarts, %d lease steals, store converged (%d bytes)",
+		seed, len(res.Trace), res.SyncerRestarts, res.LeaseSteals, len(res.FaultySnapshot))
 }
 
 // TestChaosSoakReplayDeterminism: identical seeds must produce identical

@@ -62,6 +62,16 @@ type Config struct {
 	EnableScaler   bool
 	EnableCapacity bool
 
+	// SyncerShards selects the State Syncer topology: 0 or 1 runs the
+	// classic single full-fleet syncer (Cluster.Syncer); N > 1 runs N
+	// lease-coordinated syncer Nodes (Cluster.SyncerNodes), each home to
+	// one stripe slice of the fleet and stealing a peer's slice only
+	// when its lease expires.
+	SyncerShards int
+	// SyncerLeaseTTL tunes the shard-lease TTL (sharded topology only);
+	// zero defaults to 3× the round interval.
+	SyncerLeaseTTL time.Duration
+
 	Syncer   statesyncer.Options
 	Scaler   autoscaler.Options
 	ShardMgr shardmanager.Options
@@ -78,6 +88,11 @@ type Config struct {
 	// temporarily transfer resources between clusters during
 	// datacenter-wide events). The cluster's Name keys its adjustment.
 	CapacityPool *capacity.Pool
+
+	// WrapShardDriver interposes on each shard slice's Node ↔ round-
+	// engine transport (sharded topology only), keyed by slice index —
+	// the fault injector's partition/slow-shard/lease-expiry seam.
+	WrapShardDriver func(slice int, d statesyncer.ShardDriver) statesyncer.ShardDriver
 
 	// WrapActuator, WrapSM, and WrapTaskSource interpose on the
 	// control-plane seams — the State Syncer's actuator boundary and each
@@ -163,8 +178,13 @@ type Cluster struct {
 	TaskSvc *taskservice.Service
 	SM      *shardmanager.Manager
 	TW      *tupperware.Cluster
-	Syncer  *statesyncer.Syncer
-	Scaler  *autoscaler.Scaler
+	// Syncer is the single full-fleet syncer (SyncerShards <= 1); nil in
+	// the sharded topology, where SyncerNodes drive the fleet instead.
+	Syncer *statesyncer.Syncer
+	// SyncerNodes are the sharded topology's N lease-coordinated syncer
+	// processes, indexed by home slice; empty when Syncer is set.
+	SyncerNodes []*statesyncer.Node
+	Scaler      *autoscaler.Scaler
 	CapMgr  *capacity.Manager
 	Metrics *metrics.Store
 	Health  *health.Reporter
@@ -295,7 +315,13 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.WrapActuator != nil {
 		c.act = cfg.WrapActuator(c.act)
 	}
-	c.Syncer = statesyncer.New(c.Store, c.act, c.Clk, cfg.Syncer)
+	if cfg.SyncerShards > 1 {
+		for k := 0; k < cfg.SyncerShards; k++ {
+			c.SyncerNodes = append(c.SyncerNodes, c.newSyncerNode(k))
+		}
+	} else {
+		c.Syncer = statesyncer.New(c.Store, c.act, c.Clk, cfg.Syncer)
+	}
 
 	profileFn := func(spec engine.TaskSpec) *engine.Profile {
 		c.mu.Lock()
@@ -379,7 +405,12 @@ func (c *Cluster) Start() {
 	}
 	c.SM.AssignUnassigned()
 	c.SM.Start()
-	c.Syncer.Start()
+	if c.Syncer != nil {
+		c.Syncer.Start()
+	}
+	for _, n := range c.SyncerNodes {
+		n.Start()
+	}
 	if c.Scaler != nil {
 		c.Scaler.Start()
 	}
@@ -486,23 +517,44 @@ func (c *Cluster) RestoreHost(host string) error {
 	return c.TW.SetHostHealthy(host, true)
 }
 
+// newSyncerNode builds the syncer Node whose home is slice k, wired to
+// the cluster's store, actuator, clock, and (if set) shard-driver wrap.
+func (c *Cluster) newSyncerNode(k int) *statesyncer.Node {
+	return statesyncer.NewNode(c.Store, c.act, c.Clk, statesyncer.NodeOptions{
+		Shards:     c.Cfg.SyncerShards,
+		Index:      k,
+		ID:         fmt.Sprintf("%s-syncer-%d", c.Cfg.Name, k),
+		LeaseTTL:   c.Cfg.SyncerLeaseTTL,
+		Syncer:     c.Cfg.Syncer,
+		WrapDriver: c.Cfg.WrapShardDriver,
+	})
+}
+
 // RestartSyncer models the State Syncer process crash-restarting: the
 // old instance is killed (its periodic rounds stop, its in-memory state
 // is lost) and a fresh instance is built over the same durable Job Store
 // and actuator. With viaSnapshot the store is additionally round-tripped
 // through Snapshot/Restore first, modeling a replacement syncer booting
 // from the database's serialized state rather than warm memory. The new
-// instance starts its periodic rounds if the cluster is running.
+// instance starts its periodic rounds if the cluster is running. In the
+// sharded topology every Node restarts; use RestartSyncerNode to crash-
+// restart a single one.
 func (c *Cluster) RestartSyncer(viaSnapshot bool) error {
+	if len(c.SyncerNodes) > 0 {
+		for k := range c.SyncerNodes {
+			c.SyncerNodes[k].Kill()
+		}
+		if err := c.maybeSnapshotRestore(viaSnapshot); err != nil {
+			return err
+		}
+		for k := range c.SyncerNodes {
+			c.restartNodeLocked(k)
+		}
+		return nil
+	}
 	c.Syncer.Kill()
-	if viaSnapshot {
-		data, err := c.Store.Snapshot()
-		if err != nil {
-			return fmt.Errorf("cluster: snapshot for syncer restart: %w", err)
-		}
-		if err := c.Store.Restore(data); err != nil {
-			return fmt.Errorf("cluster: restore for syncer restart: %w", err)
-		}
+	if err := c.maybeSnapshotRestore(viaSnapshot); err != nil {
+		return err
 	}
 	c.Syncer = statesyncer.New(c.Store, c.act, c.Clk, c.Cfg.Syncer)
 	c.mu.Lock()
@@ -512,6 +564,76 @@ func (c *Cluster) RestartSyncer(viaSnapshot bool) error {
 		c.Syncer.Start()
 	}
 	return nil
+}
+
+func (c *Cluster) maybeSnapshotRestore(viaSnapshot bool) error {
+	if !viaSnapshot {
+		return nil
+	}
+	data, err := c.Store.Snapshot()
+	if err != nil {
+		return fmt.Errorf("cluster: snapshot for syncer restart: %w", err)
+	}
+	if err := c.Store.Restore(data); err != nil {
+		return fmt.Errorf("cluster: restore for syncer restart: %w", err)
+	}
+	return nil
+}
+
+// KillSyncerNode crash-kills one syncer Node of the sharded topology:
+// its ticks stop, in-flight writes are suppressed, and its slice leases
+// run down until a peer steals them.
+func (c *Cluster) KillSyncerNode(k int) {
+	if k >= 0 && k < len(c.SyncerNodes) {
+		c.SyncerNodes[k].Kill()
+	}
+}
+
+// RestartSyncerNode replaces one killed (or live) syncer Node with a
+// fresh instance over the same durable store, optionally round-tripping
+// the store through Snapshot/Restore first — the single-Node analogue
+// of RestartSyncer. The replacement re-claims its home slice through
+// the ordinary lease path: if a peer stole the slice meanwhile, the
+// newcomer waits for that lease to lapse rather than forcing it.
+func (c *Cluster) RestartSyncerNode(k int, viaSnapshot bool) error {
+	if k < 0 || k >= len(c.SyncerNodes) {
+		return fmt.Errorf("cluster: no syncer node %d", k)
+	}
+	c.SyncerNodes[k].Kill()
+	if err := c.maybeSnapshotRestore(viaSnapshot); err != nil {
+		return err
+	}
+	c.restartNodeLocked(k)
+	return nil
+}
+
+func (c *Cluster) restartNodeLocked(k int) {
+	c.SyncerNodes[k] = c.newSyncerNode(k)
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		c.SyncerNodes[k].Start()
+	}
+}
+
+// SyncerNodeFor returns the index of the syncer Node currently
+// responsible for the job: the holder of its slice's lease if one is
+// recorded, the slice's home Node otherwise. Sharded topology only.
+func (c *Cluster) SyncerNodeFor(job string) int {
+	n := len(c.SyncerNodes)
+	if n == 0 {
+		return 0
+	}
+	slice := statesyncer.SliceOfName(job, n)
+	if l, ok := c.Store.ShardLeaseOf(slice); ok {
+		for k, node := range c.SyncerNodes {
+			if node.ID() == l.Holder {
+				return k
+			}
+		}
+	}
+	return slice
 }
 
 // actuator implements statesyncer.Actuator over the Task Manager fleet.

@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 )
@@ -72,30 +73,104 @@ func Merge(bottom, top Doc) Doc {
 	for k, v := range bottom {
 		out[k] = deepCopyValue(v)
 	}
-	for k, topValue := range top {
-		topMap, topIsMap := asDoc(topValue)
-		bottomValue, inBottom := out[k]
-		if topIsMap && inBottom {
-			if bottomMap, ok := asDoc(bottomValue); ok {
-				out[k] = Merge(bottomMap, topMap)
-				continue
-			}
-		}
-		out[k] = deepCopyValue(topValue)
-	}
+	mergeInto(out, top)
 	return out
 }
 
+// mergeInto merges top into dst in place. dst (and everything reachable
+// from it) must be privately owned by the caller; values taken from top
+// are deep-copied, so dst never aliases top afterwards.
+func mergeInto(dst, top Doc) {
+	for k, topValue := range top {
+		topMap, topIsMap := asDoc(topValue)
+		dstValue, inDst := dst[k]
+		if topIsMap && inDst {
+			if dstMap, ok := asDoc(dstValue); ok {
+				// Keep the merged subtree typed as Doc, matching the
+				// recursive Merge this path replaces.
+				dst[k] = dstMap
+				mergeInto(dstMap, topMap)
+				continue
+			}
+		}
+		dst[k] = deepCopyValue(topValue)
+	}
+}
+
 // MergeLayers folds docs in order: docs[0] is the bottom layer, the last
-// doc has the highest precedence. Nil docs are skipped.
+// doc has the highest precedence. Nil docs are skipped. The fold merges
+// into one privately-owned accumulator, so each layer's content is copied
+// exactly once — not once per higher layer as a naive Merge chain would.
 func MergeLayers(docs ...Doc) Doc {
 	out := Doc{}
 	for _, d := range docs {
 		if d != nil {
-			out = Merge(out, d)
+			mergeInto(out, d)
 		}
 	}
 	return out
+}
+
+// MergeLayersShared is MergeLayers without the deep copies: subtrees (and
+// leaf values) contributed by a single layer are aliased directly into the
+// result, and only map levels where layers actually collide are freshly
+// allocated. The result therefore shares memory with the input docs — it
+// is only safe where both the inputs and the output are immutable, which
+// is exactly the Job Store's merge-cache contract: layer docs are replaced
+// wholesale (never mutated) by SetLayer, and the cached merged doc is
+// handed out as shared read-only. A package-version bump on a 20-field
+// config re-merges by allocating two small maps instead of deep-copying
+// the whole document — and because unchanged subtrees keep their identity
+// across re-merges, Diff's same-map fast path skips them wholesale.
+func MergeLayersShared(docs ...Doc) Doc {
+	var out Doc
+	first := true
+	for _, d := range docs {
+		if d == nil {
+			continue
+		}
+		if first {
+			// A single-layer "merge" still gets a fresh top-level map:
+			// the cache contract says the result is a distinct doc, and
+			// the common multi-layer fold overwrites top-level keys.
+			out = make(Doc, len(d))
+			for k, v := range d {
+				out[k] = v
+			}
+			first = false
+			continue
+		}
+		out = mergeShared(out, d)
+	}
+	if out == nil {
+		out = Doc{}
+	}
+	return out
+}
+
+// mergeShared merges top over bottom, aliasing one-sided subtrees. bottom
+// is a privately-owned accumulator map (from MergeLayersShared) whose
+// values may alias layer docs; top is an immutable layer doc.
+func mergeShared(bottom, top Doc) Doc {
+	for k, topValue := range top {
+		topMap, topIsMap := asDoc(topValue)
+		bottomValue, inBottom := bottom[k]
+		if topIsMap && inBottom {
+			if bottomMap, ok := asDoc(bottomValue); ok {
+				// Collision of two object values: allocate a fresh level
+				// and recurse. The bottom subtree may alias a layer doc,
+				// so it cannot be mutated in place.
+				merged := make(Doc, len(bottomMap)+len(topMap))
+				for bk, bv := range bottomMap {
+					merged[bk] = bv
+				}
+				bottom[k] = mergeShared(merged, topMap)
+				continue
+			}
+		}
+		bottom[k] = topValue
+	}
+	return bottom
 }
 
 // asDoc reports whether v is a JSON object, converting map types produced
@@ -215,9 +290,16 @@ type Change struct {
 
 // Diff returns the leaf-level changes that transform a into b, sorted by
 // path. Nested objects are compared recursively; everything else (scalars,
-// arrays) is compared by canonical JSON encoding.
+// arrays) is compared by canonical JSON encoding. Subtrees that are the
+// same map object on both sides — common when both docs came from the
+// alias-sharing MergeLayersShared and the subtree's layer did not change —
+// are skipped without being walked: a map always diffs empty against
+// itself.
 func Diff(a, b Doc) []Change {
 	var out []Change
+	if sameMap(a, b) {
+		return out
+	}
 	diffInto("", a, b, &out)
 	// The per-level walk emits in key order, which can differ from full
 	// dotted-path order when keys contain characters below '.' — keep the
@@ -261,7 +343,9 @@ func diffInto(prefix string, a, b Doc, out *[]Change) {
 			am, aIsMap := asDoc(av)
 			bm, bIsMap := asDoc(bv)
 			if aIsMap && bIsMap {
-				diffInto(path, am, bm, out)
+				if !sameMap(am, bm) {
+					diffInto(path, am, bm, out)
+				}
 				continue
 			}
 			if !leafEqual(av, bv) {
@@ -269,6 +353,11 @@ func diffInto(prefix string, a, b Doc, out *[]Change) {
 			}
 		}
 	}
+}
+
+// sameMap reports whether a and b are the same underlying map object.
+func sameMap(a, b Doc) bool {
+	return a != nil && b != nil && reflect.ValueOf(a).Pointer() == reflect.ValueOf(b).Pointer()
 }
 
 func sortedKeysOf(d Doc) []string {

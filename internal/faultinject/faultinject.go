@@ -41,6 +41,7 @@ const (
 	OpTaskFetch            Op = "taskservice.fetch"
 	OpStoreCommit          Op = "store.commit"
 	OpSweepSlice           Op = "syncer.sweepSlice"
+	OpShardRound           Op = "syncer.shardRound"
 )
 
 // Kind is what happens when a rule fires.
@@ -430,6 +431,34 @@ func (in *Injector) SweepGate() func(pos, of int) bool {
 		}
 		return true
 	}
+}
+
+// ---- Shard-round seam ----
+
+type shardDriver struct {
+	in    *Injector
+	key   string
+	inner statesyncer.ShardDriver
+}
+
+// ShardDriver wraps one shard slice's transport (the syncer Node ↔
+// slice round-engine boundary), keyed by slice index. KindError and
+// KindTimeout fail the round partition-shaped — the Node skips the
+// round and, because it renews a slice lease only after a successful
+// round, a sustained partition lets the lease run down until a peer
+// steals the slice: lease expiry falls out of this one seam. A
+// KindLatency rule records a slow shard without failing the round.
+func (in *Injector) ShardDriver(slice int, inner statesyncer.ShardDriver) statesyncer.ShardDriver {
+	return &shardDriver{in: in, key: strconv.Itoa(slice), inner: inner}
+}
+
+func (d *shardDriver) RunSliceRound() (statesyncer.RoundResult, error) {
+	if ev, ok := d.in.decide(OpShardRound, d.key); ok {
+		if err := errFor(ev); err != nil {
+			return statesyncer.RoundResult{}, err
+		}
+	}
+	return d.inner.RunSliceRound()
 }
 
 // ---- Job Store commit seam ----

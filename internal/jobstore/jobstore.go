@@ -221,6 +221,11 @@ type Store struct {
 	// ChangesSince; see journal.go.
 	journal journal
 
+	// leases is the shard-lease table (see lease.go); nil until the
+	// first acquire or restore.
+	leaseMu sync.Mutex
+	leases  map[int]*ShardLease
+
 	mergedHits   atomic.Int64 // MergedExpected served from cache
 	mergedMisses atomic.Int64 // MergedExpected recomputed the merge
 }
@@ -242,8 +247,16 @@ func New() *Store {
 	return s
 }
 
-// stripeFor hashes a job name onto its stripe (FNV-1a).
-func (s *Store) stripeFor(name string) *stripe {
+// NumStripes is the store's lock-stripe count, exported so shard layers
+// can partition the job universe along stripe boundaries: a job's stripe
+// is a pure function of its name (StripeOf), so "stripes [lo, hi)" is a
+// stable, store-independent slice of the fleet.
+const NumStripes = numStripes
+
+// StripeOf returns the stripe index the job name hashes onto (FNV-1a),
+// in [0, NumStripes). Sharded State Syncers use it to route jobs to the
+// shard slice owning their stripe.
+func StripeOf(name string) int {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -253,7 +266,12 @@ func (s *Store) stripeFor(name string) *stripe {
 		h ^= uint32(name[i])
 		h *= prime32
 	}
-	return &s.stripes[h&(numStripes-1)]
+	return int(h & (numStripes - 1))
+}
+
+// stripeFor hashes a job name onto its stripe (FNV-1a).
+func (s *Store) stripeFor(name string) *stripe {
+	return &s.stripes[StripeOf(name)]
 }
 
 // markLocked stamps a fresh change-sequence mark for name. The caller
@@ -381,10 +399,17 @@ func (s *Store) MergedExpectedShared(name string) (config.Doc, int64, error) {
 		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	if e.merged == nil || e.mergedVersion != e.Version {
-		// Merge directly off the canonical layers: config.Merge deep-copies
-		// both inputs into its output, so the cached doc shares no memory
-		// with the layers and survives later SetLayer calls intact.
-		e.merged = e.Merged()
+		// Alias-sharing merge: subtrees contributed by a single layer are
+		// referenced, not deep-copied. That is safe here because layer docs
+		// are only ever replaced wholesale (SetLayer installs a fresh
+		// clone, never mutates the old doc), so a cached merged doc keeps
+		// its referenced subtrees intact across later writes — and because
+		// the cache contract already makes the merged doc immutable-shared.
+		// Re-merging after a one-layer change allocates only the collision
+		// levels, and unchanged subtrees keep their map identity, which
+		// lets config.Diff skip them without walking (the State Syncer's
+		// churn-round fast path).
+		e.merged = config.MergeLayersShared(e.Layers[0], e.Layers[1], e.Layers[2], e.Layers[3])
 		e.mergedVersion = e.Version
 		s.mergedMisses.Add(1)
 	} else {
@@ -463,6 +488,49 @@ func (s *Store) RunningRevision(name string) (int64, bool) {
 		return 0, false
 	}
 	return r.revision, true
+}
+
+// PlanView is everything the State Syncer's per-candidate prologue needs
+// to classify a job, gathered under a single stripe lock. The previous
+// shape — SyncStateOf, ExpectedVersion, Quarantined, RunningVersion as
+// separate calls — acquired the same stripe's RWMutex four times per
+// candidate; at a 1M-task sweep slice that lock traffic dominated the
+// converged round. One PlanViewOf call is one RLock and four map lookups.
+type PlanView struct {
+	ExpectedVersion int64
+	RunningVersion  int64
+	HasExpected     bool
+	HasRunning      bool
+	Quarantined     bool
+	// FailureStreak and NextRetryAt mirror the job's SyncState (zero
+	// values if it has none); FollowUps are not included — the prologue
+	// only needs the backoff gate.
+	FailureStreak int
+	NextRetryAt   time.Time
+}
+
+// PlanViewOf reads a job's plan-relevant state in one locked pass.
+func (s *Store) PlanViewOf(name string) PlanView {
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var v PlanView
+	if e, ok := st.expected[name]; ok {
+		v.HasExpected = true
+		v.ExpectedVersion = e.Version
+	}
+	if r, ok := st.running[name]; ok {
+		v.HasRunning = true
+		v.RunningVersion = r.Version
+	}
+	if _, ok := st.quarantined[name]; ok {
+		v.Quarantined = true
+	}
+	if ss, ok := st.sync[name]; ok {
+		v.FailureStreak = ss.FailureStreak
+		v.NextRetryAt = ss.NextRetryAt
+	}
+	return v
 }
 
 // CommitRunning records that the cluster now runs cfg, which realizes
@@ -625,8 +693,15 @@ func (s *Store) DirtyMarks() []DirtyMark {
 // set and a reusable buffer — the State Syncer's converged steady state —
 // it performs no allocation.
 func (s *Store) DirtyMarksInto(buf []DirtyMark) []DirtyMark {
+	return s.DirtyMarksRangeInto(0, numStripes, buf)
+}
+
+// DirtyMarksRangeInto is DirtyMarksInto restricted to stripes [lo, hi):
+// the per-stripe dirty drain of a sharded State Syncer, which reads only
+// its own slice of the change set instead of walking all 64 stripes.
+func (s *Store) DirtyMarksRangeInto(lo, hi int, buf []DirtyMark) []DirtyMark {
 	out := buf
-	for i := range s.stripes {
+	for i := lo; i < hi; i++ {
 		st := &s.stripes[i]
 		st.mu.RLock()
 		for name, seq := range st.dirty {
@@ -787,10 +862,30 @@ func (s *Store) SyncStateNames() []string {
 	return out
 }
 
-// snapshotSchema identifies the current serialized layout. Schema 2
-// added the dirty set and the per-job sync states; schema 1 (implicit,
-// field absent) predates both.
-const snapshotSchema = 2
+// SyncStateNamesRangeInto appends (sorted) the names with durable sync
+// bookkeeping in stripes [lo, hi) to buf — the shard-scoped form of
+// SyncStateNames, allocation-free with a reusable buffer when the range
+// is converged.
+func (s *Store) SyncStateNamesRangeInto(lo, hi int, buf []string) []string {
+	out := buf
+	for i := lo; i < hi; i++ {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for k := range st.sync {
+			out = append(out, k)
+		}
+		st.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshotSchema identifies the current serialized layout. Schema 3
+// added the shard-lease table; schema 2 added the dirty set and the
+// per-job sync states; schema 1 (implicit, field absent) predates all
+// three. Only schemas below 2 lack the crash-critical syncer state and
+// need the conservative mark-everything-dirty restore.
+const snapshotSchema = 3
 
 // snapshot is the serialized form of the whole store.
 type snapshot struct {
@@ -802,6 +897,9 @@ type snapshot struct {
 	// syncer restored from a snapshot resumes exactly where it died.
 	Dirty []string              `json:"dirty,omitempty"`
 	Sync  map[string]*SyncState `json:"sync,omitempty"`
+	// ShardLeases carries the shard-ownership table, so a restored
+	// cluster resumes with the lease map it crashed with (schema 3).
+	ShardLeases []ShardLease `json:"shardLeases,omitempty"`
 }
 
 // Snapshot serializes the full store to JSON, for durability and for
@@ -844,6 +942,7 @@ func (s *Store) Snapshot() ([]byte, error) {
 		}
 	}
 	sort.Strings(snap.Dirty)
+	snap.ShardLeases = s.ShardLeases()
 	return json.MarshalIndent(snap, "", "  ")
 }
 
@@ -871,7 +970,7 @@ func (s *Store) Restore(data []byte) error {
 		st.dirty = make(map[string]uint64)
 		st.sync = make(map[string]*SyncState)
 	}
-	legacy := snap.Schema < snapshotSchema
+	legacy := snap.Schema < 2
 	for k, v := range snap.Expected {
 		st := s.stripeFor(k)
 		st.expected[k] = v
@@ -908,6 +1007,16 @@ func (s *Store) Restore(data []byte) error {
 	for i := range s.stripes {
 		s.stripes[i].mu.Unlock()
 	}
+	s.leaseMu.Lock()
+	s.leases = nil
+	for _, l := range snap.ShardLeases {
+		if s.leases == nil {
+			s.leases = make(map[int]*ShardLease, len(snap.ShardLeases))
+		}
+		row := l
+		s.leases[row.Shard] = &row
+	}
+	s.leaseMu.Unlock()
 	s.expNames.invalidate()
 	s.runNames.invalidate()
 	// Restore replaced the store wholesale: no cursor issued before this

@@ -55,6 +55,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -290,6 +291,20 @@ type Syncer struct {
 	stats  Stats
 	ticker simclock.Ticker
 
+	// Shard scope: the syncer examines only jobs whose store stripe
+	// falls in [stripeLo, stripeHi). The default full-fleet syncer spans
+	// every stripe and skips the filtered-view machinery entirely.
+	stripeLo, stripeHi int
+
+	// cursor is the sharded syncer's position in the store's running-entry
+	// change journal: each round consumes ChangesSince(cursor) filtered to
+	// its stripe range, so commits by other actors (a prior lease holder,
+	// an operator) become candidates without waiting for sweep rotation. A
+	// stale cursor (fell behind the ring, or the store was Restored) makes
+	// the round sweep its entire stripe slice once — the lease-steal
+	// catch-up path — and re-adopts the returned cursor.
+	cursor uint64
+
 	// Round machinery. Rounds are serialized under roundMu; the scratch
 	// buffers, the pre-bound worker closures, and the lazily created
 	// worker pool are reused round over round so the converged steady
@@ -297,10 +312,38 @@ type Syncer struct {
 	roundMu   sync.Mutex
 	sweepPos  int // next rotating sweep slice, in [0, FullSweepEvery)
 	scratch   roundScratch
+	expView   stripeView
+	runView   stripeView
 	wp        *workerPool
 	planFn    func(int)
 	simpleFn  func(int)
 	complexFn func(int)
+}
+
+// stripeView caches the stripe-range projection of a store name
+// snapshot. The store's ExpectedNames/RunningNames snapshots are
+// immutable and replaced wholesale on a name-set change, so slice
+// identity (length plus backing pointer) tells the view whether its
+// cached filter is still current — and layer churn never changes the
+// name set, so the converged and churn steady states both reuse the
+// cached projection without allocating or rescanning.
+type stripeView struct {
+	src  []string
+	mine []string
+}
+
+func (v *stripeView) filter(global []string, lo, hi int) []string {
+	if len(global) == len(v.src) && (len(global) == 0 || &global[0] == &v.src[0]) {
+		return v.mine
+	}
+	v.mine = v.mine[:0]
+	for _, name := range global {
+		if st := jobstore.StripeOf(name); st >= lo && st < hi {
+			v.mine = append(v.mine, name)
+		}
+	}
+	v.src = global
+	return v.mine
 }
 
 // roundScratch holds every buffer RunRound reuses across rounds. Slices
@@ -311,22 +354,34 @@ type Syncer struct {
 // outside the syncer ever sees them; store snapshots flow in (shared,
 // read-only), scratch never flows out.
 type roundScratch struct {
-	marks        []jobstore.DirtyMark
-	dirty        []string
-	markSeq      map[string]uint64
-	u1, u2, u3   []string // unionSortedInto destinations (candidate assembly)
-	candidates   []string // this round's candidates; aliases u* or a store snapshot
-	now          time.Time
-	results      []planned
-	simple       []Plan
-	complexPlans []Plan
-	teardown     []string
-	simpleErrs   []error
-	complexErrs  []error
+	marks          []jobstore.DirtyMark
+	dirty          []string
+	markSeq        map[string]uint64
+	changes        []jobstore.Change // journal batch (sharded syncers)
+	jnames         []string          // journal names in stripe range, sorted+deduped
+	syncNames      []string          // SyncStateNamesRangeInto destination
+	u1, u2, u3, u4 []string          // unionSortedInto destinations (candidate assembly)
+	candidates     []string          // this round's candidates; aliases u* or a store snapshot
+	now            time.Time
+	results        []planned
+	simple         []Plan
+	complexPlans   []Plan
+	teardown       []string
+	simpleErrs     []error
+	complexErrs    []error
 }
 
 // New returns a Syncer over store using act for complex-plan side effects.
 func New(store *jobstore.Store, act Actuator, clock simclock.Clock, opts Options) *Syncer {
+	return NewStriped(store, act, clock, opts, 0, jobstore.NumStripes)
+}
+
+// NewStriped returns a Syncer restricted to jobs whose store stripe falls
+// in [lo, hi): the round engine of one State Syncer shard slice. It is
+// the same machinery as a full-fleet Syncer — scratch buffers, worker
+// pool, durable bookkeeping — with candidate discovery scoped to the
+// stripe range and fed incrementally from the store's change journal.
+func NewStriped(store *jobstore.Store, act Actuator, clock simclock.Clock, opts Options, lo, hi int) *Syncer {
 	if opts.Interval <= 0 {
 		opts.Interval = 30 * time.Second
 	}
@@ -357,11 +412,19 @@ func New(store *jobstore.Store, act Actuator, clock simclock.Clock, opts Options
 	if act == nil {
 		act = NopActuator{}
 	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > jobstore.NumStripes {
+		hi = jobstore.NumStripes
+	}
 	s := &Syncer{
-		store: store,
-		act:   act,
-		clock: clock,
-		opts:  opts,
+		store:    store,
+		act:      act,
+		clock:    clock,
+		opts:     opts,
+		stripeLo: lo,
+		stripeHi: hi,
 	}
 	s.scratch.markSeq = make(map[string]uint64)
 	// The worker closures are bound once, here, and read the per-round
@@ -397,6 +460,15 @@ func (s *Syncer) Kill() {
 func (s *Syncer) Killed() bool { return s.killed.Load() }
 
 func (s *Syncer) dead() bool { return s.killed.Load() }
+
+// sharded reports whether this syncer drives a proper stripe subset of
+// the fleet (a shard slice) rather than every stripe.
+func (s *Syncer) sharded() bool {
+	return s.stripeLo != 0 || s.stripeHi != jobstore.NumStripes
+}
+
+// Stripes returns the syncer's stripe range [lo, hi).
+func (s *Syncer) Stripes() (lo, hi int) { return s.stripeLo, s.stripeHi }
 
 // errKilled aborts plan execution after a simulated crash. It is never
 // recorded as a job failure: a dead syncer does no accounting.
@@ -679,25 +751,28 @@ func fnv64(sstr string, salt uint64) uint64 {
 
 // planJob classifies one candidate job and builds its plan if divergent.
 // Pure reads plus the content-equal inline commit — safe to run on many
-// jobs concurrently over the striped store.
+// jobs concurrently over the striped store. The prologue reads the job's
+// whole classification state (versions, quarantine, backoff) in a single
+// locked pass: at sweep volumes the four separate lock acquisitions this
+// replaced were most of a converged round's cost.
 func (s *Syncer) planJob(job string, now time.Time) planned {
-	if ss, ok := s.store.SyncStateOf(job); ok && ss.FailureStreak > 0 && now.Before(ss.NextRetryAt) {
+	v := s.store.PlanViewOf(job)
+	if v.FailureStreak > 0 && now.Before(v.NextRetryAt) {
 		return planned{plan: Plan{Job: job, Kind: PlanNoop}, backedOff: true}
 	}
-	ev, hasExp := s.store.ExpectedVersion(job)
-	if !hasExp {
+	if !v.HasExpected {
 		// Deleted job: tear down if tasks may still run. Quarantine does
 		// not shield teardown (it never did in the full-scan design).
-		if _, hasRun := s.store.RunningVersion(job); hasRun {
+		if v.HasRunning {
 			return planned{plan: Plan{Job: job, Kind: PlanDelete}}
 		}
 		return planned{plan: Plan{Job: job, Kind: PlanNoop}, gone: true}
 	}
-	if _, quarantined := s.store.Quarantined(job); quarantined {
+	if v.Quarantined {
 		return planned{plan: Plan{Job: job, Kind: PlanNoop}}
 	}
 	// Cheap convergence check before merging the full layer stack.
-	if rv, ok := s.store.RunningVersion(job); ok && rv == ev {
+	if v.HasRunning && v.RunningVersion == v.ExpectedVersion {
 		return planned{plan: Plan{Job: job, Kind: PlanNoop}}
 	}
 	merged, version, err := s.store.MergedExpectedShared(job)
@@ -733,20 +808,46 @@ func (s *Syncer) RunRound() RoundResult {
 	// but still held (e.g. quiesced).
 	s.retryFollowUps(sc.now, &res)
 
-	// Candidate assembly. Every round visits the marked jobs, every job
-	// with durable sync state (mid-streak or holding follow-ups), and one
-	// rotating 1/FullSweepEvery slice of the fleet's sorted name
-	// snapshots — the durability safety net, amortized so no round pays
-	// an O(fleet) spike. Marks are only peeked here — each one is cleared
-	// individually once its job's synchronization succeeded, so a crash
-	// mid-round loses nothing.
-	sc.marks = s.store.DirtyMarksInto(sc.marks[:0])
+	// Candidate assembly. Every round visits the marked jobs (drained
+	// from this syncer's stripes only), every job with durable sync state
+	// in range, any job whose running entry moved in the change journal
+	// (sharded syncers), and one rotating 1/FullSweepEvery slice of the
+	// (stripe-filtered) sorted name snapshots — the durability safety
+	// net, amortized so no round pays an O(fleet) spike. Marks are only
+	// peeked here — each one is cleared individually once its job's
+	// synchronization succeeded, so a crash mid-round loses nothing.
+	sc.marks = s.store.DirtyMarksRangeInto(s.stripeLo, s.stripeHi, sc.marks[:0])
 	clear(sc.markSeq)
 	sc.dirty = sc.dirty[:0]
 	for _, m := range sc.marks {
 		sc.dirty = append(sc.dirty, m.Name)
 		sc.markSeq[m.Name] = m.Seq
 	}
+
+	// Journal-cursor feed (sharded syncers). resync means the cursor
+	// cannot be caught up incrementally — this syncer is new to the
+	// slice (a lease steal), fell behind, or the store was Restored —
+	// so this round sweeps its entire stripe slice: the successor's
+	// one-ordinary-round convergence path. Work stays O(slice), never
+	// O(fleet).
+	resync := false
+	sc.jnames = sc.jnames[:0]
+	if s.sharded() {
+		var ok bool
+		sc.changes, s.cursor, ok = s.store.ChangesSince(s.cursor, sc.changes[:0])
+		if !ok {
+			resync = true
+		} else {
+			for _, ch := range sc.changes {
+				if st := jobstore.StripeOf(ch.Name); st >= s.stripeLo && st < s.stripeHi {
+					sc.jnames = append(sc.jnames, ch.Name)
+				}
+			}
+			slices.Sort(sc.jnames)
+			sc.jnames = slices.Compact(sc.jnames)
+		}
+	}
+
 	n := s.opts.FullSweepEvery
 	full := n <= 1
 	pos := 0
@@ -758,19 +859,34 @@ func (s *Syncer) RunRound() RoundResult {
 	}
 	gated := s.opts.SweepGate != nil && !s.opts.SweepGate(pos, n)
 	var sweepExp, sweepRun []string
-	if !gated {
+	if !gated || resync {
 		// Expected and running are sliced independently over their own
 		// snapshots: in the converged steady state the two slices carry
 		// the same names, so the union below takes its subset fast path
-		// and the whole assembly allocates nothing.
-		sweepExp = sweepSlice(s.store.ExpectedNames(), pos, n)
-		sweepRun = sweepSlice(s.store.RunningNames(), pos, n)
+		// and the whole assembly allocates nothing. Sharded syncers
+		// project the snapshots onto their stripe range first (cached —
+		// see stripeView). A resync round takes the whole slice and
+		// overrides the sweep gate: a stolen slice must converge now.
+		expAll := s.store.ExpectedNames()
+		runAll := s.store.RunningNames()
+		if s.sharded() {
+			expAll = s.expView.filter(expAll, s.stripeLo, s.stripeHi)
+			runAll = s.runView.filter(runAll, s.stripeLo, s.stripeHi)
+		}
+		if resync {
+			sweepExp, sweepRun = expAll, runAll
+		} else {
+			sweepExp = sweepSlice(expAll, pos, n)
+			sweepRun = sweepSlice(runAll, pos, n)
+		}
 	}
 	swept := unionSortedInto(&sc.u1, sweepExp, sweepRun)
 	candidates := unionSortedInto(&sc.u2, swept, sc.dirty)
-	candidates = unionSortedInto(&sc.u3, candidates, s.store.SyncStateNames())
+	candidates = unionSortedInto(&sc.u3, candidates, sc.jnames)
+	sc.syncNames = s.store.SyncStateNamesRangeInto(s.stripeLo, s.stripeHi, sc.syncNames[:0])
+	candidates = unionSortedInto(&sc.u4, candidates, sc.syncNames)
 	sc.candidates = candidates
-	res.Swept = full && !gated
+	res.Swept = (full && !gated) || resync
 	res.SweepJobs = len(swept)
 
 	// Build plans in parallel. Workers write disjoint slots, and the
@@ -915,10 +1031,13 @@ func (s *Syncer) RunRound() RoundResult {
 
 // retryFollowUps replays pending post-commit follow-up actions recorded
 // in the store — both this syncer's and those inherited from a crashed
-// predecessor. Quarantined jobs keep their follow-ups parked until an
-// oncall clears the quarantine; mid-streak jobs wait out their backoff.
+// predecessor — scoped to this syncer's stripe range. Quarantined jobs
+// keep their follow-ups parked until an oncall clears the quarantine;
+// mid-streak jobs wait out their backoff.
 func (s *Syncer) retryFollowUps(now time.Time, res *RoundResult) {
-	for _, job := range s.store.SyncStateNames() {
+	sc := &s.scratch
+	sc.syncNames = s.store.SyncStateNamesRangeInto(s.stripeLo, s.stripeHi, sc.syncNames[:0])
+	for _, job := range sc.syncNames {
 		if s.dead() {
 			return
 		}

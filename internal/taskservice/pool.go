@@ -1,0 +1,74 @@
+package taskservice
+
+import "sync/atomic"
+
+// workerPool is a persistent work-stealing pool for group-rebuild
+// batches, the same shape as the State Syncer's round pool: helper
+// goroutines are spawned once and park on a channel receive between
+// batches, so dispatching a batch allocates nothing — a churn refresh
+// that rebuilds a thousand groups must not also pay a goroutine and a
+// closure per worker per refresh.
+//
+// A batch runs fn(i) for every i in [0, n), indices stolen off a shared
+// atomic counter. The caller's goroutine participates as a worker, so a
+// pool with k helpers serves batches at parallelism up to k+1. Batches
+// are serialized by the service's regeneration lock; the start/done
+// channel handoffs order the batch-field writes against the helpers'
+// reads.
+type workerPool struct {
+	next    atomic.Int64
+	n       int64
+	fn      func(int)
+	helpers int
+	start   chan struct{}
+	done    chan struct{}
+}
+
+func newWorkerPool(helpers int) *workerPool {
+	p := &workerPool{
+		helpers: helpers,
+		start:   make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < helpers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	for range p.start {
+		p.steal()
+		p.done <- struct{}{}
+	}
+}
+
+func (p *workerPool) steal() {
+	for {
+		i := p.next.Add(1) - 1
+		if i >= p.n {
+			return
+		}
+		p.fn(int(i))
+	}
+}
+
+// run executes fn(i) for every i in [0, n) at parallelism min(par,
+// helpers+1), blocking until the batch completes.
+func (p *workerPool) run(n, par int, fn func(int)) {
+	helpers := par - 1
+	if helpers > p.helpers {
+		helpers = p.helpers
+	}
+	p.n = int64(n)
+	p.fn = fn
+	p.next.Store(0)
+	for i := 0; i < helpers; i++ {
+		p.start <- struct{}{}
+	}
+	p.steal()
+	for i := 0; i < helpers; i++ {
+		<-p.done
+	}
+	p.fn = nil
+}

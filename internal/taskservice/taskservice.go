@@ -34,6 +34,7 @@
 package taskservice
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -72,6 +73,19 @@ type Service struct {
 	version        int
 	quiesced     map[string]struct{}
 	quiesceDirty map[string]struct{} // quiesce flags toggled since the last regeneration
+
+	// Parallel group-rebuild machinery (guarded by regenMu): changed
+	// jobs' spec groups are generated on a persistent worker pool before
+	// the sequential splice pass, which then hits a warm cache. The
+	// scratch slices and the pre-bound worker closure are reused across
+	// regenerations, like the State Syncer's round scratch.
+	wp           *workerPool
+	rebuildPar   int
+	rebuildNames []string
+	rebuildRevs  []int64
+	rebuilt      []*jobGroup
+	rebuildSeen  map[string]struct{}
+	buildFn      func(int)
 }
 
 // publishedSnap bundles the published index with its cache metadata so
@@ -93,7 +107,11 @@ func New(store *jobstore.Store, clock simclock.Clock, ttl time.Duration, numShar
 	if numShards <= 0 {
 		numShards = 1024
 	}
-	return &Service{
+	par := runtime.GOMAXPROCS(0)
+	if par > 16 {
+		par = 16
+	}
+	s := &Service{
 		store:        store,
 		clock:        clock,
 		ttl:          ttl,
@@ -101,7 +119,13 @@ func New(store *jobstore.Store, clock simclock.Clock, ttl time.Duration, numShar
 		groups:       make(map[string]*jobGroup),
 		quiesced:     make(map[string]struct{}),
 		quiesceDirty: make(map[string]struct{}),
+		rebuildPar:   par,
+		rebuildSeen:  make(map[string]struct{}),
 	}
+	s.buildFn = func(i int) {
+		s.rebuilt[i] = s.buildGroup(s.rebuildNames[i], s.rebuildRevs[i])
+	}
+	return s
 }
 
 // Quiesce suppresses a job's task specs until Unquiesce: no Task Manager
@@ -216,6 +240,33 @@ func (s *Service) regenerateLocked() *SnapshotIndex {
 		// replayed next round.
 		return s.resyncLocked()
 	}
+
+	// Rebuild every changed group up front, in parallel: group
+	// generation (decode, spec expansion, hashing) is pure per-job work,
+	// so it fans out across the pool while the order-sensitive splice
+	// pass below stays sequential — and finds a warm cache.
+	s.rebuildNames = s.rebuildNames[:0]
+	s.rebuildRevs = s.rebuildRevs[:0]
+	clear(s.rebuildSeen)
+	for _, ch := range changes {
+		if ch.Drop {
+			continue
+		}
+		if _, dup := s.rebuildSeen[ch.Name]; dup {
+			continue
+		}
+		s.rebuildSeen[ch.Name] = struct{}{}
+		rev, live := s.store.RunningRevision(ch.Name)
+		if !live {
+			continue
+		}
+		if g := s.groups[ch.Name]; g != nil && g.rev == rev {
+			continue
+		}
+		s.rebuildNames = append(s.rebuildNames, ch.Name)
+		s.rebuildRevs = append(s.rebuildRevs, rev)
+	}
+	s.rebuildGroups()
 
 	prev := s.publishedIdx()
 	var d *indexDraft
@@ -343,6 +394,41 @@ func (s *Service) ensureIncludedOwned(grow int) {
 	s.includedShared = false
 }
 
+// rebuildGroups generates the queued (name, rev) spec groups on the
+// persistent worker pool and installs them in the cache. Small batches
+// run inline — fan-out only pays for itself on churn-sized batches.
+// Caller holds regenMu; buildGroup is pure per-job work (store reads
+// plus private allocation), so workers never contend.
+func (s *Service) rebuildGroups() {
+	n := len(s.rebuildNames)
+	if n == 0 {
+		return
+	}
+	if cap(s.rebuilt) < n {
+		s.rebuilt = make([]*jobGroup, n)
+	} else {
+		s.rebuilt = s.rebuilt[:n]
+	}
+	par := s.rebuildPar
+	if par > n {
+		par = n
+	}
+	if par <= 1 || n < 16 {
+		for i := 0; i < n; i++ {
+			s.buildFn(i)
+		}
+	} else {
+		if s.wp == nil {
+			s.wp = newWorkerPool(s.rebuildPar - 1)
+		}
+		s.wp.run(n, par, s.buildFn)
+	}
+	for i, name := range s.rebuildNames {
+		s.groups[name] = s.rebuilt[i]
+		s.rebuilt[i] = nil
+	}
+}
+
 // resyncLocked is the full-fleet fallback: walk every running job,
 // reusing the cached spec group of each one whose running-entry revision
 // is unchanged, and rebuild the index from scratch. The version is
@@ -350,6 +436,23 @@ func (s *Service) ensureIncludedOwned(grow int) {
 // published index. Caller holds regenMu.
 func (s *Service) resyncLocked() *SnapshotIndex {
 	names := s.store.RunningNames() // sorted
+	// Pre-generate every stale or missing group in parallel, exactly as
+	// the incremental path does; the sequential assembly walk below then
+	// finds a warm cache. Names are already unique, so no dedup set.
+	s.rebuildNames = s.rebuildNames[:0]
+	s.rebuildRevs = s.rebuildRevs[:0]
+	for _, job := range names {
+		rev, ok := s.store.RunningRevision(job)
+		if !ok {
+			continue
+		}
+		if g := s.groups[job]; g != nil && g.rev == rev {
+			continue
+		}
+		s.rebuildNames = append(s.rebuildNames, job)
+		s.rebuildRevs = append(s.rebuildRevs, rev)
+	}
+	s.rebuildGroups()
 	groups := make(map[string]*jobGroup, len(names))
 	included := make([]*jobGroup, 0, len(names))
 	for _, job := range names {
@@ -448,6 +551,21 @@ func (s *Service) Generations() int {
 // template substitutions applied.
 func SpecsForJob(cfg *config.JobConfig) []engine.TaskSpec {
 	specs := make([]engine.TaskSpec, 0, cfg.TaskCount)
+	// One shared partition arena per job: AssignPartitions hands out
+	// contiguous disjoint ranges of [0,total), so every spec's partition
+	// slice can be a capped window into a single 0..total-1 arena instead
+	// of a per-task allocation. Nothing downstream mutates spec
+	// partitions (Specs() deep-copies; task runners only read), and the
+	// three-index windows keep an append through one slice from ever
+	// reaching a neighbour's range.
+	var arena []int
+	total := cfg.Input.Partitions
+	if total > 0 && cfg.TaskCount > 0 {
+		arena = make([]int, total)
+		for p := range arena {
+			arena[p] = p
+		}
+	}
 	for i := 0; i < cfg.TaskCount; i++ {
 		specs = append(specs, engine.TaskSpec{
 			Job:            cfg.Name,
@@ -458,7 +576,7 @@ func SpecsForJob(cfg *config.JobConfig) []engine.TaskSpec {
 			Threads:        cfg.ThreadsPerTask,
 			Operator:       cfg.Operator,
 			InputCategory:  cfg.Input.Category,
-			Partitions:     engine.AssignPartitions(cfg.Input.Partitions, cfg.TaskCount, i),
+			Partitions:     partitionWindow(arena, total, cfg.TaskCount, i),
 			OutputCategory: cfg.Output.Category,
 			Resources:      cfg.TaskResources,
 			Enforcement:    cfg.Enforcement,
@@ -467,6 +585,26 @@ func SpecsForJob(cfg *config.JobConfig) []engine.TaskSpec {
 		})
 	}
 	return specs
+}
+
+// partitionWindow returns task index's contiguous partition range as a
+// capped window into the shared arena. The start/size math — and the
+// nil-vs-empty behaviour — must match engine.AssignPartitions exactly:
+// nil for an invalid assignment but a non-nil empty slice for a valid
+// zero-size one, because the two marshal (and therefore hash)
+// differently. TestPartitionWindowMatchesAssignPartitions cross-checks.
+func partitionWindow(arena []int, total, taskCount, index int) []int {
+	if total <= 0 || taskCount <= 0 || index < 0 || index >= taskCount {
+		return nil
+	}
+	base := total / taskCount
+	rem := total % taskCount
+	start := index*base + min(index, rem)
+	size := base
+	if index < rem {
+		size++
+	}
+	return arena[start : start+size : start+size]
 }
 
 // substitute applies the task-spec template substitutions: $JOB expands to
