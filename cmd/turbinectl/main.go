@@ -16,6 +16,7 @@
 //	turbinectl -store jobs.json quarantine                # list quarantined
 //	turbinectl -store jobs.json unquarantine scuba/t0001
 //	turbinectl -store jobs.json shards                    # shard topology + leases
+//	turbinectl -store jobs.json feed 4                    # spec-feed seam dry run
 //	turbinectl -store jobs.json plan scuba/t0001          # dry-run the syncer
 package main
 
@@ -32,6 +33,7 @@ import (
 	"repro/internal/jobstore"
 	"repro/internal/simclock"
 	"repro/internal/statesyncer"
+	"repro/internal/taskservice"
 )
 
 func main() {
@@ -175,6 +177,53 @@ func main() {
 			fmt.Printf("%-6d %-13s %-6d %-6d %-14s %-6s %s\n",
 				k, fmt.Sprintf("[%d,%d)", lo, hi), jobs[k], len(dirtyBuf), holder, epoch, lease)
 		}
+	case "feed":
+		// Spec-feed dry run: stand up the Job Service's feed server over
+		// the loaded store, subscribe n remote Task Services through the
+		// loopback wire transport, and report the seam's operational
+		// counters. A loaded snapshot burns a journal sequence exactly
+		// like a Restore, so every subscriber demonstrates the real
+		// remote-bootstrap path: one resync redirect, one chunk walk,
+		// then incremental deltas.
+		n := 2
+		if len(args) > 1 {
+			n = requireInt(args, 1, "subscriber count")
+		}
+		if n <= 0 {
+			log.Fatal("subscriber count must be positive")
+		}
+		feed := jobservice.NewSpecFeed(store)
+		clk := simclock.NewSim(time.Now())
+		clients := make([]*taskservice.FeedClient, n)
+		for i := range clients {
+			clients[i] = taskservice.NewFeedClient(feed.Loopback(), fmt.Sprintf("feed-%d", i), clk, 90*time.Second, 8)
+			if err := clients[i].Sync(0); err != nil {
+				log.Fatalf("subscriber feed-%d: %v", i, err)
+			}
+		}
+		head := store.JournalHead()
+		fmt.Printf("journal head %d, %d running jobs\n", head, len(store.RunningNames()))
+		fmt.Printf("%-12s %-8s %-5s %-6s %-8s %-8s %-8s %s\n",
+			"SUBSCRIBER", "CURSOR", "LAG", "POLLS", "RESYNCS", "APPLIED", "SKIPPED", "BYTES")
+		subs := feed.Subscribers()
+		byName := make(map[string]jobservice.SubscriberStatus, len(subs))
+		for _, s := range subs {
+			byName[s.Subscriber] = s
+		}
+		for _, c := range clients {
+			st := c.Stats()
+			reg := byName[c.ID()]
+			fmt.Printf("%-12s %-8d %-5d %-6d %-8d %-8d %-8d %d\n",
+				c.ID(), c.Cursor(), reg.Lag, st.Polls, st.Resyncs, st.Applied, st.Skipped, st.Bytes)
+		}
+		fs := feed.Stats()
+		total := fs.FrameHits + fs.FrameMisses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(fs.FrameHits) / float64(total)
+		}
+		fmt.Printf("frame cache: %d hits / %d misses (%.0f%% hit rate); resync redirects: %d\n",
+			fs.FrameHits, fs.FrameMisses, rate, fs.Resyncs)
 	case "plan":
 		name := requireArg(args, 1, "job name")
 		merged, version, err := store.MergedExpected(name)
@@ -228,6 +277,7 @@ commands:
   quarantine                 list quarantined jobs
   unquarantine <job>         clear a job's quarantine
   shards [n]                 shard topology: stripe ranges, lease holders, pending work
+  feed [n]                   subscribe n remote Task Services; report cursors, lag, cache hit rate
   plan <job>                 dry-run the State Syncer's execution plan`)
 	os.Exit(2)
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/statesyncer"
 	"repro/internal/taskmanager"
+	"repro/internal/taskservice"
 	"repro/internal/workload"
 )
 
@@ -59,6 +60,11 @@ type Result struct {
 	// grant in the faulty run — evidence the steal path actually ran
 	// (sharded runs schedule at least one).
 	LeaseSteals int
+	// RemoteFeed is the faulty cluster's remote Task Service subscriber
+	// counters: its polls ran through the OpSpecFeed fault rules, and its
+	// Resyncs > 0 is evidence the force-resync storm actually redirected
+	// it onto the chunk-walk path before the final index-identity check.
+	RemoteFeed taskservice.FeedClientStats
 }
 
 const (
@@ -84,6 +90,10 @@ func (o *Options) fillDefaults() {
 func jobName(i int) string { return fmt.Sprintf("soak/j%02d", i) }
 
 const teardownJob = "soak/teardown-probe"
+
+// remoteSub names the faulty cluster's remote Task Service subscriber —
+// the OpSpecFeed rule key and the feed registry entry.
+func remoteSub(clusterName string) string { return clusterName + "-remote-ts" }
 
 func jobConfig(name string, tasks, partitions int) *config.JobConfig {
 	return &config.JobConfig{
@@ -149,6 +159,16 @@ func rules(clusterName string, shards int) []faultinject.Rule {
 			After: 6 * time.Minute, Until: 8 * time.Minute, MaxHits: 1},
 		{Op: faultinject.OpStoreCommit, Rate: 1, Kind: faultinject.KindCrashBeforeCommit,
 			After: 14 * time.Minute, Until: 16 * time.Minute, MaxHits: 1},
+		// Spec-feed seam, keyed by the remote Task Service subscriber:
+		// dropped polls (the client retries the identical window),
+		// partial batches (batch bound clamped to one entry, paginating
+		// the delta), and a force-resync storm (corrupted cursors
+		// redirecting the client onto full fleet walks mid-run). The
+		// remote mirror must still end the run byte-identical to the
+		// local index.
+		{Op: faultinject.OpSpecFeed, Key: remoteSub(clusterName), Rate: 0.15, Kind: faultinject.KindTimeout, After: faultsFrom, Until: faultsUntil},
+		{Op: faultinject.OpSpecFeed, Key: remoteSub(clusterName), Rate: 0.20, Kind: faultinject.KindPartialBatch, After: faultsFrom, Until: faultsUntil},
+		{Op: faultinject.OpSpecFeed, Key: remoteSub(clusterName), Rate: 0.10, Kind: faultinject.KindForceResync, After: faultsFrom, Until: faultsUntil},
 	}
 	if shards > 1 {
 		// Shard-round partitions: the Node skips the slice's round and
@@ -240,6 +260,9 @@ func newCluster(opts Options, name string, faults bool) (*cluster.Cluster, *faul
 		cfg.WrapTaskSource = func(id string, inner taskmanager.TaskSource) taskmanager.TaskSource {
 			return inj.TaskSource(id, inner)
 		}
+		cfg.WrapSpecFeed = func(id string, inner taskservice.SpecFeed) taskservice.SpecFeed {
+			return inj.SpecFeed(id, inner)
+		}
 		cfg.Syncer.SweepGate = inj.SweepGate()
 		cfg.WrapShardDriver = func(slice int, d statesyncer.ShardDriver) statesyncer.ShardDriver {
 			return inj.ShardDriver(slice, d)
@@ -260,7 +283,17 @@ func newCluster(opts Options, name string, faults bool) (*cluster.Cluster, *faul
 // injector (and the host-kill event, itself a fault) differ.
 func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, res *Result) error {
 	sharded := len(c.SyncerNodes) > 0
+	var remote *taskservice.FeedClient
 	if inj != nil {
+		// Remote Task Service over the loopback spec-feed transport, its
+		// polls running through the OpSpecFeed fault rules. It pumps on a
+		// fixed cadence through the whole storm; dropped polls and
+		// force-resync redirects just leave it lagging or mid-walk until
+		// the next tick.
+		remote = c.NewRemoteTaskService(remoteSub(c.Cfg.Name))
+		c.Clk.TickEvery(15*time.Second, func() {
+			_, _ = remote.Pump()
+		})
 		// A crash fault kills the live syncer instance on the spot; a
 		// 10-second supervisor poll then boots a replacement from the
 		// store's serialized snapshot and re-arms injection — the
@@ -443,6 +476,20 @@ func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, re
 		if live != len(c.SyncerNodes) {
 			return fmt.Errorf("%d of %d shard slices under a live lease after the tail", live, len(c.SyncerNodes))
 		}
+	}
+	// Remote-vs-local index identity across the spec-feed seam: after the
+	// fault-free tail the remote subscriber — dropped polls, clamped
+	// batches, forced resyncs and all — drains its feed and must serve a
+	// task-spec index byte-identical (per-spec content hashes) to the
+	// in-process Task Service's.
+	if remote != nil {
+		if err := remote.Sync(0); err != nil {
+			return fmt.Errorf("remote task service did not converge after the tail: %w", err)
+		}
+		if !taskservice.IndexEqual(c.TaskSvc.Index(), remote.Index()) {
+			return fmt.Errorf("remote task service index diverged from the local index after the tail")
+		}
+		res.RemoteFeed = remote.Stats()
 	}
 	return nil
 }

@@ -63,6 +63,20 @@ func TestChaosSoak(t *testing.T) {
 	if !sweepDrops {
 		t.Fatal("no sweep-slice drops in the trace — the rotating-sweep seam is not wired")
 	}
+	feedFaults := false
+	for _, k := range res.TraceKeys {
+		if strings.HasPrefix(k, string(faultinject.OpSpecFeed)+" ") {
+			feedFaults = true
+		}
+	}
+	if !feedFaults {
+		t.Fatal("no spec-feed faults in the trace — the spec-feed seam is not wired")
+	}
+	if res.RemoteFeed.Resyncs < 1 {
+		t.Fatalf("remote subscriber resynced %d times, want at least 1 (force-resync storm did not fire)", res.RemoteFeed.Resyncs)
+	}
+	t.Logf("  remote feed: %d polls, %d applied, %d skipped, %d resyncs, %d bytes",
+		res.RemoteFeed.Polls, res.RemoteFeed.Applied, res.RemoteFeed.Skipped, res.RemoteFeed.Resyncs, res.RemoteFeed.Bytes)
 }
 
 // TestChaosSoakSharded runs the soak on the 4-shard syncer topology:

@@ -103,6 +103,11 @@ type Config struct {
 	WrapActuator   func(inner statesyncer.Actuator) statesyncer.Actuator
 	WrapSM         func(id string, inner taskmanager.ShardManagerClient) taskmanager.ShardManagerClient
 	WrapTaskSource func(id string, inner taskmanager.TaskSource) taskmanager.TaskSource
+
+	// WrapSpecFeed interposes on the Job/Task Service spec-feed seam,
+	// keyed by subscriber ID — the chaos harness injects poll timeouts,
+	// partial batches, and resync storms here.
+	WrapSpecFeed func(id string, inner taskservice.SpecFeed) taskservice.SpecFeed
 }
 
 func (c *Config) fillDefaults() {
@@ -176,8 +181,11 @@ type Cluster struct {
 	Store   *jobstore.Store
 	Jobs    *jobservice.Service
 	TaskSvc *taskservice.Service
-	SM      *shardmanager.Manager
-	TW      *tupperware.Cluster
+	// Feed is the Job Service's spec-feed server: remote Task Services
+	// subscribe to it (NewRemoteTaskService) over loopback transports.
+	Feed *jobservice.SpecFeedServer
+	SM   *shardmanager.Manager
+	TW   *tupperware.Cluster
 	// Syncer is the single full-fleet syncer (SyncerShards <= 1); nil in
 	// the sharded topology, where SyncerNodes drive the fleet instead.
 	Syncer *statesyncer.Syncer
@@ -185,9 +193,9 @@ type Cluster struct {
 	// processes, indexed by home slice; empty when Syncer is set.
 	SyncerNodes []*statesyncer.Node
 	Scaler      *autoscaler.Scaler
-	CapMgr  *capacity.Manager
-	Metrics *metrics.Store
-	Health  *health.Reporter
+	CapMgr      *capacity.Manager
+	Metrics     *metrics.Store
+	Health      *health.Reporter
 
 	tms []tmEntry
 	act statesyncer.Actuator // possibly wrapped; reused by RestartSyncer
@@ -294,6 +302,7 @@ func New(cfg Config) (*Cluster, error) {
 		jobSeries:   make(map[string]jobSeries),
 	}
 	c.Jobs = jobservice.New(c.Store)
+	c.Feed = jobservice.NewSpecFeed(c.Store)
 	c.Metrics = metrics.NewStore(c.Clk, cfg.MetricsRetention)
 	c.seriesTaskCount = c.Metrics.Handle("cluster/taskCount")
 	c.seriesInputRate = c.Metrics.Handle("cluster/inputRate")
@@ -1057,6 +1066,21 @@ func (c *Cluster) TaskManagers() []*taskmanager.Manager {
 		out[i] = e.tm
 	}
 	return out
+}
+
+// NewRemoteTaskService returns a Task Service that mirrors this
+// cluster's Job Store over the spec-feed seam instead of reading it
+// directly: a FeedClient over the in-process loopback transport, with
+// the same lease TTL and shard-space size as the built-in TaskSvc so a
+// converged mirror's index is byte-identical to the local one. The
+// WrapSpecFeed hook (fault injection) interposes on the transport when
+// configured.
+func (c *Cluster) NewRemoteTaskService(id string) *taskservice.FeedClient {
+	var f taskservice.SpecFeed = c.Feed.Loopback()
+	if c.Cfg.WrapSpecFeed != nil {
+		f = c.Cfg.WrapSpecFeed(id, f)
+	}
+	return taskservice.NewFeedClient(f, id, c.Clk, 90*time.Second, c.Cfg.NumShards)
 }
 
 // Hosts returns the host names, sorted.

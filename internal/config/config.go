@@ -296,23 +296,51 @@ type Change struct {
 // are skipped without being walked: a map always diffs empty against
 // itself.
 func Diff(a, b Doc) []Change {
-	var out []Change
+	var d Differ
+	return d.Diff(a, b)
+}
+
+// Differ computes document diffs with reusable scratch: the change slice
+// and the key buffer persist across calls, so a caller that diffs many
+// document pairs — the State Syncer's churn path diffs one pair per
+// divergent job per round — allocates only on high-water-mark growth.
+// Not safe for concurrent use; hold one per worker slot.
+type Differ struct {
+	out  []Change
+	keys []string
+}
+
+// Diff is the package-level Diff with reuse: the returned slice aliases
+// the Differ's internal buffer and is valid until the next call.
+func (d *Differ) Diff(a, b Doc) []Change {
+	d.out = d.out[:0]
 	if sameMap(a, b) {
-		return out
+		return d.out
 	}
-	diffInto("", a, b, &out)
+	diffInto("", a, b, &d.out, &d.keys)
 	// The per-level walk emits in key order, which can differ from full
 	// dotted-path order when keys contain characters below '.' — keep the
 	// final sort so output ordering is defined by Path alone.
+	out := d.out
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out
 }
 
-func diffInto(prefix string, a, b Doc, out *[]Change) {
+// diffInto walks one nesting level. keys is the walk's shared key
+// buffer: every level carves its two sorted key runs out of the one
+// growing slice and trims back on the way out (stack discipline), so a
+// whole document diff reuses a single key array.
+func diffInto(prefix string, a, b Doc, out *[]Change, keys *[]string) {
 	// Two-pointer walk over each side's sorted keys: no per-level key-set
 	// map on the State Syncer's per-job diff path.
-	ak := sortedKeysOf(a)
-	bk := sortedKeysOf(b)
+	base := len(*keys)
+	*keys = appendSortedKeys(*keys, a)
+	mid := len(*keys)
+	*keys = appendSortedKeys(*keys, b)
+	// Recursive calls append past len and may regrow *keys; these views
+	// keep the current backing array alive and are never overwritten.
+	ak := (*keys)[base:mid]
+	bk := (*keys)[mid:len(*keys):len(*keys)]
 	i, j := 0, 0
 	for i < len(ak) || j < len(bk) {
 		var k string
@@ -344,7 +372,7 @@ func diffInto(prefix string, a, b Doc, out *[]Change) {
 			bm, bIsMap := asDoc(bv)
 			if aIsMap && bIsMap {
 				if !sameMap(am, bm) {
-					diffInto(path, am, bm, out)
+					diffInto(path, am, bm, out, keys)
 				}
 				continue
 			}
@@ -353,6 +381,7 @@ func diffInto(prefix string, a, b Doc, out *[]Change) {
 			}
 		}
 	}
+	*keys = (*keys)[:base]
 }
 
 // sameMap reports whether a and b are the same underlying map object.
@@ -361,15 +390,21 @@ func sameMap(a, b Doc) bool {
 }
 
 func sortedKeysOf(d Doc) []string {
+	return appendSortedKeys(nil, d)
+}
+
+// appendSortedKeys appends d's keys to buf in sorted order (the appended
+// run is sorted; buf's existing contents are untouched).
+func appendSortedKeys(buf []string, d Doc) []string {
 	if len(d) == 0 {
-		return nil
+		return buf
 	}
-	keys := make([]string, 0, len(d))
+	base := len(buf)
 	for k := range d {
-		keys = append(keys, k)
+		buf = append(buf, k)
 	}
-	sort.Strings(keys)
-	return keys
+	sort.Strings(buf[base:])
+	return buf
 }
 
 func leafEqual(a, b any) bool {

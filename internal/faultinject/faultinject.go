@@ -27,6 +27,7 @@ import (
 	"repro/internal/statesyncer"
 	"repro/internal/taskmanager"
 	"repro/internal/taskservice"
+	"repro/internal/wire"
 )
 
 // Op names an injection point. Rules match on it.
@@ -42,6 +43,7 @@ const (
 	OpStoreCommit          Op = "store.commit"
 	OpSweepSlice           Op = "syncer.sweepSlice"
 	OpShardRound           Op = "syncer.shardRound"
+	OpSpecFeed             Op = "jobservice.specFeed"
 )
 
 // Kind is what happens when a rule fires.
@@ -64,6 +66,16 @@ const (
 	// KindCrashAfterCommit lets the commit land, then reports a crash:
 	// the process died with the write durable but nothing after it run.
 	KindCrashAfterCommit Kind = "crash-after-commit"
+	// KindPartialBatch (spec feed) clamps the poll's batch bound to one
+	// entry: the subscriber receives a correct but minimal window and
+	// must paginate. Models a flow-controlled or lossy transport that
+	// still preserves frame integrity — deltas are never torn.
+	KindPartialBatch Kind = "partial-batch"
+	// KindForceResync (spec feed) corrupts the poll's cursor to a
+	// position the journal never issued, forcing the server's
+	// resync-needed redirect: a full chunk-walk storm when armed at a
+	// high rate.
+	KindForceResync Kind = "force-resync"
 )
 
 // Rule arms one fault. The first matching armed rule wins.
@@ -459,6 +471,46 @@ func (d *shardDriver) RunSliceRound() (statesyncer.RoundResult, error) {
 		}
 	}
 	return d.inner.RunSliceRound()
+}
+
+// ---- Spec feed seam ----
+
+type specFeed struct {
+	in    *Injector
+	key   string
+	inner taskservice.SpecFeed
+}
+
+// SpecFeed wraps a spec-feed transport (the Job/Task Service RPC seam),
+// keyed by subscriber ID. KindError/KindTimeout fail the poll — the
+// subscriber's cursor is untouched and it retries, degrading to its
+// stale mirror exactly as §IV-D degrades Task Managers. KindPartialBatch
+// clamps the batch bound to 1 so the window arrives in single-entry
+// frames; KindForceResync corrupts the cursor so the server redirects
+// into a full chunk-walk. KindLatency records a slow poll without
+// failing it.
+func (in *Injector) SpecFeed(id string, inner taskservice.SpecFeed) taskservice.SpecFeed {
+	return &specFeed{in: in, key: id, inner: inner}
+}
+
+func (f *specFeed) PollFeed(req wire.FeedRequest, buf []byte) ([]byte, error) {
+	if ev, ok := f.in.decide(OpSpecFeed, f.key); ok {
+		switch ev.Kind {
+		case KindPartialBatch:
+			req.Max = 1
+		case KindForceResync:
+			if !req.Resync {
+				// ^0 is ahead of any journal head, which ChangesSince
+				// rejects deterministically with a resync redirect.
+				req.Cursor = ^uint64(0)
+			}
+		default:
+			if err := errFor(ev); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f.inner.PollFeed(req, buf)
 }
 
 // ---- Job Store commit seam ----

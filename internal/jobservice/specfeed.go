@@ -1,0 +1,352 @@
+// Spec feed: the Job Service's server half of the Job/Task Service RPC
+// seam. A remote Task Service (or any journal consumer) polls the feed
+// with its journal cursor and receives batched ChangesSince deltas as
+// encoded wire frames; a cursor that cannot be caught up incrementally
+// is redirected onto a chunked full-resync walk of the running table.
+// The feed is transport-agnostic: PollFeed speaks (request struct in,
+// frame bytes out), and the in-process Loopback — which round-trips the
+// request through the wire codec too — is one transport; a socket server
+// would be another, with no server changes.
+//
+// The frame cache makes fan-out free. A delta frame built with the full
+// batch limit is a pure function of (cursor, journal head): the journal
+// assigns sequence numbers under its mutex, documents encode
+// deterministically, and every running-table mutation journals — so the
+// head moving is exactly the signal that any cached frame might be
+// stale. Cached frames are keyed by cursor and valid for one journal
+// head (any commit or drop empties the cache); that covers mid-catch-up
+// windows too, so K subscribers draining the same churn tick share each
+// window's encoding, not just the final empty frame. Requests with a
+// bounded Max (the injected partial-batch fault) bypass the cache in
+// both directions — they neither hit a full-batch frame nor poison the
+// cache with a truncated window. In the converged steady state every
+// subscriber polls at cursor == head and receives the one cached empty
+// frame: 0 allocations per poll, O(1) bytes, regardless of fleet size.
+package jobservice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/jobstore"
+	"repro/internal/wire"
+)
+
+const (
+	// DefaultFeedBatch is the delta-entry bound per frame. It matches
+	// the journal capacity's order of magnitude so a subscriber one
+	// full ring behind catches up in a handful of frames.
+	DefaultFeedBatch = 1024
+	// DefaultFeedChunk is the running-entry bound per resync page.
+	DefaultFeedChunk = 512
+)
+
+// FeedStats are the spec feed's cumulative counters.
+type FeedStats struct {
+	// FrameHits / FrameMisses count delta polls served from /
+	// built into the encoded-frame cache.
+	FrameHits, FrameMisses int64
+	// Resyncs counts polls answered with a resync-needed redirect.
+	Resyncs int64
+}
+
+// SubscriberStatus is one subscriber's last observed feed position.
+type SubscriberStatus struct {
+	Subscriber string
+	// Cursor is the journal position of the subscriber's latest delta
+	// poll.
+	Cursor uint64
+	// Lag is journal head − cursor at the time of the status read.
+	Lag uint64
+	// Polls and Resyncs are cumulative for this subscriber.
+	Polls   int64
+	Resyncs int64
+	// Resyncing reports the subscriber is mid chunk-walk.
+	Resyncing bool
+}
+
+// SpecFeedServer serves the Job Store's change journal as encoded
+// frames. Safe for concurrent use by any number of subscribers.
+type SpecFeedServer struct {
+	store *jobstore.Store
+	batch int
+	chunk int
+
+	// mu guards the encoder, the change scratch, and the frame cache.
+	// Polls serialize on it: the critical section is a journal read plus
+	// an encode (or a cache copy), and serializing is exactly what lets
+	// concurrent same-cursor subscribers share one encoding.
+	mu      sync.Mutex
+	head    uint64                  // journal head the cache is valid for
+	frames  map[uint64]*cachedFrame // cursor → complete encoded frame
+	pool    []*cachedFrame          // retired entries, buffers reused
+	scratch []jobstore.Change
+	enc     wire.Encoder
+
+	hits, misses, resyncs atomic.Int64
+
+	subMu sync.Mutex
+	subs  map[string]*subscriberState
+}
+
+type cachedFrame struct {
+	data []byte
+}
+
+type subscriberState struct {
+	cursor    uint64
+	polls     int64
+	resyncs   int64
+	resyncing bool
+}
+
+// NewSpecFeed returns a feed server over store with default batch and
+// chunk bounds.
+func NewSpecFeed(store *jobstore.Store) *SpecFeedServer {
+	return &SpecFeedServer{
+		store:  store,
+		batch:  DefaultFeedBatch,
+		chunk:  DefaultFeedChunk,
+		frames: make(map[uint64]*cachedFrame),
+		subs:   make(map[string]*subscriberState),
+	}
+}
+
+// Stats returns the cumulative feed counters.
+func (f *SpecFeedServer) Stats() FeedStats {
+	return FeedStats{
+		FrameHits:   f.hits.Load(),
+		FrameMisses: f.misses.Load(),
+		Resyncs:     f.resyncs.Load(),
+	}
+}
+
+// Subscribers returns every known subscriber's status, sorted by name,
+// with Lag computed against the current journal head.
+func (f *SpecFeedServer) Subscribers() []SubscriberStatus {
+	head := f.store.JournalHead()
+	f.subMu.Lock()
+	defer f.subMu.Unlock()
+	out := make([]SubscriberStatus, 0, len(f.subs))
+	for name, st := range f.subs {
+		s := SubscriberStatus{
+			Subscriber: name,
+			Cursor:     st.cursor,
+			Polls:      st.polls,
+			Resyncs:    st.resyncs,
+			Resyncing:  st.resyncing,
+		}
+		if head > st.cursor {
+			s.Lag = head - st.cursor
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subscriber < out[j].Subscriber })
+	return out
+}
+
+// PollFeed answers one subscriber poll with an encoded frame appended to
+// buf (pass a reused buffer's [:0] reslice; converged polls are then
+// allocation-free). req.Subscriber may be a transport-owned string view;
+// the registry clones it before retaining.
+func (f *SpecFeedServer) PollFeed(req wire.FeedRequest, buf []byte) ([]byte, error) {
+	if req.Resync {
+		frame, err := f.resyncPage(req, buf)
+		if err != nil {
+			return nil, err
+		}
+		f.note(req, false, true)
+		return frame, nil
+	}
+	frame, redirected, err := f.delta(req, buf)
+	if err != nil {
+		return nil, err
+	}
+	f.note(req, redirected, false)
+	return frame, nil
+}
+
+// delta serves a batched ChangesSince window, or a resync-needed
+// redirect when the cursor fell off the journal.
+func (f *SpecFeedServer) delta(req wire.FeedRequest, buf []byte) (frame []byte, redirected bool, err error) {
+	max := req.Max
+	if max <= 0 || max > f.batch {
+		max = f.batch
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	head := f.store.JournalHead()
+	if head != f.head {
+		for k, cf := range f.frames {
+			delete(f.frames, k)
+			f.pool = append(f.pool, cf)
+		}
+		f.head = head
+	}
+	// Cache hits require the full batch limit: cached frames were built
+	// with it, and a bounded request must not receive a wider window
+	// than it asked for.
+	if cf, ok := f.frames[req.Cursor]; ok && max == f.batch {
+		f.hits.Add(1)
+		return append(buf, cf.data...), false, nil
+	}
+	f.misses.Add(1)
+
+	changes, next, ok := f.store.ChangesSinceLimit(req.Cursor, max, f.scratch[:0])
+	f.scratch = changes
+	e := &f.enc
+	e.Reset()
+	if !ok {
+		f.resyncs.Add(1)
+		e.AppendResyncNeeded(next)
+		return append(buf, e.Buf...), true, nil
+	}
+	mark := e.AppendDeltaHeader(next, len(changes))
+	for _, ch := range changes {
+		if ch.Drop {
+			e.AppendDeltaDrop(ch.Name)
+			continue
+		}
+		cfg, version, rev, live := f.store.RunningEntry(ch.Name)
+		if !live {
+			// The entry was dropped after this commit was journaled;
+			// the drop's own entry has a higher seq and will confirm.
+			// Sending the drop early is consistent with the journal's
+			// read-newer-than-entry ordering contract.
+			e.AppendDeltaDrop(ch.Name)
+			continue
+		}
+		if err := e.AppendDeltaCommit(ch.Name, rev, version, cfg); err != nil {
+			return nil, false, fmt.Errorf("specfeed: encode %q: %w", ch.Name, err)
+		}
+	}
+	e.EndFrame(mark)
+	if max == f.batch {
+		cf := f.takePooled()
+		cf.data = append(cf.data[:0], e.Buf...)
+		f.frames[req.Cursor] = cf
+	}
+	return append(buf, e.Buf...), false, nil
+}
+
+// resyncPage serves one page of the full running-table walk: the names
+// after req.ResumeAfter, in sorted order, bounded by the chunk size.
+func (f *SpecFeedServer) resyncPage(req wire.FeedRequest, buf []byte) ([]byte, error) {
+	max := req.Max
+	if max <= 0 || max > f.chunk {
+		max = f.chunk
+	}
+	names := f.store.RunningNames()
+	start := sort.SearchStrings(names, req.ResumeAfter)
+	if start < len(names) && names[start] == req.ResumeAfter {
+		start++
+	}
+	end := start + max
+	done := end >= len(names)
+	if done {
+		end = len(names)
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e := &f.enc
+	e.Reset()
+	mark, countMark := e.AppendResyncChunkHeader(done)
+	count := 0
+	for _, name := range names[start:end] {
+		cfg, version, rev, live := f.store.RunningEntry(name)
+		if !live {
+			// Dropped since the name snapshot; its journal entry will
+			// reach the subscriber after the resync completes.
+			continue
+		}
+		if err := e.AppendChunkItem(name, rev, version, cfg); err != nil {
+			return nil, fmt.Errorf("specfeed: encode %q: %w", name, err)
+		}
+		count++
+	}
+	e.PatchChunkCount(countMark, count)
+	e.EndFrame(mark)
+	return append(buf, e.Buf...), nil
+}
+
+func (f *SpecFeedServer) takePooled() *cachedFrame {
+	if n := len(f.pool); n > 0 {
+		cf := f.pool[n-1]
+		f.pool = f.pool[:n-1]
+		return cf
+	}
+	return &cachedFrame{}
+}
+
+// note updates the subscriber registry. The fast path — a known
+// subscriber — performs a map lookup keyed by the (possibly view)
+// string and mutates in place, no allocation; only a first-seen
+// subscriber clones its name.
+func (f *SpecFeedServer) note(req wire.FeedRequest, redirected, resyncPoll bool) {
+	if req.Subscriber == "" {
+		return
+	}
+	f.subMu.Lock()
+	defer f.subMu.Unlock()
+	st, ok := f.subs[req.Subscriber]
+	if !ok {
+		st = &subscriberState{}
+		f.subs[strings.Clone(req.Subscriber)] = st
+	}
+	st.polls++
+	if resyncPoll {
+		st.resyncing = true
+		return
+	}
+	st.cursor = req.Cursor
+	st.resyncing = false
+	if redirected {
+		st.resyncs++
+		st.resyncing = true
+	}
+}
+
+// Loopback returns an in-process transport bound to this server for ONE
+// subscriber: each poll serializes the request through the wire codec,
+// decodes it server-side into zero-copy views, and copies the reply
+// frame into the caller's buffer — the same byte traffic a socket
+// transport carries, minus the socket. Like a connection, a Loopback is
+// not safe for concurrent use; create one per subscriber.
+func (f *SpecFeedServer) Loopback() *Loopback {
+	return &Loopback{srv: f}
+}
+
+// Loopback is the in-process spec-feed transport.
+type Loopback struct {
+	srv    *SpecFeedServer
+	reqEnc wire.Encoder
+	resp   []byte
+}
+
+// PollFeed implements the feed boundary over the in-process hop.
+func (l *Loopback) PollFeed(req wire.FeedRequest, buf []byte) ([]byte, error) {
+	l.reqEnc.Reset()
+	l.reqEnc.AppendFeedRequest(req)
+	kind, body, _, err := wire.DecodeFrame(l.reqEnc.Buf)
+	if err != nil {
+		return nil, err
+	}
+	if kind != wire.FrameFeedRequest {
+		return nil, fmt.Errorf("specfeed: loopback framed kind 0x%02x, want feed request", kind)
+	}
+	decoded, err := wire.DecodeFeedRequest(body)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := l.srv.PollFeed(decoded, l.resp[:0])
+	if err != nil {
+		return nil, err
+	}
+	l.resp = frame
+	return append(buf, frame...), nil
+}

@@ -448,6 +448,23 @@ func (s *Store) GetRunningShared(name string) (Running, bool) {
 	return Running{Config: r.Config, Version: r.Version, revision: r.revision}, true
 }
 
+// RunningEntry returns a job's running configuration together with both
+// identity coordinates — the expected version it realizes and the
+// store-wide commit revision — under a single stripe lock. The returned
+// Config is IMMUTABLE and shared, like GetRunningShared's. This is the
+// spec feed's per-job read: the revision rides every encoded delta so a
+// remote mirror can skip re-applying a doc it already holds.
+func (s *Store) RunningEntry(name string) (cfg config.Doc, version, revision int64, ok bool) {
+	st := s.stripeFor(name)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	r, present := st.running[name]
+	if !present {
+		return nil, 0, 0, false
+	}
+	return r.Config, r.Version, r.revision, true
+}
+
 // ExpectedVersion returns just the version of a job's expected entry,
 // without snapshotting its layers.
 func (s *Store) ExpectedVersion(name string) (int64, bool) {

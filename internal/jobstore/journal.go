@@ -85,22 +85,48 @@ func (j *journal) invalidateAll() {
 // following call.
 //
 // ok=false means the cursor cannot be caught up incrementally — it fell
-// more than JournalCap entries behind, or the store was Restored since
-// it was issued. The caller must rebuild from a full fleet walk
+// more than JournalCap entries behind, it claims a position the journal
+// never issued (ahead of the head), or the store was Restored since it
+// was issued. The caller must rebuild from a full fleet walk
 // (RunningNames + RunningRevision) and adopt the returned cursor; the
 // walk must happen AFTER this call, so any commit the walk misses has a
 // larger sequence number and is replayed by the following ChangesSince.
 func (s *Store) ChangesSince(cursor uint64, buf []Change) (changes []Change, next uint64, ok bool) {
+	return s.ChangesSinceLimit(cursor, 0, buf)
+}
+
+// ChangesSinceLimit is ChangesSince with a batch bound: at most max
+// entries are returned (max <= 0 means unbounded), and next is the
+// sequence number of the LAST entry delivered, so a paginating consumer
+// resumes exactly where the batch ended with nothing skipped. This is the
+// spec feed's page primitive: a remote subscriber drains a large churn
+// window in bounded frames, and a fault-injected "partial batch" is just
+// a smaller max — never a torn suffix.
+func (s *Store) ChangesSinceLimit(cursor uint64, max int, buf []Change) (changes []Change, next uint64, ok bool) {
 	j := &s.journal
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	latest := j.next
-	if cursor < j.reset || latest-cursor > JournalCap {
+	if cursor > latest || cursor < j.reset || latest-cursor > JournalCap {
 		return buf[:0], latest, false
 	}
+	hi := latest
+	if max > 0 && uint64(max) < hi-cursor {
+		hi = cursor + uint64(max)
+	}
 	out := buf
-	for seq := cursor + 1; seq <= latest; seq++ {
+	for seq := cursor + 1; seq <= hi; seq++ {
 		out = append(out, j.buf[seq&(JournalCap-1)])
 	}
-	return out, latest, true
+	return out, hi, true
+}
+
+// JournalHead returns the journal's newest sequence number: the cursor a
+// fully caught-up consumer holds. The spec feed's frame cache keys its
+// validity on this value — any commit or drop moves it.
+func (s *Store) JournalHead() uint64 {
+	j := &s.journal
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
 }

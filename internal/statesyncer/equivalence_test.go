@@ -71,7 +71,6 @@ func (s *legacySyncer) buildPlan(job string, merged config.Doc, version int64) P
 			return Plan{Job: job, Kind: PlanNoop}
 		}
 	}
-	commit := func() error { return s.store.CommitRunning(job, merged, version) }
 	complex := false
 	for _, ch := range changes {
 		if isComplexChange(ch.Path) {
@@ -80,7 +79,7 @@ func (s *legacySyncer) buildPlan(job string, merged config.Doc, version int64) P
 		}
 	}
 	if !hasRunning || !complex {
-		return Plan{Job: job, Kind: PlanSimple, Changes: changes, commit: commit}
+		return Plan{Job: job, Kind: PlanSimple, Changes: changes, commitDoc: merged, commitVersion: version}
 	}
 	oldCount := intAt(running.Config, "taskCount")
 	newCount := intAt(merged, "taskCount")
@@ -93,7 +92,8 @@ func (s *legacySyncer) buildPlan(job string, merged config.Doc, version int64) P
 	}
 	after := []Action{{Name: "resume job (start new tasks)", Run: func() error { return s.act.ResumeJob(job) }}}
 	rollback := []Action{{Name: "roll back: resume job in its previous configuration", Run: func() error { return s.act.ResumeJob(job) }}}
-	return Plan{Job: job, Kind: PlanComplex, Changes: changes, Actions: actions, commit: commit, after: after, rollback: rollback}
+	return Plan{Job: job, Kind: PlanComplex, Changes: changes, Actions: actions,
+		commitDoc: merged, commitVersion: version, after: after, rollback: rollback}
 }
 
 func (s *legacySyncer) runRound() RoundResult {
@@ -159,7 +159,7 @@ func (s *legacySyncer) runRound() RoundResult {
 	}
 
 	for _, p := range simple {
-		if err := legacyExecutePlan(p); err != nil {
+		if err := s.executePlan(p); err != nil {
 			s.handlePlanError(p.Job, err, &res)
 			continue
 		}
@@ -168,7 +168,7 @@ func (s *legacySyncer) runRound() RoundResult {
 		res.Simple++
 	}
 	for _, p := range complexPlans {
-		if err := legacyExecutePlan(p); err != nil {
+		if err := s.executePlan(p); err != nil {
 			s.handlePlanError(p.Job, err, &res)
 			continue
 		}
@@ -201,10 +201,11 @@ func (s *legacySyncer) runRound() RoundResult {
 	return res
 }
 
-// legacyExecutePlan is the pre-durability executePlan, ported verbatim
-// (modulo the commit closure's now-unused error): no killed guards, no
-// write-ahead follow-up persistence.
-func legacyExecutePlan(p Plan) error {
+// executePlan is the pre-durability executePlan, ported verbatim (modulo
+// the commit moving from a closure to plan data — the legacy path keeps
+// its defensive-copy CommitRunning): no killed guards, no write-ahead
+// follow-up persistence.
+func (s *legacySyncer) executePlan(p Plan) error {
 	for _, a := range p.Actions {
 		if err := a.Run(); err != nil {
 			for _, rb := range p.rollback {
@@ -213,8 +214,8 @@ func legacyExecutePlan(p Plan) error {
 			return fmt.Errorf("%s: action %q: %w", p.Job, a.Name, err)
 		}
 	}
-	if p.commit != nil {
-		_ = p.commit()
+	if p.commitDoc != nil {
+		_ = s.store.CommitRunning(p.Job, p.commitDoc, p.commitVersion)
 	}
 	for i, a := range p.after {
 		if err := a.Run(); err != nil {

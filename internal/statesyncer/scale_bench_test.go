@@ -33,6 +33,15 @@ const (
 	// (timer wheels, map growth on the clock path) without letting an
 	// O(fleet) regression through.
 	steadyAllocCeiling = 8
+
+	// churnAllocPerJobCeiling bounds the allocations per CHANGED job in a
+	// 1% churn round. The churn path reuses the round scratch (per-slot
+	// Differs, plan data instead of commit closures), leaving ~9 objects
+	// per divergent job: the shared layer re-merge, the fresh running
+	// entry, and the diff's change-path strings. The old closure-building
+	// path spent ~37; the ceiling pins the reuse so it cannot quietly
+	// come back.
+	churnAllocPerJobCeiling = 16
 )
 
 func BenchmarkScaleSyncerRound1MConverged(b *testing.B) {
@@ -254,14 +263,35 @@ func BenchmarkScaleSyncerRound1MChurn1pct(b *testing.B) {
 	for r := 0; r < 10; r++ {
 		syncer.RunRound()
 	}
+	// Warm the churn path once (grows the per-slot diff scratch and plan
+	// buffers to their high-water mark) so the bracket measures reuse,
+	// not first-round growth.
+	churn(b, store, scaleJobs, 100, 0) // "v0": distinct from the fleet's v1
+	if res := syncer.RunRound(); res.Simple != scaleJobs/100 {
+		b.Fatalf("warm round synced %d jobs, want %d", res.Simple, scaleJobs/100)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	var spent uint64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		churn(b, store, scaleJobs, 100, i+2) // 1% of the fleet released
+		runtime.ReadMemStats(&m0)
 		b.StartTimer()
 		if res := syncer.RunRound(); res.Simple != scaleJobs/100 {
 			b.Fatalf("round synced %d jobs, want %d", res.Simple, scaleJobs/100)
 		}
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		spent += m1.Mallocs - m0.Mallocs
+		b.StartTimer()
+	}
+	b.StopTimer()
+	const churned = scaleJobs / 100
+	if per := float64(spent) / float64(b.N) / churned; per > churnAllocPerJobCeiling {
+		b.Fatalf("1%% churn round allocates %.1f objects per changed job (%.0f/op), ceiling %d",
+			per, per*churned, churnAllocPerJobCeiling)
 	}
 }

@@ -164,10 +164,16 @@ type Plan struct {
 	Kind    PlanKind
 	Changes []config.Change
 	Actions []Action
-	// commit publishes the new running configuration; it runs only after
-	// every action succeeded (the atomic commit point). The error is
-	// always nil unless fault injection intercepts the store commit.
-	commit func() error
+	// commitDoc and commitVersion are the new running configuration to
+	// publish; the executor commits them only after every action
+	// succeeded (the atomic commit point). A nil commitDoc means the
+	// plan has no commit (noop, delete). Plain data instead of a bound
+	// closure: simple-sync churn builds hundreds of plans per round, and
+	// a per-plan closure capture is a heap allocation the steady-state
+	// scratch design forbids. The commit error is always nil unless
+	// fault injection intercepts the store commit.
+	commitDoc     config.Doc
+	commitVersion int64
 	// commitErr records a failed inline commit from BuildPlan's
 	// content-equal fast path, so the round treats the job as failed
 	// rather than converged.
@@ -364,6 +370,7 @@ type roundScratch struct {
 	candidates     []string          // this round's candidates; aliases u* or a store snapshot
 	now            time.Time
 	results        []planned
+	differs        []config.Differ // per-result-slot diff scratch, reused across rounds
 	simple         []Plan
 	complexPlans   []Plan
 	teardown       []string
@@ -432,7 +439,7 @@ func NewStriped(store *jobstore.Store, act Actuator, clock simclock.Clock, opts 
 	// every round would allocate in the steady state.
 	s.planFn = func(i int) {
 		sc := &s.scratch
-		sc.results[i] = s.planJob(sc.candidates[i], sc.now)
+		sc.results[i] = s.planJob(sc.candidates[i], sc.now, &sc.differs[i])
 	}
 	s.simpleFn = func(i int) {
 		sc := &s.scratch
@@ -507,6 +514,14 @@ func (s *Syncer) Stats() Stats {
 // syncer passes the store's shared cached doc, and a committed plan
 // publishes that same doc into the running table without cloning.
 func (s *Syncer) BuildPlan(job string, merged config.Doc, version int64) Plan {
+	var dd config.Differ
+	return s.buildPlan(job, merged, version, &dd)
+}
+
+// buildPlan is BuildPlan diffing through dd — a per-worker-slot Differ
+// on the round path, so a churn round's diffs reuse each slot's change
+// and key buffers instead of allocating per job.
+func (s *Syncer) buildPlan(job string, merged config.Doc, version int64, dd *config.Differ) Plan {
 	// Version short-circuit: the running entry records which expected
 	// version it realizes. If that hasn't moved, there is nothing to
 	// diff — the common case for tens of thousands of converged jobs.
@@ -518,7 +533,7 @@ func (s *Syncer) BuildPlan(job string, merged config.Doc, version int64) Plan {
 	running, hasRunning := s.store.GetRunningShared(job)
 	var changes []config.Change
 	if hasRunning {
-		changes = config.Diff(running.Config, merged)
+		changes = dd.Diff(running.Config, merged)
 		if len(changes) == 0 {
 			// Content equal even though the version moved (e.g. an
 			// override written and reverted): commit the version so
@@ -529,8 +544,6 @@ func (s *Syncer) BuildPlan(job string, merged config.Doc, version int64) Plan {
 			return Plan{Job: job, Kind: PlanNoop}
 		}
 	}
-
-	commit := func() error { return s.store.CommitRunningShared(job, merged, version) }
 
 	complex := false
 	for _, ch := range changes {
@@ -543,7 +556,7 @@ func (s *Syncer) BuildPlan(job string, merged config.Doc, version int64) Plan {
 		// New jobs and direct copies are simple synchronizations: the
 		// commit itself is the whole plan, and the new settings propagate
 		// to tasks through the Task Service (§IV).
-		return Plan{Job: job, Kind: PlanSimple, Changes: changes, commit: commit}
+		return Plan{Job: job, Kind: PlanSimple, Changes: changes, commitDoc: merged, commitVersion: version}
 	}
 
 	// Complex synchronization: multi-step, strictly ordered (§III-B).
@@ -568,7 +581,8 @@ func (s *Syncer) BuildPlan(job string, merged config.Doc, version int64) Plan {
 		Name: "roll back: resume job in its previous configuration",
 		Run:  func() error { return s.act.ResumeJob(job) },
 	}}
-	return Plan{Job: job, Kind: PlanComplex, Changes: changes, Actions: actions, commit: commit, after: after, rollback: rollback}
+	return Plan{Job: job, Kind: PlanComplex, Changes: changes, Actions: actions,
+		commitDoc: merged, commitVersion: version, after: after, rollback: rollback}
 }
 
 func intAt(d config.Doc, path string) int {
@@ -621,8 +635,10 @@ func (s *Syncer) executePlan(p Plan) error {
 		// still-standing dirty mark re-plans the update.
 		s.setFollowUps(p.Job, followUpKeys(p.after))
 	}
-	if p.commit != nil {
-		if err := p.commit(); err != nil {
+	if p.commitDoc != nil {
+		// The shared commit: merged came from MergedExpectedShared and is
+		// immutable, so the store keeps the doc itself — no clone.
+		if err := s.store.CommitRunningShared(p.Job, p.commitDoc, p.commitVersion); err != nil {
 			if s.dead() {
 				return errKilled
 			}
@@ -755,7 +771,7 @@ func fnv64(sstr string, salt uint64) uint64 {
 // whole classification state (versions, quarantine, backoff) in a single
 // locked pass: at sweep volumes the four separate lock acquisitions this
 // replaced were most of a converged round's cost.
-func (s *Syncer) planJob(job string, now time.Time) planned {
+func (s *Syncer) planJob(job string, now time.Time, dd *config.Differ) planned {
 	v := s.store.PlanViewOf(job)
 	if v.FailureStreak > 0 && now.Before(v.NextRetryAt) {
 		return planned{plan: Plan{Job: job, Kind: PlanNoop}, backedOff: true}
@@ -781,7 +797,7 @@ func (s *Syncer) planJob(job string, now time.Time) planned {
 		// re-marked the job dirty, so the next round tears it down.
 		return planned{plan: Plan{Job: job, Kind: PlanNoop}}
 	}
-	return planned{plan: s.BuildPlan(job, merged, version), examined: true}
+	return planned{plan: s.buildPlan(job, merged, version, dd), examined: true}
 }
 
 // RunRound performs one synchronization pass: assemble the candidate set
@@ -896,6 +912,13 @@ func (s *Syncer) RunRound() RoundResult {
 	} else {
 		sc.results = sc.results[:len(candidates)]
 	}
+	// Grow (never shrink) the per-slot differs alongside results: kept
+	// diff scratch is the churn path's round-over-round buffer reuse.
+	if cap(sc.differs) < len(candidates) {
+		sc.differs = append(sc.differs[:cap(sc.differs)],
+			make([]config.Differ, len(candidates)-cap(sc.differs))...)
+	}
+	sc.differs = sc.differs[:len(candidates)]
 	s.forEach(len(candidates), s.opts.SyncParallelism, 32, s.planFn)
 	if s.dead() {
 		return res
@@ -999,7 +1022,7 @@ func (s *Syncer) RunRound() RoundResult {
 			break
 		}
 		s.store.DropRunning(job)
-		_ = s.act.ResumeJob(job) // clear any hold; no specs remain anyway
+		_ = s.act.ResumeJob(job)    // clear any hold; no specs remain anyway
 		s.store.ClearSyncState(job) // teardown resolved any failure streak
 		if seq, ok := sc.markSeq[job]; ok {
 			s.store.ClearDirtyIf(job, seq)

@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+)
+
+// FuzzFrameDecode holds the hostile-input line: arbitrary bytes through
+// the frame splitter and every body decoder must error or succeed, never
+// panic, and never allocate proportionally to a claimed (unbacked)
+// length.
+func FuzzFrameDecode(f *testing.F) {
+	var e Encoder
+	e.AppendSpec(sampleSpec())
+	f.Add(append([]byte(nil), e.Buf...))
+	e.Reset()
+	e.AppendFeedRequest(FeedRequest{Subscriber: "ts", Cursor: 7, Max: 3})
+	f.Add(append([]byte(nil), e.Buf...))
+	e.Reset()
+	mark := e.AppendDeltaHeader(9, 2)
+	_ = e.AppendDeltaCommit("jobs/a", 1, 1, sampleDoc())
+	e.AppendDeltaDrop("jobs/b")
+	e.EndFrame(mark)
+	f.Add(append([]byte(nil), e.Buf...))
+	e.Reset()
+	mark, countMark := e.AppendResyncChunkHeader(true)
+	_ = e.AppendChunkItem("jobs/a", 1, 1, config.Doc{"k": "v"})
+	e.PatchChunkCount(countMark, 1)
+	e.EndFrame(mark)
+	f.Add(append([]byte(nil), e.Buf...))
+	e.Reset()
+	e.AppendResyncNeeded(123)
+	f.Add(append([]byte(nil), e.Buf...))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rest := data
+		for range [4]struct{}{} { // a few frames per input at most
+			kind, body, next, err := DecodeFrame(rest)
+			if err != nil {
+				return
+			}
+			switch kind {
+			case FrameFeedRequest:
+				_, _ = DecodeFeedRequest(body)
+			case FrameResyncNeeded:
+				_, _ = DecodeResyncNeeded(body)
+			case FrameSpec:
+				var spec engine.TaskSpec
+				_, _ = DecodeSpec(body, &spec, nil)
+			case FrameDelta:
+				d, err := DecodeDelta(body)
+				if err != nil {
+					return
+				}
+				for i := 0; i < d.Count; i++ {
+					ent, err := d.Entry()
+					if err != nil {
+						break
+					}
+					if ent.Doc != nil {
+						_, _ = DecodeDocBlob(ent.Doc)
+					}
+				}
+			case FrameResyncChunk:
+				c, err := DecodeResyncChunk(body)
+				if err != nil {
+					return
+				}
+				for i := 0; i < c.Count; i++ {
+					it, err := c.Item()
+					if err != nil {
+						break
+					}
+					_, _ = DecodeDocBlob(it.Doc)
+				}
+			}
+			rest = next
+		}
+	})
+}
+
+// FuzzDocRoundTrip: any byte string that decodes as a document value
+// must re-encode and re-decode to the same value — the codec is a
+// bijection on its own output.
+func FuzzDocRoundTrip(f *testing.F) {
+	var e Encoder
+	_ = e.AppendDoc(sampleDoc())
+	f.Add(append([]byte(nil), e.Buf...))
+	e.Reset()
+	_ = e.AppendValue([]any{int64(1), "two", 3.0, nil, true})
+	f.Add(append([]byte(nil), e.Buf...))
+	f.Add([]byte{vInt, 0x80})
+	f.Add([]byte{vArray, 2, vNil, vTrue})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		v, err := DecodeValue(&r)
+		if err != nil {
+			return
+		}
+		var enc Encoder
+		if err := enc.AppendValue(v); err != nil {
+			t.Fatalf("re-encode of decoded value failed: %v", err)
+		}
+		r2 := NewReader(enc.Buf)
+		v2, err := DecodeValue(&r2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if r2.Remaining() != 0 {
+			t.Fatalf("%d trailing bytes after re-decode", r2.Remaining())
+		}
+		// Canonical form is a fixed point: re-encoding v2 reproduces
+		// enc.Buf bit for bit. Byte equality is the right equality here —
+		// reflect.DeepEqual would false-negative on NaN payloads, which
+		// the codec carries faithfully.
+		var enc2 Encoder
+		if err := enc2.AppendValue(v2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc.Buf, enc2.Buf) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzSpecRoundTrip: specs built from arbitrary field values survive the
+// codec exactly, including the hash (which is the chaos invariant's
+// equality witness).
+func FuzzSpecRoundTrip(f *testing.F) {
+	f.Add("jobs/a", 3, 8, "pkg", "v1", 2, "tailer", "in", 16, "out", 2.5, int64(1<<30), "cgroup", "/ckpt", 1)
+	f.Add("", 0, 0, "", "", 0, "", "", 0, "", 0.0, int64(0), "", "", 0)
+	f.Fuzz(func(t *testing.T, job string, index, taskCount int, pkg, ver string,
+		threads int, op, in string, parts int, out string,
+		cpu float64, mem int64, enforce, ckpt string, prio int) {
+		spec := &engine.TaskSpec{
+			Job:            job,
+			Index:          index,
+			TaskCount:      taskCount,
+			PackageName:    pkg,
+			PackageVersion: ver,
+			Threads:        threads,
+			Operator:       config.Operator(op),
+			InputCategory:  in,
+			OutputCategory: out,
+			Resources:      config.Resources{CPUCores: cpu, MemoryBytes: mem},
+			Enforcement:    config.MemoryEnforcement(enforce),
+			CheckpointDir:  ckpt,
+			Priority:       prio,
+		}
+		if index < 0 || taskCount < 0 || threads < 0 {
+			return // uvarint fields; negatives are not representable
+		}
+		if cpu != cpu {
+			return // NaN round-trips bit-exactly but defeats DeepEqual
+		}
+		if parts > 0 {
+			spec.Partitions = engine.AssignPartitions(parts&0xFFFF, 4, 1)
+		}
+		var e Encoder
+		e.AppendSpec(spec)
+		kind, body, rest, err := DecodeFrame(e.Buf)
+		if err != nil || kind != FrameSpec || len(rest) != 0 {
+			t.Fatalf("frame: kind=0x%02x rest=%d err=%v", kind, len(rest), err)
+		}
+		var got engine.TaskSpec
+		if _, err := DecodeSpec(body, &got, nil); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(*spec, got) {
+			t.Fatalf("round trip changed spec:\n in: %+v\nout: %+v", *spec, got)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+// Task-spec codec: the fixed-field binary form of engine.TaskSpec — the
+// payload a Task Manager would fetch over a real transport. Fields
+// travel in declaration order with no per-field tags; the spec schema
+// changes in lockstep on both sides of the seam (it is one repo), so
+// self-describing overhead buys nothing here. A version byte leads the
+// frame so a future field addition can bump it without ambiguity.
+
+package wire
+
+import (
+	"repro/internal/config"
+	"repro/internal/engine"
+)
+
+// specSchema is the task-spec frame schema version.
+const specSchema byte = 1
+
+// AppendSpec encodes s as a FrameSpec body (schema byte + fields) into
+// the encoder's buffer, wrapped in a length-prefixed frame.
+func (e *Encoder) AppendSpec(s *engine.TaskSpec) {
+	mark := e.BeginFrame(FrameSpec)
+	e.Buf = append(e.Buf, specSchema)
+	e.Buf = AppendString(e.Buf, s.Job)
+	e.Buf = AppendUvarint(e.Buf, uint64(s.Index))
+	e.Buf = AppendUvarint(e.Buf, uint64(s.TaskCount))
+	e.Buf = AppendString(e.Buf, s.PackageName)
+	e.Buf = AppendString(e.Buf, s.PackageVersion)
+	e.Buf = AppendUvarint(e.Buf, uint64(s.Threads))
+	e.Buf = AppendString(e.Buf, string(s.Operator))
+	e.Buf = AppendString(e.Buf, s.InputCategory)
+	// 0 = nil, n = len+1. Nil and empty are distinct on purpose: the spec
+	// hash is JSON-based and Partitions has no omitempty, so null vs []
+	// are different hashes — the codec must not conflate them.
+	if s.Partitions == nil {
+		e.Buf = AppendUvarint(e.Buf, 0)
+	} else {
+		e.Buf = AppendUvarint(e.Buf, uint64(len(s.Partitions))+1)
+		for _, p := range s.Partitions {
+			e.Buf = AppendVarint(e.Buf, int64(p))
+		}
+	}
+	e.Buf = AppendString(e.Buf, s.OutputCategory)
+	e.Buf = AppendFloat(e.Buf, s.Resources.CPUCores)
+	e.Buf = AppendVarint(e.Buf, s.Resources.MemoryBytes)
+	e.Buf = AppendVarint(e.Buf, s.Resources.DiskBytes)
+	e.Buf = AppendVarint(e.Buf, s.Resources.NetworkBps)
+	e.Buf = AppendString(e.Buf, string(s.Enforcement))
+	e.Buf = AppendString(e.Buf, s.CheckpointDir)
+	e.Buf = AppendVarint(e.Buf, int64(s.Priority))
+	e.EndFrame(mark)
+}
+
+// DecodeSpec decodes a FrameSpec body into dst, appending partitions to
+// parts (pass a reused buffer's [:0] reslice; dst.Partitions is set to
+// the extended slice). Nilness survives the trip: a nil partition set
+// decodes as nil, an empty one as empty — they hash differently. Strings
+// are copied out of the frame — a decoded spec outlives its transport
+// buffer by design.
+func DecodeSpec(body []byte, dst *engine.TaskSpec, parts []int) ([]int, error) {
+	r := NewReader(body)
+	if schema := r.Byte(); r.Err() == nil && schema != specSchema {
+		return parts, malformed("unknown spec schema %d", schema)
+	}
+	dst.Job = r.String()
+	dst.Index = int(r.Uvarint())
+	dst.TaskCount = int(r.Uvarint())
+	dst.PackageName = r.String()
+	dst.PackageVersion = r.String()
+	dst.Threads = int(r.Uvarint())
+	dst.Operator = config.Operator(r.String())
+	dst.InputCategory = r.String()
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return parts, err
+	}
+	if n > uint64(r.Remaining())+1 {
+		return parts, malformed("partition count %d exceeds %d remaining bytes", n, r.Remaining())
+	}
+	if n == 0 {
+		dst.Partitions = nil
+	} else {
+		if parts == nil {
+			parts = []int{} // preserve non-nil even for the empty set
+		}
+		for i := uint64(1); i < n; i++ {
+			parts = append(parts, int(r.Varint()))
+		}
+		dst.Partitions = parts
+	}
+	dst.OutputCategory = r.String()
+	dst.Resources.CPUCores = r.Float()
+	dst.Resources.MemoryBytes = r.Varint()
+	dst.Resources.DiskBytes = r.Varint()
+	dst.Resources.NetworkBps = r.Varint()
+	dst.Enforcement = config.MemoryEnforcement(r.String())
+	dst.CheckpointDir = r.String()
+	dst.Priority = int(r.Varint())
+	if r.Remaining() != 0 && r.Err() == nil {
+		return parts, malformed("%d trailing bytes after spec", r.Remaining())
+	}
+	return parts, r.Err()
+}

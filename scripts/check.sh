@@ -12,3 +12,9 @@ go test -race ./...
 # -short keeps the Scale* 1M-fleet benchmarks out of tier-1; CI's
 # scale-smoke job runs them once, and `make bench-scale` measures them.
 go test -short ./... -run 'XXXNONE' -bench . -benchtime 1x
+# Wire-codec fuzz smoke: a few seconds per target over the committed
+# corpus plus fresh mutations. Long fuzzing sessions grow the corpus
+# offline; this catches frame-decoder and round-trip regressions fast.
+go test ./internal/wire -run 'XXXNONE' -fuzz 'FuzzFrameDecode' -fuzztime 5s
+go test ./internal/wire -run 'XXXNONE' -fuzz 'FuzzDocRoundTrip' -fuzztime 5s
+go test ./internal/wire -run 'XXXNONE' -fuzz 'FuzzSpecRoundTrip' -fuzztime 5s
