@@ -17,6 +17,8 @@
 //	turbinectl -store jobs.json unquarantine scuba/t0001
 //	turbinectl -store jobs.json shards                    # shard topology + leases
 //	turbinectl -store jobs.json feed 4                    # spec-feed seam dry run
+//	turbinectl -store jobs.json feed -transport=tcp 4     # same, over real sockets
+//	turbinectl -store jobs.json serve-feed :7600          # stand-alone feed server
 //	turbinectl -store jobs.json plan scuba/t0001          # dry-run the syncer
 package main
 
@@ -24,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"strconv"
 	"time"
@@ -177,53 +180,141 @@ func main() {
 			fmt.Printf("%-6d %-13s %-6d %-6d %-14s %-6s %s\n",
 				k, fmt.Sprintf("[%d,%d)", lo, hi), jobs[k], len(dirtyBuf), holder, epoch, lease)
 		}
+	case "serve-feed":
+		// Stand-alone spec-feed server: bind the loaded store's feed to a
+		// real TCP listener and block. Remote Task Services (or `feed
+		// -transport=tcp -dial=<addr>` from another terminal) connect with
+		// DialFeed and speak the exact frames the loopback transport
+		// round-trips in process.
+		addr := "127.0.0.1:7600"
+		if len(args) > 1 {
+			addr = args[1]
+		}
+		feed := jobservice.NewSpecFeed(store)
+		feed.SetSubscriberTTL(simclock.NewReal(), 15*time.Minute)
+		lis, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fl := jobservice.ServeFeed(feed, lis, jobservice.ListenerOptions{})
+		fmt.Printf("serving spec feed for %s on %s (%d running jobs, journal head %d)\n",
+			*storePath, fl.Addr(), len(store.RunningNames()), store.JournalHead())
+		fmt.Printf("subscribe with: turbinectl -store <file> feed -transport=tcp -dial=%s\n", fl.Addr())
+		select {}
 	case "feed":
 		// Spec-feed dry run: stand up the Job Service's feed server over
-		// the loaded store, subscribe n remote Task Services through the
-		// loopback wire transport, and report the seam's operational
-		// counters. A loaded snapshot burns a journal sequence exactly
-		// like a Restore, so every subscriber demonstrates the real
-		// remote-bootstrap path: one resync redirect, one chunk walk,
-		// then incremental deltas.
+		// the loaded store, subscribe n remote Task Services, and report
+		// the seam's operational counters. A loaded snapshot burns a
+		// journal sequence exactly like a Restore, so every subscriber
+		// demonstrates the real remote-bootstrap path: one resync
+		// redirect, one chunk walk, then incremental deltas.
+		//
+		// -transport=loopback (default) round-trips frames in process;
+		// -transport=tcp serves the same frames over real sockets — via a
+		// self-contained localhost listener, or an already-running
+		// `serve-feed` named by -dial. (Flags precede the count:
+		// `feed -transport=tcp 4`.)
+		ffs := flag.NewFlagSet("feed", flag.ExitOnError)
+		transport := ffs.String("transport", "loopback", `feed transport: "loopback" or "tcp"`)
+		dialAddr := ffs.String("dial", "", "with -transport=tcp, dial this serve-feed address instead of a self-contained listener")
+		ffs.Parse(args[1:])
 		n := 2
-		if len(args) > 1 {
-			n = requireInt(args, 1, "subscriber count")
+		if rest := ffs.Args(); len(rest) > 0 {
+			n = requireInt(rest, 0, "subscriber count")
 		}
 		if n <= 0 {
 			log.Fatal("subscriber count must be positive")
 		}
-		feed := jobservice.NewSpecFeed(store)
 		clk := simclock.NewSim(time.Now())
+		var (
+			feed   *jobservice.SpecFeedServer
+			fl     *jobservice.FeedListener
+			dials  []*taskservice.DialTransport
+			mkFeed func(i int) taskservice.SpecFeed
+		)
+		switch *transport {
+		case "loopback":
+			feed = jobservice.NewSpecFeed(store)
+			feed.SetSubscriberTTL(simclock.NewReal(), 15*time.Minute)
+			mkFeed = func(int) taskservice.SpecFeed { return feed.Loopback() }
+		case "tcp":
+			addr := *dialAddr
+			if addr == "" {
+				feed = jobservice.NewSpecFeed(store)
+				feed.SetSubscriberTTL(simclock.NewReal(), 15*time.Minute)
+				lis, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					log.Fatal(err)
+				}
+				fl = jobservice.ServeFeed(feed, lis, jobservice.ListenerOptions{})
+				addr = fl.Addr().String()
+			}
+			mkFeed = func(int) taskservice.SpecFeed {
+				tr := taskservice.DialFeed(addr, taskservice.DialOptions{Clock: clk})
+				dials = append(dials, tr)
+				return tr
+			}
+		default:
+			log.Fatalf("unknown transport %q (want loopback or tcp)", *transport)
+		}
 		clients := make([]*taskservice.FeedClient, n)
 		for i := range clients {
-			clients[i] = taskservice.NewFeedClient(feed.Loopback(), fmt.Sprintf("feed-%d", i), clk, 90*time.Second, 8)
+			clients[i] = taskservice.NewFeedClient(mkFeed(i), fmt.Sprintf("feed-%d", i), clk, 90*time.Second, 8)
 			if err := clients[i].Sync(0); err != nil {
 				log.Fatalf("subscriber feed-%d: %v", i, err)
 			}
 		}
 		head := store.JournalHead()
-		fmt.Printf("journal head %d, %d running jobs\n", head, len(store.RunningNames()))
-		fmt.Printf("%-12s %-8s %-5s %-6s %-8s %-8s %-8s %s\n",
-			"SUBSCRIBER", "CURSOR", "LAG", "POLLS", "RESYNCS", "APPLIED", "SKIPPED", "BYTES")
-		subs := feed.Subscribers()
-		byName := make(map[string]jobservice.SubscriberStatus, len(subs))
-		for _, s := range subs {
-			byName[s.Subscriber] = s
+		fmt.Printf("journal head %d, %d running jobs, transport %s\n", head, len(store.RunningNames()), *transport)
+		fmt.Printf("%-12s %-8s %-5s %-6s %-8s %-8s %-8s %-10s %s\n",
+			"SUBSCRIBER", "CURSOR", "LAG", "POLLS", "RESYNCS", "APPLIED", "SKIPPED", "BYTES", "STALE")
+		byName := make(map[string]jobservice.SubscriberStatus)
+		if feed != nil {
+			for _, s := range feed.Subscribers() {
+				byName[s.Subscriber] = s
+			}
 		}
 		for _, c := range clients {
 			st := c.Stats()
+			stale := "-" // server-side registry lives on the serve-feed process
+			if reg, ok := byName[c.ID()]; ok {
+				stale = reg.SincePoll.Round(time.Millisecond).String()
+			}
 			reg := byName[c.ID()]
-			fmt.Printf("%-12s %-8d %-5d %-6d %-8d %-8d %-8d %d\n",
-				c.ID(), c.Cursor(), reg.Lag, st.Polls, st.Resyncs, st.Applied, st.Skipped, st.Bytes)
+			fmt.Printf("%-12s %-8d %-5d %-6d %-8d %-8d %-8d %-10d %s\n",
+				c.ID(), c.Cursor(), reg.Lag, st.Polls, st.Resyncs, st.Applied, st.Skipped, st.Bytes, stale)
 		}
-		fs := feed.Stats()
-		total := fs.FrameHits + fs.FrameMisses
-		rate := 0.0
-		if total > 0 {
-			rate = 100 * float64(fs.FrameHits) / float64(total)
+		if feed != nil {
+			fs := feed.Stats()
+			total := fs.FrameHits + fs.FrameMisses
+			rate := 0.0
+			if total > 0 {
+				rate = 100 * float64(fs.FrameHits) / float64(total)
+			}
+			fmt.Printf("frame cache: %d hits / %d misses (%.0f%% hit rate); resync redirects: %d; evicted subscribers: %d\n",
+				fs.FrameHits, fs.FrameMisses, rate, fs.Resyncs, fs.Evicted)
 		}
-		fmt.Printf("frame cache: %d hits / %d misses (%.0f%% hit rate); resync redirects: %d\n",
-			fs.FrameHits, fs.FrameMisses, rate, fs.Resyncs)
+		if len(dials) > 0 {
+			var d taskservice.DialStats
+			for _, tr := range dials {
+				s := tr.Stats()
+				d.Dials += s.Dials
+				d.Reconnects += s.Reconnects
+				d.ConnErrors += s.ConnErrors
+				d.DialErrors += s.DialErrors
+				d.BackoffSkips += s.BackoffSkips
+				d.TornFrames += s.TornFrames
+				tr.Close()
+			}
+			fmt.Printf("socket: %d dials (%d reconnects, %d dial errors), %d conn errors, %d backoff skips, %d torn frames\n",
+				d.Dials, d.Reconnects, d.DialErrors, d.ConnErrors, d.BackoffSkips, d.TornFrames)
+		}
+		if fl != nil {
+			ls := fl.Stats()
+			fmt.Printf("listener: %d conns accepted, %d polls served, %d bad frames\n",
+				ls.Accepted, ls.Served, ls.BadFrames)
+			fl.Close()
+		}
 	case "plan":
 		name := requireArg(args, 1, "job name")
 		merged, version, err := store.MergedExpected(name)
@@ -277,7 +368,10 @@ commands:
   quarantine                 list quarantined jobs
   unquarantine <job>         clear a job's quarantine
   shards [n]                 shard topology: stripe ranges, lease holders, pending work
-  feed [n]                   subscribe n remote Task Services; report cursors, lag, cache hit rate
+  feed [flags] [n]           subscribe n remote Task Services; report cursors, lag, staleness
+                             -transport=loopback|tcp  wire transport (default loopback)
+                             -dial=<addr>             with tcp, join a running serve-feed
+  serve-feed [addr]          serve the spec feed over TCP (default 127.0.0.1:7600); blocks
   plan <job>                 dry-run the State Syncer's execution plan`)
 	os.Exit(2)
 }

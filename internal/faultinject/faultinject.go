@@ -15,6 +15,8 @@ package faultinject
 import (
 	"fmt"
 	"hash/fnv"
+	"net"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -44,6 +46,10 @@ const (
 	OpSweepSlice           Op = "syncer.sweepSlice"
 	OpShardRound           Op = "syncer.shardRound"
 	OpSpecFeed             Op = "jobservice.specFeed"
+	// OpFeedConn fires inside the spec feed's socket transport, on the
+	// individual Read/Write calls of a wrapped net.Conn — below the
+	// frame layer, where real networks actually fail.
+	OpFeedConn Op = "jobservice.feedConn"
 )
 
 // Kind is what happens when a rule fires.
@@ -76,6 +82,23 @@ const (
 	// resync-needed redirect: a full chunk-walk storm when armed at a
 	// high rate.
 	KindForceResync Kind = "force-resync"
+	// KindTornWrite (feed conn) lets half of a Write's bytes escape onto
+	// the wire, then severs the connection: the peer reassembles a
+	// partial frame that must never surface as a complete one.
+	KindTornWrite Kind = "torn-write"
+	// KindShortRead (feed conn) clamps a Read to one byte without
+	// failing it: the frame arrives, but sliced at an adversarial
+	// boundary — the stream decoder's reassembly path under load.
+	KindShortRead Kind = "short-read"
+	// KindHungConn (feed conn) models a peer that stays connected but
+	// goes silent: the call fails with the deadline-expiry error a real
+	// hung socket produces once its read/write deadline fires.
+	KindHungConn Kind = "hung-conn"
+	// KindDisconnect (feed conn) severs the connection mid-call — the
+	// RST-shaped failure. At a high rate this is a disconnect storm; the
+	// client must ride it out on reconnect backoff with zero resyncs as
+	// long as the journal doesn't overflow.
+	KindDisconnect Kind = "disconnect"
 )
 
 // Rule arms one fault. The first matching armed rule wins.
@@ -511,6 +534,92 @@ func (f *specFeed) PollFeed(req wire.FeedRequest, buf []byte) ([]byte, error) {
 		}
 	}
 	return f.inner.PollFeed(req, buf)
+}
+
+// ---- Feed-conn byte-stream seam ----
+
+// feedConn injects faults below the frame layer: on the Read/Write
+// calls of the spec feed's socket transport.
+type feedConn struct {
+	net.Conn
+	in  *Injector
+	key string
+}
+
+// FeedConn returns a taskservice.DialOptions.WrapConn hook that wraps
+// each freshly dialed feed connection, keyed by subscriber ID. Faults
+// fire on individual Read/Write calls:
+//
+//   - KindTornWrite writes half the bytes, then severs the conn;
+//   - KindShortRead clamps a read to one byte (no failure) so frames
+//     arrive sliced at adversarial boundaries;
+//   - KindHungConn fails the call with os.ErrDeadlineExceeded — the
+//     outcome of a silent peer once the socket deadline fires;
+//   - KindDisconnect severs the conn mid-call;
+//   - KindError/KindTimeout fail the call and sever the conn;
+//   - KindLatency records a slow conn without failing it.
+//
+// Every failing kind leaves the transport on its reconnect/backoff
+// path with the subscriber's cursor intact — the invariant under any
+// storm of these is "errors, never torn frames".
+func (in *Injector) FeedConn(key string) func(net.Conn) net.Conn {
+	return func(inner net.Conn) net.Conn {
+		return &feedConn{Conn: inner, in: in, key: key}
+	}
+}
+
+func (c *feedConn) Read(p []byte) (int, error) {
+	if ev, ok := c.in.decide(OpFeedConn, c.key); ok {
+		switch ev.Kind {
+		case KindShortRead:
+			if len(p) > 1 {
+				p = p[:1]
+			}
+		case KindHungConn:
+			return 0, fmt.Errorf("faultinject: hung conn %q call %d: %w", ev.Key, ev.Call, os.ErrDeadlineExceeded)
+		case KindDisconnect, KindTornWrite:
+			// A torn-write rule firing on a read call still severs: the
+			// stream is cut under the reader either way.
+			c.Conn.Close()
+			return 0, fmt.Errorf("faultinject: injected disconnect on conn %q call %d", ev.Key, ev.Call)
+		default:
+			if err := errFor(ev); err != nil {
+				c.Conn.Close()
+				return 0, err
+			}
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *feedConn) Write(p []byte) (int, error) {
+	if ev, ok := c.in.decide(OpFeedConn, c.key); ok {
+		switch ev.Kind {
+		case KindTornWrite:
+			n := len(p) / 2
+			if n > 0 {
+				// Half the frame escapes onto the wire before the cut —
+				// the peer's decoder holds a partial frame it must never
+				// surface.
+				c.Conn.Write(p[:n])
+			}
+			c.Conn.Close()
+			return n, fmt.Errorf("faultinject: torn write on conn %q call %d (%d of %d bytes)", ev.Key, ev.Call, n, len(p))
+		case KindHungConn:
+			return 0, fmt.Errorf("faultinject: hung conn %q call %d: %w", ev.Key, ev.Call, os.ErrDeadlineExceeded)
+		case KindDisconnect:
+			c.Conn.Close()
+			return 0, fmt.Errorf("faultinject: injected disconnect on conn %q call %d", ev.Key, ev.Call)
+		case KindShortRead:
+			// Read-shaped fault on a write call: no-op.
+		default:
+			if err := errFor(ev); err != nil {
+				c.Conn.Close()
+				return 0, err
+			}
+		}
+	}
+	return c.Conn.Write(p)
 }
 
 // ---- Job Store commit seam ----

@@ -30,8 +30,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/jobstore"
+	"repro/internal/simclock"
 	"repro/internal/wire"
 )
 
@@ -51,6 +53,9 @@ type FeedStats struct {
 	FrameHits, FrameMisses int64
 	// Resyncs counts polls answered with a resync-needed redirect.
 	Resyncs int64
+	// Evicted counts subscribers dropped from the registry for silence
+	// longer than the eviction TTL (SetSubscriberTTL).
+	Evicted int64
 }
 
 // SubscriberStatus is one subscriber's last observed feed position.
@@ -66,6 +71,10 @@ type SubscriberStatus struct {
 	Resyncs int64
 	// Resyncing reports the subscriber is mid chunk-walk.
 	Resyncing bool
+	// SincePoll is the subscriber's server-side staleness: time since
+	// its last poll on the eviction clock. Zero when no eviction clock
+	// is configured.
+	SincePoll time.Duration
 }
 
 // SpecFeedServer serves the Job Store's change journal as encoded
@@ -86,10 +95,17 @@ type SpecFeedServer struct {
 	scratch []jobstore.Change
 	enc     wire.Encoder
 
-	hits, misses, resyncs atomic.Int64
+	hits, misses, resyncs, evicted atomic.Int64
 
 	subMu sync.Mutex
 	subs  map[string]*subscriberState
+	// Eviction policy (SetSubscriberTTL): a subscriber silent for longer
+	// than ttl on clock is dropped from the registry, so a long-lived
+	// server does not grow without bound as remote Task Services churn.
+	// nil clock disables eviction.
+	evictClock simclock.Clock
+	evictTTL   time.Duration
+	lastSweep  time.Time
 }
 
 type cachedFrame struct {
@@ -101,6 +117,7 @@ type subscriberState struct {
 	polls     int64
 	resyncs   int64
 	resyncing bool
+	lastPoll  time.Time // eviction clock; zero when eviction is off
 }
 
 // NewSpecFeed returns a feed server over store with default batch and
@@ -121,6 +138,42 @@ func (f *SpecFeedServer) Stats() FeedStats {
 		FrameHits:   f.hits.Load(),
 		FrameMisses: f.misses.Load(),
 		Resyncs:     f.resyncs.Load(),
+		Evicted:     f.evicted.Load(),
+	}
+}
+
+// SetSubscriberTTL arms subscriber eviction: a subscriber whose last
+// poll is more than ttl behind clock's now is dropped from the
+// registry. Eviction is lazy — swept opportunistically on polls and on
+// Subscribers() reads — so it adds no background goroutine; an evicted
+// subscriber that polls again simply re-registers (its cursor rides in
+// its own requests, so no state is lost). ttl <= 0 disables eviction.
+func (f *SpecFeedServer) SetSubscriberTTL(clock simclock.Clock, ttl time.Duration) {
+	f.subMu.Lock()
+	defer f.subMu.Unlock()
+	if ttl <= 0 {
+		f.evictClock = nil
+		f.evictTTL = 0
+		return
+	}
+	f.evictClock = clock
+	f.evictTTL = ttl
+	f.lastSweep = clock.Now()
+}
+
+// evictLocked sweeps silent subscribers. Caller holds subMu. Sweeps are
+// rate-limited to one per quarter-TTL so the registry scan cost stays
+// amortized even under heavy poll traffic.
+func (f *SpecFeedServer) evictLocked(now time.Time) {
+	if f.evictClock == nil || now.Sub(f.lastSweep) < f.evictTTL/4 {
+		return
+	}
+	f.lastSweep = now
+	for name, st := range f.subs {
+		if now.Sub(st.lastPoll) > f.evictTTL {
+			delete(f.subs, name)
+			f.evicted.Add(1)
+		}
 	}
 }
 
@@ -130,6 +183,11 @@ func (f *SpecFeedServer) Subscribers() []SubscriberStatus {
 	head := f.store.JournalHead()
 	f.subMu.Lock()
 	defer f.subMu.Unlock()
+	var now time.Time
+	if f.evictClock != nil {
+		now = f.evictClock.Now()
+		f.evictLocked(now)
+	}
 	out := make([]SubscriberStatus, 0, len(f.subs))
 	for name, st := range f.subs {
 		s := SubscriberStatus{
@@ -141,6 +199,9 @@ func (f *SpecFeedServer) Subscribers() []SubscriberStatus {
 		}
 		if head > st.cursor {
 			s.Lag = head - st.cursor
+		}
+		if !now.IsZero() {
+			s.SincePoll = now.Sub(st.lastPoll)
 		}
 		out = append(out, s)
 	}
@@ -297,6 +358,11 @@ func (f *SpecFeedServer) note(req wire.FeedRequest, redirected, resyncPoll bool)
 	if !ok {
 		st = &subscriberState{}
 		f.subs[strings.Clone(req.Subscriber)] = st
+	}
+	if f.evictClock != nil {
+		now := f.evictClock.Now()
+		st.lastPoll = now
+		f.evictLocked(now)
 	}
 	st.polls++
 	if resyncPoll {

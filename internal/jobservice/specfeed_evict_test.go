@@ -1,0 +1,72 @@
+package jobservice
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/jobstore"
+	"repro/internal/simclock"
+	"repro/internal/wire"
+)
+
+// TestFeedSubscriberEviction: a long-lived feed server must not grow its
+// registry without bound as remote Task Services churn. With a TTL
+// armed, a subscriber silent for longer than the TTL is swept out (and
+// counted), while active subscribers survive with a live SincePoll
+// staleness reading; an evicted subscriber that comes back simply
+// re-registers, because its cursor rides in its own requests.
+func TestFeedSubscriberEviction(t *testing.T) {
+	store := jobstore.New()
+	f := NewSpecFeed(store)
+	clk := simclock.NewSim(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	f.SetSubscriberTTL(clk, 10*time.Minute)
+	commitN(t, store, 4, 1)
+
+	pollDelta(t, f, wire.FeedRequest{Subscriber: "alive"})
+	pollDelta(t, f, wire.FeedRequest{Subscriber: "ghost"})
+	if got := len(f.Subscribers()); got != 2 {
+		t.Fatalf("%d subscribers registered, want 2", got)
+	}
+
+	// "alive" keeps polling; "ghost" goes dark.
+	clk.RunFor(6 * time.Minute)
+	pollDelta(t, f, wire.FeedRequest{Subscriber: "alive", Cursor: store.JournalHead()})
+
+	// 11 minutes of ghost silence crosses the TTL; the Subscribers read
+	// sweeps it out.
+	clk.RunFor(5 * time.Minute)
+	subs := f.Subscribers()
+	if len(subs) != 1 || subs[0].Subscriber != "alive" {
+		t.Fatalf("post-sweep registry = %+v, want only alive", subs)
+	}
+	if got := f.Stats().Evicted; got != 1 {
+		t.Fatalf("Evicted = %d, want 1", got)
+	}
+	// The survivor's server-side staleness reads its real silence (5 min
+	// since its last poll), not zero.
+	if got := subs[0].SincePoll; got != 5*time.Minute {
+		t.Fatalf("alive SincePoll = %v, want 5m", got)
+	}
+
+	// The ghost returns: one poll re-registers it, no state lost beyond
+	// the registry row.
+	pollDelta(t, f, wire.FeedRequest{Subscriber: "ghost", Cursor: store.JournalHead()})
+	subs = f.Subscribers()
+	if len(subs) != 2 || subs[1].Subscriber != "ghost" {
+		t.Fatalf("post-return registry = %+v, want alive+ghost", subs)
+	}
+	if got := subs[1].SincePoll; got != 0 {
+		t.Fatalf("returned ghost SincePoll = %v, want 0", got)
+	}
+	if got := f.Stats().Evicted; got != 1 {
+		t.Fatalf("Evicted grew to %d on re-registration, want still 1", got)
+	}
+
+	// Disarming the TTL stops eviction: everyone survives arbitrary
+	// silence again.
+	f.SetSubscriberTTL(clk, 0)
+	clk.RunFor(24 * time.Hour)
+	if got := len(f.Subscribers()); got != 2 {
+		t.Fatalf("%d subscribers after disarm, want 2", got)
+	}
+}

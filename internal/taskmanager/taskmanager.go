@@ -44,6 +44,19 @@ type TaskSource interface {
 	Index() *taskservice.SnapshotIndex
 }
 
+// StalenessSource is an optional TaskSource extension for sources that
+// mirror the Task Service over a network (taskservice.FeedClient):
+// StaleFor is the mirror's staleness bound — how long since the feed
+// last confirmed the served index is current. The Task Manager's
+// proactive ConnectionTimeout gate consumes it: a source staler than
+// the gate keeps serving what already runs, but Refresh starts nothing
+// new — the same stale-but-serving degraded mode an unreachable Shard
+// Manager triggers (§IV-C/§IV-D), applied to the spec-feed side of the
+// control plane.
+type StalenessSource interface {
+	StaleFor() time.Duration
+}
+
 // ShardManagerClient is the subset of the Shard Manager the Task Manager
 // talks to.
 type ShardManagerClient interface {
@@ -150,6 +163,10 @@ type Stats struct {
 	StartErrors int // lease conflicts etc.
 	Reboots     int // proactive self-reboots
 	OOMKills    int
+	// DegradedSkips counts Refresh passes skipped because the task
+	// source's staleness bound exceeded the ConnectionTimeout gate:
+	// running tasks kept serving, nothing new started.
+	DegradedSkips int
 }
 
 // Manager is one container's local Task Manager.
@@ -330,6 +347,18 @@ func (m *Manager) Refresh() {
 		// re-connects, or it could duplicate tasks the Shard Manager has
 		// failed over elsewhere (§IV-C).
 		return
+	}
+	if ss, ok := m.source.(StalenessSource); ok {
+		if ss.StaleFor() >= m.opts.ConnectionTimeout {
+			// The spec mirror has been unconfirmed for longer than the
+			// proactive gate: specs it serves may predate a teardown or
+			// redistribution the control plane already committed. Keep
+			// running what runs (stale-but-serving), start nothing new.
+			m.mu.Lock()
+			m.stats.DegradedSkips++
+			m.mu.Unlock()
+			return
+		}
 	}
 	idx := m.source.Index()
 

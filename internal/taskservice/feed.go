@@ -50,6 +50,18 @@ type FeedClientStats struct {
 	Applied int64 // commits + drops applied to the mirror
 	Skipped int64 // entries skipped: revision already held
 	Resyncs int64 // full resyncs begun (resync-needed redirects)
+	// Failures counts polls that returned a transport error (the mirror
+	// kept serving its last index across each one).
+	Failures int64
+	// Resumes counts successful polls that ended a failure streak; the
+	// staleness bound resets on each.
+	Resumes int64
+	// LastResumeLag is the number of journal entries (commits + drops +
+	// dedup skips) the most recent resume had to replay to catch back up
+	// — the journal-lag cost of the outage it ended. A cheap reconnect
+	// (no journal overflow, light churn while dark) keeps it small; a
+	// resync-redirected resume counts its full chunk walk.
+	LastResumeLag int64
 }
 
 // FeedClient consumes a SpecFeed into a mirror Job Store and serves
@@ -58,6 +70,7 @@ type FeedClientStats struct {
 type FeedClient struct {
 	feed   SpecFeed
 	id     string
+	clock  simclock.Clock
 	mirror *jobstore.Store
 	svc    *Service
 
@@ -69,6 +82,14 @@ type FeedClient struct {
 	buf         []byte              // reused frame buffer
 	max         int                 // per-frame entry bound; 0 = server default
 	stats       FeedClientStats
+
+	// Degraded-mode bookkeeping: lastOK is the clock time of the last
+	// successful poll (client creation before any); dark marks a failure
+	// streak in progress, during which catching-up entry counts
+	// accumulate into LastResumeLag once the streak breaks.
+	lastOK     time.Time
+	dark       bool
+	catchingUp bool
 }
 
 // NewFeedClient returns a subscriber over feed. id names it in the
@@ -79,9 +100,11 @@ func NewFeedClient(feed SpecFeed, id string, clock simclock.Clock, ttl time.Dura
 	return &FeedClient{
 		feed:    feed,
 		id:      id,
+		clock:   clock,
 		mirror:  mirror,
 		svc:     New(mirror, clock, ttl, numShards),
 		lastRev: make(map[string]int64),
+		lastOK:  clock.Now(),
 	}
 }
 
@@ -113,8 +136,43 @@ func (c *FeedClient) Stats() FeedClientStats { return c.stats }
 // Pump issues one poll and applies the reply. done reports the client is
 // caught up (an empty delta); a resync in progress always returns
 // done=false. On a transport error the cursor and mirror are untouched —
-// the next Pump retries the identical window.
+// the next Pump retries the identical window — and the client enters
+// degraded mode: the mirror keeps serving its last index while StaleFor
+// grows monotonically until a poll succeeds again.
 func (c *FeedClient) Pump() (done bool, err error) {
+	if c.dark {
+		// This poll would break the failure streak: restart the resume-lag
+		// accumulator BEFORE it runs, so entries it replays count toward
+		// this resume (pump's deferred accumulator adds to it).
+		c.stats.LastResumeLag = 0
+	}
+	applied := c.stats.Applied
+	done, err = c.pump()
+	if c.stats.Applied != applied {
+		// Entries landed in the mirror: drop the published snapshot's
+		// freshness so an attached Task Manager sees them on its next
+		// fetch rather than at TTL expiry. (Errors mid-batch still
+		// invalidate — whatever applied is already in the mirror.)
+		c.svc.Invalidate()
+	}
+	if err != nil {
+		c.stats.Failures++
+		c.dark = true
+		return done, err
+	}
+	if c.dark {
+		c.dark = false
+		c.catchingUp = true
+		c.stats.Resumes++
+	}
+	c.lastOK = c.clock.Now()
+	if c.catchingUp && done {
+		c.catchingUp = false
+	}
+	return done, nil
+}
+
+func (c *FeedClient) pump() (done bool, err error) {
 	req := wire.FeedRequest{
 		Subscriber:  c.id,
 		Cursor:      c.cursor,
@@ -129,6 +187,14 @@ func (c *FeedClient) Pump() (done bool, err error) {
 	c.buf = frame
 	c.stats.Polls++
 	c.stats.Bytes += int64(len(frame))
+	applied := c.stats.Applied + c.stats.Skipped
+	defer func() {
+		// Entries replayed while breaking (or just after breaking) a
+		// failure streak are the resume's journal-lag cost.
+		if err == nil && (c.dark || c.catchingUp) {
+			c.stats.LastResumeLag += c.stats.Applied + c.stats.Skipped - applied
+		}
+	}()
 
 	kind, body, rest, err := wire.DecodeFrame(frame)
 	if err != nil {
@@ -159,6 +225,22 @@ func (c *FeedClient) Pump() (done bool, err error) {
 		return false, fmt.Errorf("taskservice: unexpected feed frame kind 0x%02x", kind)
 	}
 }
+
+// StaleFor is the mirror's staleness bound: the time since the last
+// successful poll (since client creation before any). It is the
+// degraded-mode contract — monotonically non-decreasing while the feed
+// is unreachable, reset by the next successful poll — and the Task
+// Manager's proactive ConnectionTimeout gate consumes it via the
+// taskmanager.StalenessSource seam: a mirror staler than the gate keeps
+// serving what already runs but starts nothing new.
+func (c *FeedClient) StaleFor() time.Duration {
+	return c.clock.Since(c.lastOK)
+}
+
+// Degraded reports a failure streak in progress: at least one poll has
+// failed since the last success, and the mirror is serving its last
+// applied state.
+func (c *FeedClient) Degraded() bool { return c.dark }
 
 // Sync pumps until caught up. maxPolls bounds the loop against a
 // misbehaving server (or a fault-injection storm); <= 0 means a generous
@@ -250,12 +332,17 @@ func (c *FeedClient) applyDelta(body []byte) (done bool, err error) {
 		if err != nil {
 			return false, err
 		}
-		// The view string never escapes into a map or the store: drops
-		// and skip checks only index by it, and the commit path clones.
+		// The view string never escapes into a map or the store: the skip
+		// check only indexes by it, and both store paths get clones —
+		// DropRunning journals the name it is given, so a view into the
+		// reused frame buffer would turn to garbage on the next poll and
+		// the mirror's incremental index rebuild would never splice the
+		// dropped job out.
 		nameView := viewString(ent.Name)
 		if ent.Drop {
-			c.mirror.DropRunning(nameView)
-			delete(c.lastRev, nameView)
+			name := string(ent.Name)
+			c.mirror.DropRunning(name)
+			delete(c.lastRev, name)
 			c.stats.Applied++
 			continue
 		}

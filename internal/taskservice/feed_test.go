@@ -63,6 +63,10 @@ func (h *feedHarness) mustConverge(t *testing.T) {
 	if err := h.remote.Sync(0); err != nil {
 		t.Fatal(err)
 	}
+	// The local service serves TTL-cached snapshots by design (commits
+	// alone do not invalidate); force a fresh reference index so the
+	// identity check compares current truth, not two equally stale caches.
+	h.local.Invalidate()
 	if !IndexEqual(h.local.Index(), h.remote.Index()) {
 		t.Fatal("remote index diverged from local index")
 	}

@@ -1,0 +1,126 @@
+package stream_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/wire/stream"
+)
+
+// refFrames is the oracle: the frames a sequential walk of the complete
+// input yields under the stream decoder's rules (u32 LE length, then
+// body; zero or over-bound lengths are terminal errors), independent of
+// any chunking.
+func refFrames(data []byte, max int) (frames [][]byte, rest int, hostile bool) {
+	rem := data
+	for len(rem) >= 4 {
+		n := uint32(rem[0]) | uint32(rem[1])<<8 | uint32(rem[2])<<16 | uint32(rem[3])<<24
+		if n == 0 || uint64(n) > uint64(max) {
+			return frames, len(rem), true
+		}
+		if uint64(len(rem)-4) < uint64(n) {
+			break
+		}
+		frames = append(frames, rem[4:4+n])
+		rem = rem[4+n:]
+	}
+	return frames, len(rem), false
+}
+
+// FuzzStreamDecode pins the decoder's two load-bearing guarantees
+// against arbitrary inputs and arbitrary read boundaries:
+//
+//   - Never a torn frame: every frame the decoder yields is
+//     byte-identical to the oracle's walk of the whole input, regardless
+//     of how the bytes were chunked into Feed calls.
+//   - Never a panic and never an allocation-bomb: hostile lengths (zero
+//     or over-bound) surface as a sticky error exactly where the oracle
+//     says the stream dies.
+func FuzzStreamDecode(f *testing.F) {
+	whole := func(kind byte, body []byte) []byte {
+		n := 1 + len(body)
+		out := []byte{byte(n), byte(n >> 8), byte(n >> 16), byte(n >> 24), kind}
+		return append(out, body...)
+	}
+	f.Add([]byte{}, uint64(0))
+	f.Add(whole(0x01, []byte("delta")), uint64(1))
+	f.Add(append(whole(0x01, []byte("a")), whole(0x05, bytes.Repeat([]byte{7}, 40))...), uint64(3))
+	f.Add(whole(0x02, nil)[:3], uint64(2))                       // truncated mid-prefix
+	f.Add(whole(0x03, []byte("torn-tail"))[:7], uint64(5))       // truncated mid-body
+	f.Add([]byte{0, 0, 0, 0, 0xAA}, uint64(1))                   // zero-length body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01, 0x02}, uint64(9)) // hostile length
+	f.Add([]byte{16, 0, 0, 0, 0x04, 1, 2, 3}, uint64(4))         // claims more than sent
+
+	const maxBody = 1 << 16 // small bound so fuzzed lengths can cross it
+
+	f.Fuzz(func(t *testing.T, data []byte, chunkSeed uint64) {
+		want, wantRest, wantHostile := refFrames(data, maxBody)
+
+		d := stream.Decoder{MaxBody: maxBody}
+		var got [][]byte
+		var sticky error
+		// Split the input at pseudo-random boundaries derived from
+		// chunkSeed (splitmix64), draining after every chunk.
+		s := chunkSeed
+		next := func() int {
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+			z = (z ^ z>>27) * 0x94d049bb133111eb
+			return int((z^z>>31)%37) + 1
+		}
+		for off := 0; off < len(data); {
+			n := next()
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			d.Feed(data[off : off+n])
+			off += n
+			for {
+				_, body, ok, err := d.Next()
+				if err != nil {
+					sticky = err
+					break
+				}
+				if !ok {
+					break
+				}
+				got = append(got, append([]byte(nil), body...))
+			}
+			if sticky != nil {
+				break
+			}
+		}
+		// Final drain for the empty-input / trailing-frame case.
+		if sticky == nil {
+			for {
+				_, body, ok, err := d.Next()
+				if err != nil {
+					sticky = err
+					break
+				}
+				if !ok {
+					break
+				}
+				got = append(got, append([]byte(nil), body...))
+			}
+		}
+
+		if wantHostile != (sticky != nil) {
+			t.Fatalf("hostile=%v but sticky err=%v", wantHostile, sticky)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("decoded %d frames, oracle says %d", len(got), len(want))
+		}
+		for i := range got {
+			// got[i] is the body (kind consumed); the oracle frame is
+			// kind+body. Torn or corrupted reassembly shows up here.
+			if len(want[i]) != 1+len(got[i]) || !bytes.Equal(got[i], want[i][1:]) {
+				t.Fatalf("frame %d torn: got %d bytes, oracle %d", i, len(got[i]), len(want[i]))
+			}
+		}
+		if !wantHostile && d.Buffered() != wantRest {
+			t.Fatalf("buffered %d bytes at stream end, oracle says %d", d.Buffered(), wantRest)
+		}
+	})
+}
